@@ -1,0 +1,82 @@
+#ifndef DCBENCH_BENCH_BENCH_COMMON_H_
+#define DCBENCH_BENCH_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: a full-suite run
+ * with the paper's methodology (Table III machine, ramp-up discard,
+ * whole-runtime collection) and helpers to print paper-vs-measured rows.
+ *
+ * Usage of every figure bench:  ./figNN_xxx [ops-per-workload]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/dcbench.h"
+
+namespace dcb::bench {
+
+/** Default per-workload op budget for figure benches. */
+inline constexpr std::uint64_t kDefaultBudget = 2'000'000;
+
+/** Parse the optional op-budget argument. */
+inline core::HarnessConfig
+config_from_args(int argc, char** argv)
+{
+    core::HarnessConfig config = core::bench_config();
+    config.run.op_budget = argc > 1
+                               ? std::strtoull(argv[1], nullptr, 10)
+                               : kDefaultBudget;
+    config.run.warmup_ops = config.run.op_budget / 4;
+    return config;
+}
+
+/** Run the full 26-workload suite in figure order. */
+inline std::vector<cpu::CounterReport>
+run_full_suite(const core::HarnessConfig& config)
+{
+    std::printf("running %zu workloads at %llu ops each "
+                "(warmup %llu discarded)...\n\n",
+                workloads::figure_order().size(),
+                static_cast<unsigned long long>(config.run.op_budget),
+                static_cast<unsigned long long>(config.run.warmup_ops));
+    return core::run_suite(workloads::figure_order(), config);
+}
+
+/** Run only the eleven data-analysis workloads (Table I order). */
+inline std::vector<cpu::CounterReport>
+run_data_analysis_suite(const core::HarnessConfig& config)
+{
+    return core::run_suite(
+        workloads::names_in_category(workloads::Category::kDataAnalysis),
+        config);
+}
+
+/** Paper lookup for a metric field (negative if unavailable). */
+template <typename Getter>
+core::PaperGetter
+paper_field(Getter getter)
+{
+    return [getter](const std::string& name) {
+        const auto m = core::paper_metrics(name);
+        return m ? getter(*m) : -1.0;
+    };
+}
+
+/** Average of a measured metric over a category. */
+inline double
+category_average(const std::vector<cpu::CounterReport>& reports,
+                 workloads::Category category,
+                 const core::MetricGetter& metric)
+{
+    return core::class_average(reports,
+                               workloads::names_in_category(category),
+                               metric);
+}
+
+}  // namespace dcb::bench
+
+#endif  // DCBENCH_BENCH_BENCH_COMMON_H_

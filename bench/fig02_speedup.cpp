@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 2: speedup of the eleven data-analysis workloads on 1/4/8
+ * Hadoop slaves.
+ *
+ * Paper shape: 8-slave speedups range 3.3-8.2 (Naive Bayes at 6.6) --
+ * wide enough to prove that no single data-analysis workload represents
+ * the class. Compute-bound jobs (Bayes, Fuzzy K-means, IBCF) scale
+ * best; I/O- and shuffle-bound jobs (Grep, Sort) flatten first.
+ */
+
+#include "bench_common.h"
+
+#include "workloads/data_analysis.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace dcb;
+    using util::format_double;
+
+    mapreduce::ClusterSimulator sim;
+    mapreduce::ClusterConfig cluster;
+
+    util::Table table({"workload", "1 slave", "4 slaves", "8 slaves",
+                       "8 slaves (paper)"});
+    table.set_title("Figure 2: speedup vs one slave");
+    util::CsvWriter csv({"workload", "slaves4", "slaves8", "paper8"});
+
+    double lo = 100.0;
+    double hi = 0.0;
+    double bayes8 = 0.0;
+    for (const std::string& name : workloads::data_analysis_names()) {
+        const auto workload = workloads::make_workload(name);
+        const auto& spec = workload->info().cluster_spec;
+        const double s4 = sim.speedup(spec, cluster, 4);
+        const double s8 = sim.speedup(spec, cluster, 8);
+        double paper8 = -1.0;
+        for (const auto& p : core::paper_speedups()) {
+            if (p.name == name ||
+                (name == "Hive-bench" && p.name == "hive-bench")) {
+                paper8 = p.slaves8;
+            }
+        }
+        table.add_row({name, "1.00", format_double(s4, 2),
+                       format_double(s8, 2), format_double(paper8, 1)});
+        csv.add_row({name, format_double(s4, 4), format_double(s8, 4),
+                     format_double(paper8, 2)});
+        lo = std::min(lo, s8);
+        hi = std::max(hi, s8);
+        if (name == "Naive Bayes")
+            bayes8 = s8;
+    }
+    table.print();
+    csv.write_file("fig02_speedup.csv");
+
+    std::printf("\n8-slave speedups span %.1f-%.1f (paper 3.3-8.2); "
+                "Naive Bayes %.1f (paper 6.6)\n\n",
+                lo, hi, bayes8);
+    core::shape_check("visible spread across workloads", hi - lo > 1.5);
+    core::shape_check("no workload scales super-linearly", hi <= 8.0);
+    core::shape_check("every workload gains from 8 slaves", lo > 2.0);
+    core::shape_check("Naive Bayes lands mid-to-high range",
+                      bayes8 > lo && bayes8 > 0.6 * hi);
+    return 0;
+}

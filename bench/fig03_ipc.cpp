@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 3: instructions per cycle for each workload.
+ *
+ * Paper shape: service workloads (CloudSuite's four + SPECweb) all below
+ * 0.6; the eleven data-analysis workloads range 0.52-0.95 (avg 0.78,
+ * Naive Bayes lowest); HPL and DGEMM near 1.2 at the top; STREAM below
+ * 0.5.
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dcb;
+    const auto config = bench::config_from_args(argc, argv);
+    const auto reports = bench::run_full_suite(config);
+
+    core::print_figure_table(
+        "Figure 3: Instructions per cycle (IPC)", reports, "IPC",
+        [](const cpu::CounterReport& r) { return r.ipc; },
+        bench::paper_field([](const core::PaperMetrics& m) {
+            return m.ipc;
+        }),
+        2, "fig03_ipc.csv");
+
+    const double da = bench::category_average(
+        reports, workloads::Category::kDataAnalysis,
+        [](const auto& r) { return r.ipc; });
+    const double svc = bench::category_average(
+        reports, workloads::Category::kService,
+        [](const auto& r) { return r.ipc; });
+    double dgemm = 0.0;
+    double bayes = 0.0;
+    double da_min = 100.0;
+    double da_max = 0.0;
+    for (const auto& r : reports) {
+        if (r.workload == "HPCC-DGEMM")
+            dgemm = r.ipc;
+        if (r.workload == "Naive Bayes")
+            bayes = r.ipc;
+    }
+    for (const auto& name : workloads::names_in_category(
+             workloads::Category::kDataAnalysis)) {
+        for (const auto& r : reports) {
+            if (r.workload == name) {
+                da_min = std::min(da_min, r.ipc);
+                da_max = std::max(da_max, r.ipc);
+            }
+        }
+    }
+
+    std::printf("data-analysis IPC: avg %.2f (paper 0.78), range "
+                "%.2f-%.2f (paper 0.52-0.95)\n\n",
+                da, da_min, da_max);
+    core::shape_check("DA average IPC above the service average", da > svc);
+    core::shape_check("compute-bound HPCC (DGEMM) tops the chart",
+                      dgemm > da_max);
+    core::shape_check("Naive Bayes near the bottom of the DA range",
+                      bayes < da);
+    core::shape_check("services below the DA class", svc < da_min + 0.2);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 4: user/kernel retired-instruction breakdown.
+ *
+ * Paper shape: the service workloads execute > 40% of their instructions
+ * in kernel mode; data-analysis workloads ~4% on average with Sort the
+ * outlier (~24%, its I/O-heavy data plane); HPCC-RandomAccess ~31% from
+ * copy_user_generic_string in its bucket exchanges.
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dcb;
+    const auto config = bench::config_from_args(argc, argv);
+    const auto reports = bench::run_full_suite(config);
+
+    core::print_figure_table(
+        "Figure 4: kernel-mode instruction fraction", reports, "kernel%",
+        [](const cpu::CounterReport& r) {
+            return 100.0 * r.kernel_instr_fraction;
+        },
+        bench::paper_field([](const core::PaperMetrics& m) {
+            return 100.0 * m.kernel_frac;
+        }),
+        1, "fig04_kernel.csv");
+
+    double sort = 0.0;
+    double random_access = 0.0;
+    double da_rest = 0.0;
+    int da_n = 0;
+    double svc_min = 1.0;
+    for (const auto& r : reports) {
+        if (r.workload == "Sort")
+            sort = r.kernel_instr_fraction;
+        if (r.workload == "HPCC-RandomAccess")
+            random_access = r.kernel_instr_fraction;
+    }
+    for (const auto& name : workloads::names_in_category(
+             workloads::Category::kDataAnalysis)) {
+        if (name == "Sort")
+            continue;
+        for (const auto& r : reports) {
+            if (r.workload == name) {
+                da_rest += r.kernel_instr_fraction;
+                ++da_n;
+            }
+        }
+    }
+    da_rest /= da_n;
+    for (const auto& name : {"Media Streaming", "Data Serving",
+                             "Web Search", "Web Serving", "SPECWeb"}) {
+        for (const auto& r : reports) {
+            if (r.workload == name)
+                svc_min = std::min(svc_min, r.kernel_instr_fraction);
+        }
+    }
+
+    std::printf("DA without Sort: %.1f%% kernel (paper ~4%%); Sort "
+                "%.1f%% (paper ~24%%)\n\n",
+                100 * da_rest, 100 * sort);
+    core::shape_check("request services all above 40% kernel",
+                      svc_min > 0.40);
+    core::shape_check("Sort is the data-analysis outlier",
+                      sort > 3 * da_rest);
+    core::shape_check("RandomAccess is the HPCC outlier (~31%)",
+                      random_access > 0.15);
+    return 0;
+}

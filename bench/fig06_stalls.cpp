@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 6: normalized pipeline-stall breakdown (instruction fetch, RAT,
+ * load buffer, store buffer, RS full, ROB full).
+ *
+ * Paper shape: data-analysis workloads stall mostly in the out-of-order
+ * part (RS ~37% + ROB ~20% => ~57%); the request services stall before
+ * it (RAT ~60% + fetch ~13% => ~73%).
+ */
+
+#include "bench_common.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dcb;
+    using util::format_double;
+    const auto config = bench::config_from_args(argc, argv);
+    const auto reports = bench::run_full_suite(config);
+
+    util::Table table({"workload", "fetch%", "rat%", "load%", "store%",
+                       "rs%", "rob%", "ooo% (paper rs+rob)"});
+    table.set_title("Figure 6: pipeline stall breakdown (normalized)");
+    util::CsvWriter csv({"workload", "fetch", "rat", "load", "store",
+                         "rs", "rob"});
+    for (const auto& r : reports) {
+        const auto m = core::paper_metrics(r.workload);
+        const double paper_ooo = m ? 100 * (m->stall_rs + m->stall_rob)
+                                   : -1;
+        table.add_row(
+            {r.workload, format_double(100 * r.stalls.fetch, 0),
+             format_double(100 * r.stalls.rat, 0),
+             format_double(100 * r.stalls.load, 0),
+             format_double(100 * r.stalls.store, 0),
+             format_double(100 * r.stalls.rs, 0),
+             format_double(100 * r.stalls.rob, 0),
+             format_double(100 * r.stalls.out_of_order_part(), 0) + " (" +
+                 format_double(paper_ooo, 0) + ")"});
+        csv.add_row({r.workload, format_double(r.stalls.fetch, 4),
+                     format_double(r.stalls.rat, 4),
+                     format_double(r.stalls.load, 4),
+                     format_double(r.stalls.store, 4),
+                     format_double(r.stalls.rs, 4),
+                     format_double(r.stalls.rob, 4)});
+    }
+    table.print();
+    csv.write_file("fig06_stalls.csv");
+    std::printf("\n");
+
+    const double da_ooo = bench::category_average(
+        reports, workloads::Category::kDataAnalysis,
+        [](const auto& r) { return r.stalls.out_of_order_part(); });
+    double svc_inorder = 0.0;
+    for (const auto& name : {"Media Streaming", "Data Serving",
+                             "Web Search", "Web Serving", "SPECWeb"}) {
+        for (const auto& r : reports)
+            if (r.workload == name)
+                svc_inorder += r.stalls.in_order_part();
+    }
+    svc_inorder /= 5.0;
+
+    std::printf("DA out-of-order share %.0f%% (paper ~57%%); service "
+                "in-order share %.0f%% (paper ~73%%)\n\n",
+                100 * da_ooo, 100 * svc_inorder);
+    core::shape_check("DA workloads stall mostly out-of-order",
+                      da_ooo > 0.45);
+    core::shape_check("services stall mostly in-order",
+                      svc_inorder > 0.55);
+    return 0;
+}

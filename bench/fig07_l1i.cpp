@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 7: L1 instruction-cache misses per thousand instructions.
+ *
+ * Paper shape: data-analysis workloads ~23 MPKI on average -- far above
+ * SPEC CPU and HPCC, below most services; Media Streaming ~3x the DA
+ * average; Naive Bayes the DA exception with almost none.
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dcb;
+    const auto config = bench::config_from_args(argc, argv);
+    const auto reports = bench::run_full_suite(config);
+
+    core::print_figure_table(
+        "Figure 7: L1 instruction-cache misses per thousand instructions", reports, "L1I MPKI",
+        [](const cpu::CounterReport& r) { return r.l1i_mpki; },
+        bench::paper_field([](const core::PaperMetrics& m) {
+            return m.l1i_mpki;
+        }),
+        1, "fig07_l1i.csv");
+
+    const double da = bench::category_average(
+        reports, workloads::Category::kDataAnalysis,
+        [](const auto& r) { return r.l1i_mpki; });
+    const double hpcc = bench::category_average(
+        reports, workloads::Category::kHpcc,
+        [](const auto& r) { return r.l1i_mpki; });
+    double bayes = 0.0;
+    double media = 0.0;
+    for (const auto& r : reports) {
+        if (r.workload == "Naive Bayes")
+            bayes = r.l1i_mpki;
+        if (r.workload == "Media Streaming")
+            media = r.l1i_mpki;
+    }
+    std::printf("DA average %.1f MPKI (paper ~23)\n\n", da);
+    core::shape_check("DA far above HPCC", da > 5 * hpcc);
+    core::shape_check("Naive Bayes is the DA exception", bayes < da / 3);
+    core::shape_check("Media Streaming is the extreme", media > 1.7 * da);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 8: ITLB-miss completed page walks per thousand instructions.
+ *
+ * Paper shape: follows the instruction-footprint trend of Figure 7:
+ * data-analysis above SPEC/HPCC, some services above data analysis,
+ * Naive Bayes near zero. Absolute walk rates run higher than the
+ * paper's (see EXPERIMENTS.md on TLB scale).
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dcb;
+    const auto config = bench::config_from_args(argc, argv);
+    const auto reports = bench::run_full_suite(config);
+
+    core::print_figure_table(
+        "Figure 8: ITLB-miss completed page walks per thousand instructions", reports, "ITLB walks PKI",
+        [](const cpu::CounterReport& r) { return r.itlb_walk_pki; },
+        bench::paper_field([](const core::PaperMetrics& m) {
+            return m.itlb_walk_pki;
+        }),
+        3, "fig08_itlb.csv");
+
+    const double da = bench::category_average(
+        reports, workloads::Category::kDataAnalysis,
+        [](const auto& r) { return r.itlb_walk_pki; });
+    const double hpcc = bench::category_average(
+        reports, workloads::Category::kHpcc,
+        [](const auto& r) { return r.itlb_walk_pki; });
+    const double svc = bench::category_average(
+        reports, workloads::Category::kService,
+        [](const auto& r) { return r.itlb_walk_pki; });
+    double bayes = 1e9;
+    for (const auto& r : reports)
+        if (r.workload == "Naive Bayes")
+            bayes = r.itlb_walk_pki;
+    core::shape_check("DA above HPCC", da > hpcc);
+    core::shape_check("services above DA", svc > da);
+    core::shape_check("Naive Bayes near the bottom", bayes < da / 2);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 10: ratio of L2 misses satisfied by the L3 (Equation 1).
+ *
+ * Paper shape: the 12 MB LLC captures most data-analysis (85.5% avg)
+ * and service (94.9% avg) L2 misses; HPCC's streaming and random
+ * kernels blow through it.
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dcb;
+    const auto config = bench::config_from_args(argc, argv);
+    const auto reports = bench::run_full_suite(config);
+
+    core::print_figure_table(
+        "Figure 10: ratio of L2 misses satisfied by the L3 (Equation 1)", reports, "L3 ratio %",
+        [](const cpu::CounterReport& r) { return 100.0 * r.l3_service_ratio; },
+        bench::paper_field([](const core::PaperMetrics& m) {
+            return 100.0 * m.l3_ratio;
+        }),
+        1, "fig10_l3ratio.csv");
+
+    const double da = bench::category_average(
+        reports, workloads::Category::kDataAnalysis,
+        [](const auto& r) { return r.l3_service_ratio; });
+    const double svc = bench::category_average(
+        reports, workloads::Category::kService,
+        [](const auto& r) { return r.l3_service_ratio; });
+    double stream = 1.0;
+    double ra = 1.0;
+    for (const auto& r : reports) {
+        if (r.workload == "HPCC-STREAM")
+            stream = r.l3_service_ratio;
+        if (r.workload == "HPCC-RandomAccess")
+            ra = r.l3_service_ratio;
+    }
+    std::printf("DA average %.1f%% (paper 85.5%%), services %.1f%% "
+                "(paper 94.9%%)\n\n", 100 * da, 100 * svc);
+    core::shape_check("LLC effective for DA (>70%)", da > 0.70);
+    core::shape_check("LLC effective for services (>70%)", svc > 0.70);
+    core::shape_check("STREAM defeats the LLC", stream < 0.4);
+    core::shape_check("RandomAccess defeats the LLC", ra < 0.7);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 11: DTLB-miss completed page walks per thousand instructions.
+ *
+ * Paper shape: most data-analysis workloads below services and SPEC
+ * CPU; RandomAccess and PTRANS are the HPCC outliers; absolute rates
+ * run above the paper's (see EXPERIMENTS.md on TLB scale).
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dcb;
+    const auto config = bench::config_from_args(argc, argv);
+    const auto reports = bench::run_full_suite(config);
+
+    core::print_figure_table(
+        "Figure 11: DTLB-miss completed page walks per thousand instructions", reports, "DTLB walks PKI",
+        [](const cpu::CounterReport& r) { return r.dtlb_walk_pki; },
+        bench::paper_field([](const core::PaperMetrics& m) {
+            return m.dtlb_walk_pki;
+        }),
+        3, "fig11_dtlb.csv");
+
+    const double da = bench::category_average(
+        reports, workloads::Category::kDataAnalysis,
+        [](const auto& r) { return r.dtlb_walk_pki; });
+    const double svc = bench::category_average(
+        reports, workloads::Category::kService,
+        [](const auto& r) { return r.dtlb_walk_pki; });
+    double ra = 0.0;
+    double max_other = 0.0;
+    for (const auto& r : reports) {
+        if (r.workload == "HPCC-RandomAccess")
+            ra = r.dtlb_walk_pki;
+        else
+            max_other = std::max(max_other, r.dtlb_walk_pki);
+    }
+    core::shape_check("DA below the services on average", da < svc);
+    core::shape_check("RandomAccess is the global maximum",
+                      ra > max_other);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 12: branch misprediction ratio.
+ *
+ * Paper shape: data-analysis workloads mispredict less than the
+ * services and SPEC CPU (simple loop-dominated patterns); the HPCC
+ * micro-kernels are near zero.
+ */
+
+#include "bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dcb;
+    const auto config = bench::config_from_args(argc, argv);
+    const auto reports = bench::run_full_suite(config);
+
+    core::print_figure_table(
+        "Figure 12: branch misprediction ratio", reports, "mispredict %",
+        [](const cpu::CounterReport& r) { return 100.0 * r.branch_misprediction_ratio; },
+        bench::paper_field([](const core::PaperMetrics& m) {
+            return 100.0 * m.br_mispred;
+        }),
+        2, "fig12_branch.csv");
+
+    const double da = bench::category_average(
+        reports, workloads::Category::kDataAnalysis,
+        [](const auto& r) { return r.branch_misprediction_ratio; });
+    const double svc = bench::category_average(
+        reports, workloads::Category::kService,
+        [](const auto& r) { return r.branch_misprediction_ratio; });
+    const double hpcc = bench::category_average(
+        reports, workloads::Category::kHpcc,
+        [](const auto& r) { return r.branch_misprediction_ratio; });
+    double specint = 0.0;
+    for (const auto& r : reports)
+        if (r.workload == "SPECINT")
+            specint = r.branch_misprediction_ratio;
+    std::printf("DA average %.2f%%, services %.2f%%, HPCC %.2f%%\n\n",
+                100 * da, 100 * svc, 100 * hpcc);
+    core::shape_check("DA below the services", da < svc);
+    core::shape_check("DA below SPECINT", da < specint);
+    core::shape_check("HPCC lowest", hpcc < da);
+    return 0;
+}

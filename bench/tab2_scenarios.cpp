@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table II: application scenarios of the data-analysis workloads across
+ * the three headline domains (search engine, social network, electronic
+ * commerce) -- the evidence that most chosen workloads are
+ * *intersections* of the domains.
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "core/domain_catalog.h"
+#include "util/table.h"
+#include "workloads/data_analysis.h"
+
+int
+main()
+{
+    using namespace dcb;
+    util::Table table({"Workload", "Domain", "Scenario"});
+    table.set_title("Table II: scenarios of data analysis");
+    for (const auto& s : core::scenario_catalog())
+        table.add_row({s.workload, s.domain, s.scenario});
+    table.print();
+
+    std::printf("\nworkload domain coverage:\n");
+    for (const auto& name : workloads::data_analysis_names()) {
+        std::set<std::string> domains;
+        for (const auto& s : core::scenarios_for(name))
+            domains.insert(s.domain);
+        std::printf("  %-14s %zu domain(s)\n", name.c_str(),
+                    domains.size());
+    }
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenches for the simulation substrate itself:
+ * how fast the cache/TLB/branch/core models consume events. These bound
+ * the wall-clock cost of the figure benches and catch performance
+ * regressions in the simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/core.h"
+#include "cpu/perf.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "trace/code_layout.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace dcb;
+
+void
+BM_CacheAccessHit(benchmark::State& state)
+{
+    mem::SetAssocCache cache({32 * 1024, 8, 64}, mem::Replacement::kLru);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr & 0x3FFF));
+        addr += 64;
+    }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessMissy(benchmark::State& state)
+{
+    mem::SetAssocCache cache({256 * 1024, 8, 64}, mem::Replacement::kLru);
+    util::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.next_below(64 << 20)));
+}
+BENCHMARK(BM_CacheAccessMissy);
+
+void
+BM_HierarchyDataAccess(benchmark::State& state)
+{
+    mem::CacheHierarchy hierarchy(mem::westmere_memory_config());
+    util::Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hierarchy.data_access(rng.next_below(8 << 20), false));
+    }
+}
+BENCHMARK(BM_HierarchyDataAccess);
+
+void
+BM_ZipfSample(benchmark::State& state)
+{
+    util::Rng rng(3);
+    util::ZipfSampler zipf(1'000'000, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_CodeLayoutFetch(benchmark::State& state)
+{
+    trace::CodeLayout layout({{"hot", 64, 320, 0.6, 0.6, 30.0},
+                              {"warm", 3000, 448, 0.4, 0.75, 20.0}},
+                             0x400000, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(layout.next_fetch());
+}
+BENCHMARK(BM_CodeLayoutFetch);
+
+void
+BM_CoreConsumeAlu(benchmark::State& state)
+{
+    cpu::Core core(cpu::westmere_core_config(),
+                   mem::westmere_memory_config());
+    trace::MicroOp op;
+    op.cls = trace::OpClass::kAlu;
+    op.fetch_addr = 0x1000;
+    for (auto _ : state) {
+        core.consume(op);
+        op.fetch_addr = 0x1000 + ((op.fetch_addr + 4) & 0xFFF);
+    }
+}
+BENCHMARK(BM_CoreConsumeAlu);
+
+void
+BM_CoreConsumeLoadMix(benchmark::State& state)
+{
+    cpu::Core core(cpu::westmere_core_config(),
+                   mem::westmere_memory_config());
+    util::Rng rng(5);
+    trace::MicroOp op;
+    for (auto _ : state) {
+        op.cls = rng.next_bool(0.3) ? trace::OpClass::kLoad
+                                    : trace::OpClass::kAlu;
+        op.addr = rng.next_below(16 << 20);
+        op.fetch_addr = 0x1000 + rng.next_below(1 << 20);
+        core.consume(op);
+    }
+}
+BENCHMARK(BM_CoreConsumeLoadMix);
+
+void
+BM_CoreConsumeWithPmu(benchmark::State& state)
+{
+    cpu::Core core(cpu::westmere_core_config(),
+                   mem::westmere_memory_config());
+    core.pmu().configure_events(cpu::default_event_set(), 50'000);
+    trace::MicroOp op;
+    op.cls = trace::OpClass::kAlu;
+    op.fetch_addr = 0x1000;
+    for (auto _ : state)
+        core.consume(op);
+}
+BENCHMARK(BM_CoreConsumeWithPmu);
+
+}  // namespace
+
+BENCHMARK_MAIN();

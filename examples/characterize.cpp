@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Full-suite characterization: run all 27 workloads (or a category) and
+ * print the complete per-workload metric matrix plus the class averages
+ * the paper states in its findings.
+ *
+ *   ./characterize [ops-per-workload] [category]
+ *   category: all | data-analysis | service | spec-cpu | hpcc
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/dcbench.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using dcb::util::format_double;
+
+    dcb::core::HarnessConfig config = dcb::core::bench_config();
+    if (argc > 1)
+        config.run.op_budget = std::strtoull(argv[1], nullptr, 10);
+    const std::string category = argc > 2 ? argv[2] : "all";
+
+    std::vector<std::string> names;
+    if (category == "all") {
+        names = dcb::workloads::figure_order();
+    } else if (category == "data-analysis") {
+        names = dcb::workloads::names_in_category(
+            dcb::workloads::Category::kDataAnalysis);
+    } else if (category == "service") {
+        names = dcb::workloads::names_in_category(
+            dcb::workloads::Category::kService);
+    } else if (category == "spec-cpu") {
+        names = dcb::workloads::names_in_category(
+            dcb::workloads::Category::kSpecCpu);
+    } else if (category == "hpcc") {
+        names = dcb::workloads::names_in_category(
+            dcb::workloads::Category::kHpcc);
+    } else {
+        std::fprintf(stderr, "unknown category: %s\n", category.c_str());
+        return 1;
+    }
+
+    dcb::util::Table table({"workload", "IPC", "kern%", "L1I", "iTLB",
+                            "L2", "L3r%", "dTLB", "brm%", "fe%", "rat%",
+                            "ld%", "st%", "rs%", "rob%"});
+    table.set_title("DCBench-Repro characterization (" +
+                    std::to_string(config.run.op_budget) +
+                    " ops/workload)");
+    std::vector<dcb::cpu::CounterReport> reports;
+    for (const auto& name : names) {
+        const auto r = dcb::core::run_workload(name, config);
+        reports.push_back(r);
+        table.add_row({r.workload, format_double(r.ipc, 2),
+                       format_double(100 * r.kernel_instr_fraction, 1),
+                       format_double(r.l1i_mpki, 1),
+                       format_double(r.itlb_walk_pki, 3),
+                       format_double(r.l2_mpki, 1),
+                       format_double(100 * r.l3_service_ratio, 1),
+                       format_double(r.dtlb_walk_pki, 3),
+                       format_double(100 * r.branch_misprediction_ratio, 2),
+                       format_double(100 * r.stalls.fetch, 0),
+                       format_double(100 * r.stalls.rat, 0),
+                       format_double(100 * r.stalls.load, 0),
+                       format_double(100 * r.stalls.store, 0),
+                       format_double(100 * r.stalls.rs, 0),
+                       format_double(100 * r.stalls.rob, 0)});
+    }
+    table.print();
+
+    if (category == "all") {
+        const auto da = dcb::workloads::names_in_category(
+            dcb::workloads::Category::kDataAnalysis);
+        const auto svc = dcb::workloads::names_in_category(
+            dcb::workloads::Category::kService);
+        auto avg = [&](const std::vector<std::string>& ns,
+                       dcb::core::MetricGetter g) {
+            return dcb::core::class_average(reports, ns, g);
+        };
+        std::printf("\nclass averages (paper reference in parens):\n");
+        std::printf("  DA IPC        %.2f (0.78)\n",
+                    avg(da, [](const auto& r) { return r.ipc; }));
+        std::printf("  DA L1I MPKI   %.1f (23)\n",
+                    avg(da, [](const auto& r) { return r.l1i_mpki; }));
+        std::printf("  DA L2 MPKI    %.1f (11)\n",
+                    avg(da, [](const auto& r) { return r.l2_mpki; }));
+        std::printf("  DA L3 ratio   %.1f%% (85.5%%)\n",
+                    100 * avg(da, [](const auto& r) {
+                        return r.l3_service_ratio;
+                    }));
+        std::printf("  SVC L2 MPKI   %.1f (60)\n",
+                    avg(svc, [](const auto& r) { return r.l2_mpki; }));
+        std::printf("  SVC L3 ratio  %.1f%% (94.9%%)\n",
+                    100 * avg(svc, [](const auto& r) {
+                        return r.l3_service_ratio;
+                    }));
+        std::printf("  DA OoO stalls %.1f%% (57%%)\n",
+                    100 * avg(da, [](const auto& r) {
+                        return r.stalls.out_of_order_part();
+                    }));
+        std::printf("  SVC in-order  %.1f%% (73%%)\n",
+                    100 * avg(svc, [](const auto& r) {
+                        return r.stalls.in_order_part();
+                    }));
+    }
+    return 0;
+}

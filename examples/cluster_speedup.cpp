@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cluster-scaling example: sweep slave counts for one (or every)
+ * data-analysis workload through the cluster simulator -- the search
+ * engine / e-commerce capacity-planning question the paper's Figure 2
+ * answers ("how much faster does my nightly job get if I grow the
+ * cluster?").
+ *
+ *   ./cluster_speedup [workload|all] [max-slaves]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/dcbench.h"
+#include "workloads/data_analysis.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+void
+sweep(const dcb::mapreduce::JobSpec& spec, std::uint32_t max_slaves)
+{
+    dcb::mapreduce::ClusterSimulator sim;
+    dcb::mapreduce::ClusterConfig cluster;
+    dcb::util::Table table(
+        {"slaves", "total (s)", "map (s)", "shuffle (s)", "reduce (s)",
+         "speedup"});
+    table.set_title("scaling " + spec.name);
+    for (std::uint32_t s = 1; s <= max_slaves; s *= 2) {
+        cluster.slaves = s;
+        const auto t = sim.run(spec, cluster);
+        table.add_row({std::to_string(s),
+                       dcb::util::format_double(t.total_s, 1),
+                       dcb::util::format_double(t.map_s, 1),
+                       dcb::util::format_double(t.shuffle_s, 1),
+                       dcb::util::format_double(t.reduce_s, 1),
+                       dcb::util::format_double(
+                           sim.speedup(spec, cluster, s), 2)});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string which = argc > 1 ? argv[1] : "all";
+    const std::uint32_t max_slaves =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 16;
+
+    for (const auto& name : dcb::workloads::data_analysis_names()) {
+        if (which != "all" && which != name)
+            continue;
+        const auto workload = dcb::workloads::make_workload(name);
+        sweep(workload->info().cluster_spec, max_slaves);
+    }
+    return 0;
+}

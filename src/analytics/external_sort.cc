@@ -1,0 +1,90 @@
+#include "analytics/external_sort.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dcb::analytics {
+
+namespace {
+// Stable branch-site ids for the sort's comparison/loop branches.
+constexpr std::uint64_t kCmpSite = 0x5047001;
+constexpr std::uint64_t kRunoutSite = 0x5047002;
+constexpr std::uint64_t kLoopSite = 0x5047003;
+}  // namespace
+
+ExternalSort::ExternalSort(trace::ExecCtx& ctx, mem::AddressSpace& space,
+                           std::size_t capacity, std::size_t run_records)
+    : ctx_(ctx), run_records_(run_records),
+      buf_a_(space, capacity, "sort_buf_a"),
+      buf_b_(space, capacity, "sort_buf_b")
+{
+    DCB_EXPECTS(capacity >= 1 && run_records >= 1);
+}
+
+void
+ExternalSort::merge_pass(SimVec<SortRecord>& src, SimVec<SortRecord>& dst,
+                         std::size_t width, std::size_t n, SortResult& r)
+{
+    for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+        const std::size_t mid = std::min(lo + width, n);
+        const std::size_t hi = std::min(lo + 2 * width, n);
+        std::size_t i = lo;
+        std::size_t j = mid;
+        for (std::size_t k = lo; k < hi; ++k) {
+            bool take_left;
+            if (i >= mid || j >= hi) {
+                // One side exhausted: a cheap bound check, no key loads.
+                ctx_.branch(kRunoutSite, true);
+                take_left = j >= hi;
+            } else {
+                ctx_.load(src.addr(i));
+                ctx_.load(src.addr(j));
+                take_left = src[i].key <= src[j].key;
+                ++r.comparisons;
+                // Optimized merge loops compile the data-dependent pick
+                // to cmov; only the occasional run-detection check is a
+                // real (and predictable) branch.
+                ctx_.alu(2);
+                if ((k & 7) == 7)
+                    ctx_.branch(kCmpSite, take_left);
+            }
+            const std::size_t from = take_left ? i++ : j++;
+            dst[k] = src[from];
+            ctx_.alu(1);  // cursor bump
+            ctx_.store(dst.addr(k));
+            ++r.moves;
+            ctx_.branch(kLoopSite, k + 1 < hi);
+        }
+    }
+}
+
+SortResult
+ExternalSort::sort(const std::vector<SortRecord>& records)
+{
+    const std::size_t n = records.size();
+    DCB_EXPECTS(n <= buf_a_.size());
+    SortResult r;
+    r.runs = n == 0 ? 0 : (n + run_records_ - 1) / run_records_;
+
+    // Ingest: copy records into the simulated input buffer.
+    for (std::size_t i = 0; i < n; ++i) {
+        buf_a_[i] = records[i];
+        ctx_.store(buf_a_.addr(i));
+    }
+    if (n <= 1) {
+        out_ = &buf_a_;
+        return r;
+    }
+
+    SimVec<SortRecord>* src = &buf_a_;
+    SimVec<SortRecord>* dst = &buf_b_;
+    for (std::size_t width = 1; width < n; width *= 2) {
+        merge_pass(*src, *dst, width, n, r);
+        std::swap(src, dst);
+    }
+    out_ = src;
+    return r;
+}
+
+}  // namespace dcb::analytics

@@ -1,0 +1,89 @@
+#include "analytics/grep.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dcb::analytics {
+
+namespace {
+constexpr std::uint64_t kTailCmpSite = 0x6E001;
+constexpr std::uint64_t kInnerSite = 0x6E002;
+constexpr std::uint64_t kAdvanceSite = 0x6E003;
+}  // namespace
+
+Grep::Grep(trace::ExecCtx& ctx, mem::AddressSpace& space,
+           std::string pattern, std::size_t buffer_bytes)
+    : ctx_(ctx), pattern_(std::move(pattern)),
+      buffer_(space, buffer_bytes, "grep_buffer")
+{
+    DCB_EXPECTS(!pattern_.empty());
+    DCB_EXPECTS(buffer_bytes >= pattern_.size());
+    const std::size_t m = pattern_.size();
+    skip_.fill(static_cast<std::uint8_t>(std::min<std::size_t>(m, 255)));
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+        skip_[static_cast<std::uint8_t>(pattern_[i])] =
+            static_cast<std::uint8_t>(std::min<std::size_t>(m - 1 - i, 255));
+    }
+}
+
+std::uint64_t
+Grep::scan_line(std::string_view line)
+{
+    const std::size_t m = pattern_.size();
+    const std::size_t n = line.size();
+    bytes_scanned_ += n;
+
+    // Stage the line through the simulated input buffer (record reader).
+    if (cursor_ + n > buffer_.size())
+        cursor_ = 0;
+    const std::size_t line_off = cursor_;
+    cursor_ += n;
+    for (std::size_t i = 0; i < n; i += 64)
+        ctx_.store(buffer_.addr(line_off + i));
+
+    if (n < m)
+        return 0;
+
+    std::uint64_t found = 0;
+    std::size_t pos = 0;
+    while (pos + m <= n) {
+        const std::uint8_t tail = static_cast<std::uint8_t>(
+            line[pos + m - 1]);
+        ctx_.load(buffer_.addr(line_off + pos + m - 1));
+        ctx_.alu(4);  // skip-table lookup, bounds math, compare setup
+        const bool tail_match = tail ==
+            static_cast<std::uint8_t>(pattern_[m - 1]);
+        ctx_.branch(kTailCmpSite, tail_match);
+        if (tail_match) {
+            // Verify the rest of the pattern right-to-left.
+            bool ok = true;
+            for (std::size_t k = 0; k + 1 < m; ++k) {
+                const std::size_t idx = pos + m - 2 - k;
+                ctx_.load(buffer_.addr(line_off + idx));
+                const bool ch_ok = line[idx] == pattern_[m - 2 - k];
+                ctx_.branch(kInnerSite, ch_ok);
+                if (!ch_ok) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                ++found;
+                ctx_.alu(1);
+                pos += m;
+                ctx_.branch(kAdvanceSite, true);
+                continue;
+            }
+        }
+        pos += skip_[tail];
+        ctx_.alu(1);
+        ctx_.branch(kAdvanceSite, pos + m <= n);
+    }
+    matches_ += found;
+    if (found)
+        ++matching_lines_;
+    return found;
+}
+
+}  // namespace dcb::analytics

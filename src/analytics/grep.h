@@ -1,0 +1,60 @@
+#ifndef DCBENCH_ANALYTICS_GREP_H_
+#define DCBENCH_ANALYTICS_GREP_H_
+
+/**
+ * @file
+ * Grep kernel (workload #3, "Hadoop example"): extracts lines matching a
+ * pattern and counts occurrences. The matcher is Boyer-Moore-Horspool
+ * over the raw bytes -- streaming loads with a data-dependent skip loop,
+ * which is exactly the access/branch profile that makes Grep one of the
+ * lighter data-analysis workloads in the paper (high IPC, few misses).
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analytics/simdata.h"
+#include "trace/exec_ctx.h"
+
+namespace dcb::analytics {
+
+/** Narrated Boyer-Moore-Horspool substring scanner. */
+class Grep
+{
+  public:
+    /**
+     * @param pattern Non-empty byte pattern to search for.
+     * @param buffer_bytes Simulated input buffer size (lines are staged
+     *        through it, as Hadoop streams splits through record readers).
+     */
+    Grep(trace::ExecCtx& ctx, mem::AddressSpace& space, std::string pattern,
+         std::size_t buffer_bytes);
+
+    /**
+     * Scan one line.
+     * @return Number of (possibly overlapping at distance >= |pattern|)
+     *         matches in the line.
+     */
+    std::uint64_t scan_line(std::string_view line);
+
+    std::uint64_t matches() const { return matches_; }
+    std::uint64_t bytes_scanned() const { return bytes_scanned_; }
+    std::uint64_t matching_lines() const { return matching_lines_; }
+
+  private:
+    trace::ExecCtx& ctx_;
+    std::string pattern_;
+    std::array<std::uint8_t, 256> skip_{};
+    SimVec<char> buffer_;
+    std::size_t cursor_ = 0;
+    std::uint64_t matches_ = 0;
+    std::uint64_t bytes_scanned_ = 0;
+    std::uint64_t matching_lines_ = 0;
+};
+
+}  // namespace dcb::analytics
+
+#endif  // DCBENCH_ANALYTICS_GREP_H_

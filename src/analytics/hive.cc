@@ -1,0 +1,208 @@
+#include "analytics/hive.h"
+
+#include <bit>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dcb::analytics {
+
+namespace {
+constexpr std::uint64_t kFilterSite = 0x480001;
+constexpr std::uint64_t kProbeSite = 0x480002;
+constexpr std::uint64_t kScanSite = 0x480003;
+constexpr std::uint64_t kDateSite = 0x480004;
+
+std::size_t
+table_size_for(std::size_t n)
+{
+    return std::bit_ceil(n * 2 + 16);
+}
+
+}  // namespace
+
+HiveEngine::HiveEngine(trace::ExecCtx& ctx, mem::AddressSpace& space,
+                       std::vector<datagen::RankingRow> rankings,
+                       std::vector<datagen::UserVisitRow> visits)
+    : ctx_(ctx), rankings_(std::move(rankings)), visits_(std::move(visits)),
+      rankings_region_(space.alloc(
+          rankings_.size() * sizeof(datagen::RankingRow) + 16,
+          "hive_rankings")),
+      visits_region_(space.alloc(
+          visits_.size() * sizeof(datagen::UserVisitRow) + 16,
+          "hive_uservisits")),
+      hash_a_(space, table_size_for(visits_.size()), HashSlot{},
+              "hive_hash_agg"),
+      hash_b_(space, table_size_for(rankings_.size()), HashSlot{},
+              "hive_hash_join"),
+      out_buffer_(space, 4096, 0ull, "hive_out")
+{
+}
+
+std::size_t
+HiveEngine::probe(SimVec<HashSlot>& table, std::uint32_t key)
+{
+    const std::size_t mask = table.size() - 1;
+    std::size_t idx = util::mix64(key) & mask;
+    while (true) {
+        ctx_.alu(2);
+        ctx_.load(table.addr(idx));
+        const HashSlot& slot = table[idx];
+        const bool done = slot.key == key || slot.key == kEmptyKey;
+        ctx_.branch(kProbeSite, !done);
+        if (done)
+            return idx;
+        idx = (idx + 1) & mask;
+    }
+}
+
+void
+HiveEngine::clear(SimVec<HashSlot>& table)
+{
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        table[i] = HashSlot{};
+        if ((i & 7) == 0)
+            ctx_.store(table.addr(i));  // cache-line granular memset
+    }
+}
+
+std::uint64_t
+HiveEngine::query_filter(std::uint32_t page_rank_threshold)
+{
+    std::uint64_t hits = 0;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < rankings_.size(); ++i) {
+        ctx_.load(rankings_region_.base +
+                  i * sizeof(datagen::RankingRow));
+        ctx_.alu(14);  // SerDe: decode row, evaluate the predicate expr
+        ++rows_scanned_;
+        const bool pass = rankings_[i].page_rank > page_rank_threshold;
+        ctx_.alu(1);
+        ctx_.branch(kFilterSite, pass);
+        if (pass) {
+            ++hits;
+            // Materialize (pageURL, pageRank) into the output buffer.
+            out_buffer_[out % out_buffer_.size()] =
+                (static_cast<std::uint64_t>(rankings_[i].page_url) << 32) |
+                rankings_[i].page_rank;
+            ctx_.store(out_buffer_.addr(out % out_buffer_.size()));
+            ++out;
+        }
+        if ((i & 15) == 15)
+            ctx_.branch(kScanSite, i + 1 < rankings_.size());
+    }
+    return hits;
+}
+
+std::vector<IpAggregate>
+HiveEngine::query_group_revenue()
+{
+    clear(hash_a_);
+    for (std::size_t i = 0; i < visits_.size(); ++i) {
+        ctx_.load(visits_region_.base +
+                  i * sizeof(datagen::UserVisitRow));
+        ctx_.alu(22);  // SerDe + expression evaluation per row
+        // Field-delimiter scan: one predictable branch per column.
+        for (int f = 0; f < 4; ++f)
+            ctx_.branch(kScanSite + 16 + f, true);
+        ++rows_scanned_;
+        const datagen::UserVisitRow& row = visits_[i];
+        const std::size_t idx = probe(hash_a_, row.source_ip);
+        HashSlot& slot = hash_a_[idx];
+        slot.key = row.source_ip;
+        slot.value += row.ad_revenue;
+        ++slot.aux;
+        ctx_.fpu(1);
+        ctx_.store(hash_a_.addr(idx));
+        if ((i & 15) == 15)
+            ctx_.branch(kScanSite, i + 1 < visits_.size());
+    }
+    std::vector<IpAggregate> out;
+    for (std::size_t i = 0; i < hash_a_.size(); ++i) {
+        ctx_.load(hash_a_.addr(i));
+        if (hash_a_[i].key != kEmptyKey)
+            out.push_back({hash_a_[i].key, hash_a_[i].value, 0.0});
+    }
+    return out;
+}
+
+std::vector<IpAggregate>
+HiveEngine::query_join(std::uint32_t date_lo, std::uint32_t date_hi,
+                       IpAggregate* top)
+{
+    // Build side: rankings keyed by pageURL.
+    clear(hash_b_);
+    for (std::size_t i = 0; i < rankings_.size(); ++i) {
+        ctx_.load(rankings_region_.base +
+                  i * sizeof(datagen::RankingRow));
+        ctx_.alu(14);  // SerDe
+        ++rows_scanned_;
+        const std::size_t idx = probe(hash_b_, rankings_[i].page_url);
+        hash_b_[idx].key = rankings_[i].page_url;
+        hash_b_[idx].aux = rankings_[i].page_rank;
+        ctx_.store(hash_b_.addr(idx));
+    }
+
+    // Probe side: filtered uservisits, aggregating per source IP.
+    clear(hash_a_);
+    struct RankAcc
+    {
+        double rank_sum = 0.0;
+        std::uint64_t rows = 0;
+    };
+    std::vector<RankAcc> rank_acc(hash_a_.size());
+    for (std::size_t i = 0; i < visits_.size(); ++i) {
+        ctx_.load(visits_region_.base +
+                  i * sizeof(datagen::UserVisitRow));
+        ctx_.alu(22);  // SerDe + expression evaluation per row
+        for (int f = 0; f < 4; ++f)
+            ctx_.branch(kScanSite + 16 + f, true);
+        ++rows_scanned_;
+        const datagen::UserVisitRow& row = visits_[i];
+        const bool in_window = row.visit_date >= date_lo &&
+                               row.visit_date <= date_hi;
+        ctx_.alu(2);
+        ctx_.branch(kDateSite, in_window);
+        if (!in_window)
+            continue;
+        const std::size_t bidx = probe(hash_b_, row.dest_url);
+        const bool matched = hash_b_[bidx].key == row.dest_url;
+        ctx_.branch(kProbeSite, matched);
+        if (!matched)
+            continue;
+        const std::size_t aidx = probe(hash_a_, row.source_ip);
+        HashSlot& slot = hash_a_[aidx];
+        slot.key = row.source_ip;
+        slot.value += row.ad_revenue;
+        ++slot.aux;
+        rank_acc[aidx].rank_sum += hash_b_[bidx].aux;
+        rank_acc[aidx].rows += 1;
+        ctx_.fpu(2);
+        ctx_.store(hash_a_.addr(aidx));
+    }
+
+    std::vector<IpAggregate> out;
+    IpAggregate best;
+    for (std::size_t i = 0; i < hash_a_.size(); ++i) {
+        ctx_.load(hash_a_.addr(i));
+        if (hash_a_[i].key == kEmptyKey)
+            continue;
+        IpAggregate agg;
+        agg.source_ip = hash_a_[i].key;
+        agg.revenue = hash_a_[i].value;
+        agg.avg_page_rank = rank_acc[i].rows > 0
+            ? rank_acc[i].rank_sum / static_cast<double>(rank_acc[i].rows)
+            : 0.0;
+        ctx_.fpu(2);
+        const bool better = agg.revenue > best.revenue;
+        ctx_.branch(kFilterSite, better);
+        if (better)
+            best = agg;
+        out.push_back(agg);
+    }
+    if (top)
+        *top = best;
+    return out;
+}
+
+}  // namespace dcb::analytics

@@ -1,0 +1,91 @@
+#ifndef DCBENCH_ANALYTICS_HIVE_H_
+#define DCBENCH_ANALYTICS_HIVE_H_
+
+/**
+ * @file
+ * Hive-bench kernel (workload #11): the representative SQL-like statements
+ * of the Hive-bench suite the paper includes (HIVE-396, derived from the
+ * Pavlo et al. benchmark), executed by a narrated mini relational engine:
+ *
+ *   Q1 (scan/filter):  SELECT pageURL, pageRank FROM rankings
+ *                      WHERE pageRank > X
+ *   Q2 (aggregation):  SELECT sourceIP, SUM(adRevenue) FROM uservisits
+ *                      GROUP BY sourceIP
+ *   Q3 (join):         SELECT sourceIP, AVG(pageRank), SUM(adRevenue)
+ *                      FROM rankings JOIN uservisits
+ *                      ON pageURL = destURL
+ *                      WHERE visitDate IN [lo, hi] GROUP BY sourceIP
+ *
+ * Operators are the classic physical ones -- full scan with predicate,
+ * open-addressing hash aggregate, build+probe hash join -- and every
+ * probe, compare and spill-side store is narrated.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/simdata.h"
+#include "datagen/tables.h"
+#include "trace/exec_ctx.h"
+
+namespace dcb::analytics {
+
+/** Q2/Q3 output row. */
+struct IpAggregate
+{
+    std::uint32_t source_ip = 0;
+    double revenue = 0.0;
+    double avg_page_rank = 0.0;  ///< Q3 only
+};
+
+/** Narrated mini SQL engine over the two Hive-bench tables. */
+class HiveEngine
+{
+  public:
+    HiveEngine(trace::ExecCtx& ctx, mem::AddressSpace& space,
+               std::vector<datagen::RankingRow> rankings,
+               std::vector<datagen::UserVisitRow> visits);
+
+    /** Q1: number of rankings with page_rank > threshold (and materialize). */
+    std::uint64_t query_filter(std::uint32_t page_rank_threshold);
+
+    /** Q2: revenue per source IP. */
+    std::vector<IpAggregate> query_group_revenue();
+
+    /**
+     * Q3: per-IP revenue and average joined pageRank over a date window;
+     * also returns (via `top`) the IP with the highest revenue.
+     */
+    std::vector<IpAggregate> query_join(std::uint32_t date_lo,
+                                        std::uint32_t date_hi,
+                                        IpAggregate* top);
+
+    std::uint64_t rows_scanned() const { return rows_scanned_; }
+
+  private:
+    /** Open-addressing slot for the aggregate/join hash tables. */
+    struct HashSlot
+    {
+        std::uint32_t key = kEmptyKey;
+        std::uint32_t aux = 0;     ///< join: pageRank; agg: row count
+        double value = 0.0;        ///< aggregate payload
+    };
+    static constexpr std::uint32_t kEmptyKey = 0xFFFFFFFF;
+
+    std::size_t probe(SimVec<HashSlot>& table, std::uint32_t key);
+    void clear(SimVec<HashSlot>& table);
+
+    trace::ExecCtx& ctx_;
+    std::vector<datagen::RankingRow> rankings_;
+    std::vector<datagen::UserVisitRow> visits_;
+    mem::Region rankings_region_;
+    mem::Region visits_region_;
+    SimVec<HashSlot> hash_a_;  ///< aggregate table
+    SimVec<HashSlot> hash_b_;  ///< join build table
+    SimVec<std::uint64_t> out_buffer_;
+    std::uint64_t rows_scanned_ = 0;
+};
+
+}  // namespace dcb::analytics
+
+#endif  // DCBENCH_ANALYTICS_HIVE_H_

@@ -1,0 +1,229 @@
+#include "analytics/hmm.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dcb::analytics {
+
+namespace {
+constexpr std::uint64_t kStateLoopSite = 0x484D01;
+constexpr std::uint64_t kMaxSite = 0x484D02;
+constexpr std::uint64_t kCharLoopSite = 0x484D03;
+}  // namespace
+
+SegmentationSource::SegmentationSource(std::uint16_t alphabet,
+                                       std::uint64_t seed)
+    : alphabet_(alphabet), rng_(seed)
+{
+    DCB_EXPECTS(alphabet >= 8);
+}
+
+TaggedSequence
+SegmentationSource::next_sequence(std::uint32_t mean_len)
+{
+    TaggedSequence seq;
+    const std::uint64_t target = 4 + rng_.next_geometric(mean_len, mean_len
+                                                         * 8);
+    while (seq.chars.size() < target) {
+        // Word length: 1..6, short words most common.
+        const std::uint64_t len = 1 + rng_.next_geometric(0.9, 5);
+        for (std::uint64_t i = 0; i < len; ++i) {
+            SegState s;
+            if (len == 1)
+                s = SegState::kS;
+            else if (i == 0)
+                s = SegState::kB;
+            else if (i + 1 == len)
+                s = SegState::kE;
+            else
+                s = SegState::kM;
+            // Emission: biased toward a per-state character band.
+            std::uint16_t ch;
+            if (rng_.next_bool(0.6)) {
+                const auto band = static_cast<std::uint16_t>(s);
+                ch = static_cast<std::uint16_t>(
+                    (rng_.next_below(alphabet_ / 4) * 4 + band) % alphabet_);
+            } else {
+                ch = static_cast<std::uint16_t>(rng_.next_below(alphabet_));
+            }
+            seq.chars.push_back(ch);
+            seq.states.push_back(static_cast<std::uint8_t>(s));
+        }
+    }
+    return seq;
+}
+
+HmmSegmenter::HmmSegmenter(trace::ExecCtx& ctx, mem::AddressSpace& space,
+                           std::uint16_t alphabet,
+                           std::uint32_t max_seq_len)
+    : ctx_(ctx), alphabet_(alphabet),
+      trans_counts_(space, kNumSegStates * kNumSegStates, 0ull,
+                    "hmm_trans_counts"),
+      emit_counts_(space,
+                   static_cast<std::size_t>(kNumSegStates) * alphabet,
+                   0ull, "hmm_emit_counts"),
+      init_counts_(space, kNumSegStates, 0ull, "hmm_init_counts"),
+      log_trans_(space, kNumSegStates * kNumSegStates, 0.0f, "hmm_log_trans"),
+      log_emit_(space, static_cast<std::size_t>(kNumSegStates) * alphabet,
+                0.0f, "hmm_log_emit"),
+      log_init_(space, kNumSegStates, 0.0f, "hmm_log_init"),
+      max_seq_len_(max_seq_len),
+      score_(space, 2 * kNumSegStates, 0.0f, "hmm_score"),
+      back_(space, static_cast<std::size_t>(max_seq_len) * kNumSegStates,
+            std::uint8_t{0}, "hmm_back")
+{
+    DCB_EXPECTS(alphabet >= 8 && max_seq_len >= 1);
+}
+
+void
+HmmSegmenter::train(const TaggedSequence& seq)
+{
+    DCB_EXPECTS(seq.chars.size() == seq.states.size());
+    if (seq.chars.empty())
+        return;
+    ++init_counts_[seq.states[0]];
+    ctx_.store(init_counts_.addr(seq.states[0]));
+    for (std::size_t i = 0; i < seq.chars.size(); ++i) {
+        const std::uint8_t s = seq.states[i];
+        const std::size_t e = emit_cell(s, seq.chars[i]);
+        ctx_.alu(2);
+        ctx_.load(emit_counts_.addr(e));
+        ++emit_counts_[e];
+        ctx_.store(emit_counts_.addr(e));
+        if (i + 1 < seq.chars.size()) {
+            const std::size_t t = s * kNumSegStates + seq.states[i + 1];
+            ctx_.load(trans_counts_.addr(t));
+            ++trans_counts_[t];
+            ctx_.alu(1);
+            ctx_.store(trans_counts_.addr(t));
+        }
+        ctx_.branch(kCharLoopSite, i + 1 < seq.chars.size());
+    }
+    trained_chars_ += seq.chars.size();
+}
+
+void
+HmmSegmenter::finalize()
+{
+    DCB_EXPECTS(trained_chars_ > 0);
+    double init_total = 0.0;
+    for (std::uint32_t s = 0; s < kNumSegStates; ++s)
+        init_total += static_cast<double>(init_counts_[s]);
+    for (std::uint32_t s = 0; s < kNumSegStates; ++s) {
+        ctx_.load(init_counts_.addr(s));
+        log_init_[s] = static_cast<float>(std::log(
+            (static_cast<double>(init_counts_[s]) + 1.0) /
+            (init_total + kNumSegStates)));
+        ctx_.fpu(2);
+        ctx_.store(log_init_.addr(s));
+
+        double row_total = 0.0;
+        for (std::uint32_t t = 0; t < kNumSegStates; ++t)
+            row_total += static_cast<double>(
+                trans_counts_[s * kNumSegStates + t]);
+        for (std::uint32_t t = 0; t < kNumSegStates; ++t) {
+            const std::size_t idx = s * kNumSegStates + t;
+            ctx_.load(trans_counts_.addr(idx));
+            log_trans_[idx] = static_cast<float>(std::log(
+                (static_cast<double>(trans_counts_[idx]) + 1.0) /
+                (row_total + kNumSegStates)));
+            ctx_.fpu(2);
+            ctx_.store(log_trans_.addr(idx));
+        }
+
+        double emit_total = 0.0;
+        for (std::uint32_t ch = 0; ch < alphabet_; ++ch)
+            emit_total += static_cast<double>(emit_counts_[emit_cell(s,
+                static_cast<std::uint16_t>(ch))]);
+        for (std::uint32_t ch = 0; ch < alphabet_; ++ch) {
+            const std::size_t idx = emit_cell(
+                s, static_cast<std::uint16_t>(ch));
+            ctx_.load(emit_counts_.addr(idx));
+            log_emit_[idx] = static_cast<float>(std::log(
+                (static_cast<double>(emit_counts_[idx]) + 1.0) /
+                (emit_total + alphabet_)));
+            ctx_.fpu(2);
+            ctx_.store(log_emit_.addr(idx));
+        }
+    }
+    finalized_ = true;
+}
+
+void
+HmmSegmenter::decode(const std::vector<std::uint16_t>& chars,
+                     std::vector<std::uint8_t>& out)
+{
+    DCB_EXPECTS(finalized_);
+    DCB_EXPECTS(chars.size() <= max_seq_len_);
+    out.assign(chars.size(), 0);
+    if (chars.empty())
+        return;
+
+    // Initial column.
+    for (std::uint32_t s = 0; s < kNumSegStates; ++s) {
+        ctx_.load(log_init_.addr(s));
+        ctx_.load(log_emit_.addr(emit_cell(s, chars[0])));
+        score_[s] = log_init_[s] + log_emit_[emit_cell(s, chars[0])];
+        ctx_.fpu(1);
+        ctx_.store(score_.addr(s));
+    }
+
+    std::uint32_t cur = 0;  // double-buffered lattice column
+    for (std::size_t i = 1; i < chars.size(); ++i) {
+        const std::uint32_t nxt = cur ^ 1;
+        for (std::uint32_t t = 0; t < kNumSegStates; ++t) {
+            float best = -1e30f;
+            std::uint8_t best_s = 0;
+            for (std::uint32_t s = 0; s < kNumSegStates; ++s) {
+                ctx_.load(score_.addr(cur * kNumSegStates + s));
+                ctx_.load(log_trans_.addr(s * kNumSegStates + t));
+                const float cand = score_[cur * kNumSegStates + s] +
+                                   log_trans_[s * kNumSegStates + t];
+                // maxss + cmov: branchless but serially dependent on the
+                // running maximum (flag chain).
+                ctx_.fpu(1);
+                ctx_.fpu(1, true);
+                ctx_.alu(1, true);
+                const bool better = cand > best;
+                if (better) {
+                    best = cand;
+                    best_s = static_cast<std::uint8_t>(s);
+                }
+            }
+            ctx_.load(log_emit_.addr(emit_cell(t, chars[i])));
+            score_[nxt * kNumSegStates + t] =
+                best + log_emit_[emit_cell(t, chars[i])];
+            ctx_.fpu(1);
+            ctx_.store(score_.addr(nxt * kNumSegStates + t));
+            back_[i * kNumSegStates + t] = best_s;
+            ctx_.store(back_.addr(i * kNumSegStates + t));
+            ctx_.branch(kStateLoopSite, t + 1 < kNumSegStates);
+        }
+        cur = nxt;
+        ctx_.branch(kCharLoopSite, i + 1 < chars.size());
+    }
+
+    // Terminal argmax + backtrack (pointer chase through the lattice).
+    std::uint8_t state = 0;
+    float best = -1e30f;
+    for (std::uint32_t s = 0; s < kNumSegStates; ++s) {
+        ctx_.load(score_.addr(cur * kNumSegStates + s));
+        if (score_[cur * kNumSegStates + s] > best) {
+            best = score_[cur * kNumSegStates + s];
+            state = static_cast<std::uint8_t>(s);
+        }
+        ctx_.fpu(1);
+        ctx_.alu(1);
+        ctx_.branch(kMaxSite, s + 1 < kNumSegStates);
+    }
+    out[chars.size() - 1] = state;
+    for (std::size_t i = chars.size() - 1; i > 0; --i) {
+        ctx_.chase_load(back_.addr(i * kNumSegStates + state));
+        state = back_[i * kNumSegStates + state];
+        out[i - 1] = state;
+        ctx_.branch(kCharLoopSite, i > 1);
+    }
+}
+
+}  // namespace dcb::analytics

@@ -1,0 +1,101 @@
+#ifndef DCBENCH_ANALYTICS_HMM_H_
+#define DCBENCH_ANALYTICS_HMM_H_
+
+/**
+ * @file
+ * HMM kernel (workload #9, "our implementation" in the paper): hidden
+ * Markov model word segmentation in the BMES style used for Chinese text
+ * (Section II-C5). The model is trained by supervised counting on tagged
+ * sequences, and decoding is Viterbi in log space: a dense dynamic
+ * program with per-character state maxima and a backpointer walk.
+ *
+ * A matching sequence *generator* samples character streams from a true
+ * BMES process so decoding accuracy is testable against ground truth.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/simdata.h"
+#include "trace/exec_ctx.h"
+#include "util/rng.h"
+
+namespace dcb::analytics {
+
+/** BMES segmentation states. */
+enum class SegState : std::uint8_t { kB = 0, kM = 1, kE = 2, kS = 3 };
+inline constexpr std::uint32_t kNumSegStates = 4;
+
+/** One tagged character sequence. */
+struct TaggedSequence
+{
+    std::vector<std::uint16_t> chars;
+    std::vector<std::uint8_t> states;  ///< SegState values
+};
+
+/** Samples tagged sequences from a fixed BMES word-length process. */
+class SegmentationSource
+{
+  public:
+    SegmentationSource(std::uint16_t alphabet, std::uint64_t seed);
+
+    /** Draw a sequence of roughly `mean_len` characters. */
+    TaggedSequence next_sequence(std::uint32_t mean_len);
+
+    std::uint16_t alphabet() const { return alphabet_; }
+
+  private:
+    std::uint16_t alphabet_;
+    util::Rng rng_;
+};
+
+/** Narrated supervised BMES HMM with Viterbi decoding. */
+class HmmSegmenter
+{
+  public:
+    /**
+     * @param max_seq_len Longest sequence decode() will be given (sizes
+     *        the backpointer lattice).
+     */
+    HmmSegmenter(trace::ExecCtx& ctx, mem::AddressSpace& space,
+                 std::uint16_t alphabet, std::uint32_t max_seq_len);
+
+    /** Supervised training: count transitions and emissions. */
+    void train(const TaggedSequence& seq);
+
+    /** Convert counts to smoothed log probabilities. */
+    void finalize();
+
+    /**
+     * Viterbi-decode a character sequence.
+     * @param out Receives the most likely SegState per character.
+     */
+    void decode(const std::vector<std::uint16_t>& chars,
+                std::vector<std::uint8_t>& out);
+
+    std::uint64_t trained_chars() const { return trained_chars_; }
+
+  private:
+    std::size_t emit_cell(std::uint32_t s, std::uint16_t ch) const
+    {
+        return static_cast<std::size_t>(s) * alphabet_ + ch;
+    }
+
+    trace::ExecCtx& ctx_;
+    std::uint16_t alphabet_;
+    SimVec<std::uint64_t> trans_counts_;  ///< 4 x 4
+    SimVec<std::uint64_t> emit_counts_;   ///< 4 x alphabet
+    SimVec<std::uint64_t> init_counts_;   ///< 4
+    SimVec<float> log_trans_;
+    SimVec<float> log_emit_;
+    SimVec<float> log_init_;
+    std::uint32_t max_seq_len_;
+    SimVec<float> score_;        ///< Viterbi lattice column pair (2 x 4)
+    SimVec<std::uint8_t> back_;  ///< backpointers (max_seq_len x 4)
+    std::uint64_t trained_chars_ = 0;
+    bool finalized_ = false;
+};
+
+}  // namespace dcb::analytics
+
+#endif  // DCBENCH_ANALYTICS_HMM_H_

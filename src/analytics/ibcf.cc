@@ -1,0 +1,142 @@
+#include "analytics/ibcf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dcb::analytics {
+
+namespace {
+constexpr std::uint64_t kPairLoopSite = 0x49001;
+constexpr std::uint64_t kUserLoopSite = 0x49002;
+constexpr std::uint64_t kPredLoopSite = 0x49003;
+}  // namespace
+
+Ibcf::Ibcf(trace::ExecCtx& ctx, mem::AddressSpace& space,
+           std::uint32_t num_users, std::uint32_t num_items)
+    : ctx_(ctx), users_(num_users), items_(num_items),
+      profiles_(num_users),
+      profile_region_(space.alloc(
+          static_cast<std::uint64_t>(num_users) * 64 + 8, "ibcf_profiles")),
+      dot_(space, static_cast<std::size_t>(num_items) * num_items, 0.0f,
+           "ibcf_dot"),
+      norm_(space, num_items, 0.0f, "ibcf_norm"),
+      sim_(space, static_cast<std::size_t>(num_items) * num_items, 0.0f,
+           "ibcf_sim")
+{
+    DCB_EXPECTS(num_users >= 1 && num_items >= 2);
+}
+
+void
+Ibcf::add_rating(const datagen::Rating& rating)
+{
+    DCB_EXPECTS(rating.user < users_ && rating.item < items_);
+    auto& profile = profiles_[rating.user];
+    ctx_.alu(8);  // parse the rating record
+    // Replace an existing rating for the same item, else append.
+    ctx_.load(profile_region_.base + rating.user * 64);
+    bool replaced = false;
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        ctx_.load(profile_region_.base + rating.user * 64 + (i % 8) * 8);
+        const bool same = profile[i].item == rating.item;
+        ctx_.branch(kUserLoopSite, !same);
+        if (same) {
+            profile[i].score = rating.score;
+            replaced = true;
+            break;
+        }
+    }
+    if (!replaced)
+        profile.push_back({rating.item, rating.score});
+    ctx_.store(profile_region_.base + rating.user * 64);
+    score_sum_ += rating.score;
+    ++ratings_;
+}
+
+void
+Ibcf::build_similarity()
+{
+    // Pass 1: norms and pairwise dot products, user by user.
+    for (std::uint32_t u = 0; u < users_; ++u) {
+        const auto& profile = profiles_[u];
+        for (std::size_t i = 0; i < profile.size(); ++i) {
+            const Entry& a = profile[i];
+            ctx_.load(profile_region_.base + u * 64 + (i % 8) * 8);
+            ctx_.load(norm_.addr(a.item));
+            norm_[a.item] += a.score * a.score;
+            ctx_.fpu(2);
+            ctx_.store(norm_.addr(a.item));
+            for (std::size_t j = i + 1; j < profile.size(); ++j) {
+                const Entry& b = profile[j];
+                // Scattered accumulate into the item-item matrix.
+                const std::size_t lo = cell(std::min(a.item, b.item),
+                                            std::max(a.item, b.item));
+                ctx_.alu(2);
+                ctx_.load(dot_.addr(lo));
+                dot_[lo] += a.score * b.score;
+                ctx_.fpu(2);
+                ctx_.store(dot_.addr(lo));
+                ctx_.branch(kPairLoopSite, j + 1 < profile.size());
+            }
+        }
+        ctx_.branch(kUserLoopSite, u + 1 < users_);
+    }
+    // Pass 2: normalize to cosine similarity (symmetric).
+    for (std::uint32_t a = 0; a < items_; ++a) {
+        ctx_.load(norm_.addr(a));
+        for (std::uint32_t b = a + 1; b < items_; ++b) {
+            const std::size_t ab = cell(a, b);
+            ctx_.load(dot_.addr(ab));
+            ctx_.load(norm_.addr(b));
+            const double denom = std::sqrt(static_cast<double>(norm_[a])) *
+                                 std::sqrt(static_cast<double>(norm_[b]));
+            const float s = denom > 0.0
+                ? static_cast<float>(dot_[ab] / denom)
+                : 0.0f;
+            sim_[ab] = s;
+            sim_[cell(b, a)] = s;
+            ctx_.fpu(4);
+            ctx_.store(sim_.addr(ab));
+            ctx_.store(sim_.addr(cell(b, a)));
+        }
+    }
+    built_ = true;
+}
+
+double
+Ibcf::similarity(std::uint32_t a, std::uint32_t b) const
+{
+    DCB_EXPECTS(built_);
+    DCB_EXPECTS(a < items_ && b < items_);
+    if (a == b)
+        return 1.0;
+    return sim_[cell(a, b)];
+}
+
+double
+Ibcf::predict(std::uint32_t user, std::uint32_t item)
+{
+    DCB_EXPECTS(built_);
+    DCB_EXPECTS(user < users_ && item < items_);
+    const auto& profile = profiles_[user];
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        const Entry& e = profile[i];
+        if (e.item == item)
+            continue;
+        ctx_.load(profile_region_.base + user * 64 + (i % 8) * 8);
+        ctx_.load(sim_.addr(cell(item, e.item)));
+        const double s = sim_[cell(item, e.item)];
+        num += s * e.score;
+        den += std::fabs(s);
+        ctx_.fpu(3, true);
+        ctx_.branch(kPredLoopSite, i + 1 < profile.size());
+    }
+    if (den <= 1e-9)
+        return ratings_ ? score_sum_ / static_cast<double>(ratings_) : 3.0;
+    return num / den;
+}
+
+}  // namespace dcb::analytics

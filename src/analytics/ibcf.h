@@ -1,0 +1,75 @@
+#ifndef DCBENCH_ANALYTICS_IBCF_H_
+#define DCBENCH_ANALYTICS_IBCF_H_
+
+/**
+ * @file
+ * Item-Based Collaborative Filtering kernel (workload #8, Mahout):
+ * estimates a user's preference for an item from their ratings of
+ * similar items. The similarity build is the Mahout pairwise pass --
+ * for every user, all pairs of co-rated items accumulate into an
+ * item-item cosine matrix (scattered read-modify-writes across a matrix
+ * that exceeds L2, the source of IBCF's large retired-instruction count
+ * in Table I); prediction is a weighted sum over the user's profile.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/simdata.h"
+#include "datagen/ratings.h"
+#include "trace/exec_ctx.h"
+
+namespace dcb::analytics {
+
+/** Narrated item-based collaborative filtering. */
+class Ibcf
+{
+  public:
+    Ibcf(trace::ExecCtx& ctx, mem::AddressSpace& space,
+         std::uint32_t num_users, std::uint32_t num_items);
+
+    /** Ingest one rating (last rating wins for duplicate user/item). */
+    void add_rating(const datagen::Rating& rating);
+
+    /** Build the item-item cosine similarity matrix from ratings. */
+    void build_similarity();
+
+    /** Cosine similarity between two items; valid after build. */
+    double similarity(std::uint32_t a, std::uint32_t b) const;
+
+    /**
+     * Predict user's rating of an item as a similarity-weighted mean of
+     * the user's profile; returns the global mean if no evidence.
+     */
+    double predict(std::uint32_t user, std::uint32_t item);
+
+    std::uint64_t ratings_ingested() const { return ratings_; }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t item;
+        float score;
+    };
+
+    std::size_t cell(std::uint32_t a, std::uint32_t b) const
+    {
+        return static_cast<std::size_t>(a) * items_ + b;
+    }
+
+    trace::ExecCtx& ctx_;
+    std::uint32_t users_;
+    std::uint32_t items_;
+    std::vector<std::vector<Entry>> profiles_;  ///< per-user ratings
+    mem::Region profile_region_;                ///< simulated profile store
+    SimVec<float> dot_;     ///< item x item co-rating dot products
+    SimVec<float> norm_;    ///< per-item sum of squares
+    SimVec<float> sim_;     ///< finished similarity matrix
+    std::uint64_t ratings_ = 0;
+    double score_sum_ = 0.0;
+    bool built_ = false;
+};
+
+}  // namespace dcb::analytics
+
+#endif  // DCBENCH_ANALYTICS_IBCF_H_

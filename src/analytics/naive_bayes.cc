@@ -1,0 +1,114 @@
+#include "analytics/naive_bayes.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dcb::analytics {
+
+namespace {
+constexpr std::uint64_t kWordLoopSite = 0x4B001;
+constexpr std::uint64_t kArgmaxSite = 0x4B002;
+}  // namespace
+
+NaiveBayes::NaiveBayes(trace::ExecCtx& ctx, mem::AddressSpace& space,
+                       std::uint32_t vocab_size, std::uint32_t classes)
+    : ctx_(ctx), vocab_(vocab_size), classes_(classes),
+      word_counts_(space, static_cast<std::size_t>(vocab_size) * classes,
+                   0u, "nb_word_counts"),
+      class_totals_(space, classes, 0ull, "nb_class_totals"),
+      class_docs_(space, classes, 0ull, "nb_class_docs"),
+      log_likelihood_(space, static_cast<std::size_t>(vocab_size) * classes,
+                      0.0f, "nb_log_likelihood"),
+      log_prior_(space, classes, 0.0f, "nb_log_prior")
+{
+    DCB_EXPECTS(vocab_size >= 1 && classes >= 2);
+}
+
+void
+NaiveBayes::train(const datagen::Document& doc)
+{
+    DCB_EXPECTS(doc.label >= 0 &&
+                doc.label < static_cast<std::int32_t>(classes_));
+    const auto cls = static_cast<std::uint32_t>(doc.label);
+    for (std::size_t i = 0; i < doc.words.size(); ++i) {
+        const std::uint32_t w = doc.words[i];
+        const std::size_t c = cell(cls, w);
+        ctx_.alu(2);  // offset arithmetic
+        ctx_.load(word_counts_.addr(c));
+        ++word_counts_[c];
+        // Mahout's trainer keeps running TF-IDF style log weights: a
+        // dependent FP chain alongside the count update.
+        ctx_.fpu(2, true);
+        ctx_.store(word_counts_.addr(c));
+        ctx_.branch(kWordLoopSite, i + 1 < doc.words.size());
+    }
+    class_totals_[cls] += doc.words.size();
+    ctx_.load(class_totals_.addr(cls));
+    ctx_.alu(1);
+    ctx_.store(class_totals_.addr(cls));
+    ++class_docs_[cls];
+    ctx_.store(class_docs_.addr(cls));
+    ++trained_docs_;
+}
+
+void
+NaiveBayes::finalize()
+{
+    DCB_EXPECTS(trained_docs_ > 0);
+    for (std::uint32_t c = 0; c < classes_; ++c) {
+        ctx_.load(class_docs_.addr(c));
+        log_prior_[c] = std::log(
+            (static_cast<double>(class_docs_[c]) + 1.0) /
+            (static_cast<double>(trained_docs_) + classes_));
+        ctx_.fpu(2);
+        ctx_.store(log_prior_.addr(c));
+        const double denom = static_cast<double>(class_totals_[c]) + vocab_;
+        for (std::uint32_t w = 0; w < vocab_; ++w) {
+            const std::size_t idx = cell(c, w);
+            ctx_.load(word_counts_.addr(idx));
+            log_likelihood_[idx] = static_cast<float>(std::log(
+                (static_cast<double>(word_counts_[idx]) + 1.0) / denom));
+            ctx_.fpu(2);
+            ctx_.store(log_likelihood_.addr(idx));
+        }
+    }
+    finalized_ = true;
+}
+
+std::uint32_t
+NaiveBayes::classify(const datagen::Document& doc)
+{
+    DCB_EXPECTS(finalized_);
+    std::uint32_t best = 0;
+    double best_score = -1e300;
+    for (std::uint32_t c = 0; c < classes_; ++c) {
+        ctx_.load(log_prior_.addr(c));
+        double score = log_prior_[c];
+        for (std::size_t i = 0; i < doc.words.size(); ++i) {
+            const std::size_t idx = cell(c, doc.words[i]);
+            ctx_.alu(1);
+            ctx_.load(log_likelihood_.addr(idx));
+            score += log_likelihood_[idx];
+            // The running log-probability is one long dependence chain
+            // across words: this op consumes the previous word's
+            // accumulate (6 ops back), and the compensation term chains
+            // on it (Kahan-style summation in the Mahout classifier).
+            ctx_.fpu(1, false, 4);
+            ctx_.fpu(1, true);
+            ctx_.branch(kWordLoopSite, i + 1 < doc.words.size());
+        }
+        const bool better = score > best_score;
+        // maxsd + cmov argmax; the class loop itself is the branch.
+        ctx_.fpu(1);
+        ctx_.alu(1);
+        ctx_.branch(kArgmaxSite, c + 1 < classes_);
+        if (better) {
+            best_score = score;
+            best = c;
+        }
+    }
+    return best;
+}
+
+}  // namespace dcb::analytics

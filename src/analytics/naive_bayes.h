@@ -1,0 +1,63 @@
+#ifndef DCBENCH_ANALYTICS_NAIVE_BAYES_H_
+#define DCBENCH_ANALYTICS_NAIVE_BAYES_H_
+
+/**
+ * @file
+ * Naive Bayes kernel (workload #4, Mahout): multinomial Naive Bayes text
+ * classification with Laplace smoothing. Training accumulates per-class
+ * word counts (dense count matrix, narrated); classification sums log
+ * likelihoods over document words. This is the one data-analysis
+ * workload CloudSuite also ships, and the paper shows it is *not*
+ * representative of the class (lowest IPC among the eleven, smallest
+ * front-end footprint), so its behaviour here matters for F3/F7.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/simdata.h"
+#include "datagen/text.h"
+#include "trace/exec_ctx.h"
+
+namespace dcb::analytics {
+
+/** Narrated multinomial Naive Bayes classifier. */
+class NaiveBayes
+{
+  public:
+    NaiveBayes(trace::ExecCtx& ctx, mem::AddressSpace& space,
+               std::uint32_t vocab_size, std::uint32_t classes);
+
+    /** Accumulate one labelled training document. */
+    void train(const datagen::Document& doc);
+
+    /** Finalize log-probability tables from the accumulated counts. */
+    void finalize();
+
+    /** Classify a document; valid after finalize(). */
+    std::uint32_t classify(const datagen::Document& doc);
+
+    std::uint64_t trained_documents() const { return trained_docs_; }
+    std::uint32_t num_classes() const { return classes_; }
+
+  private:
+    std::size_t cell(std::uint32_t cls, std::uint32_t word) const
+    {
+        return static_cast<std::size_t>(cls) * vocab_ + word;
+    }
+
+    trace::ExecCtx& ctx_;
+    std::uint32_t vocab_;
+    std::uint32_t classes_;
+    SimVec<std::uint32_t> word_counts_;   ///< classes x vocab
+    SimVec<std::uint64_t> class_totals_;  ///< words per class
+    SimVec<std::uint64_t> class_docs_;    ///< documents per class
+    SimVec<float> log_likelihood_;        ///< classes x vocab
+    SimVec<float> log_prior_;             ///< per class
+    std::uint64_t trained_docs_ = 0;
+    bool finalized_ = false;
+};
+
+}  // namespace dcb::analytics
+
+#endif  // DCBENCH_ANALYTICS_NAIVE_BAYES_H_

@@ -1,0 +1,63 @@
+#ifndef DCBENCH_ANALYTICS_SIMDATA_H_
+#define DCBENCH_ANALYTICS_SIMDATA_H_
+
+/**
+ * @file
+ * Host containers paired with simulated addresses.
+ *
+ * Every analytics kernel keeps its working data in ordinary host memory
+ * (so the algorithm is real and testable) while narrating loads/stores at
+ * *simulated* addresses drawn from the workload's AddressSpace, keeping
+ * cache behaviour deterministic and independent of host ASLR.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "util/assert.h"
+
+namespace dcb::analytics {
+
+/** A std::vector shadowed by a simulated memory region. */
+template <typename T>
+class SimVec
+{
+  public:
+    SimVec(mem::AddressSpace& space, std::size_t n, const std::string& name)
+        : data_(n), region_(space.alloc(n > 0 ? n * sizeof(T) : sizeof(T),
+                                        name))
+    {
+    }
+
+    SimVec(mem::AddressSpace& space, std::size_t n, const T& init,
+           const std::string& name)
+        : data_(n, init),
+          region_(space.alloc(n > 0 ? n * sizeof(T) : sizeof(T), name))
+    {
+    }
+
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+
+    /** Simulated address of element i. */
+    std::uint64_t addr(std::size_t i) const
+    {
+        return region_.base + i * sizeof(T);
+    }
+
+    std::size_t size() const { return data_.size(); }
+    std::vector<T>& host() { return data_; }
+    const std::vector<T>& host() const { return data_; }
+    const mem::Region& region() const { return region_; }
+
+  private:
+    std::vector<T> data_;
+    mem::Region region_;
+};
+
+}  // namespace dcb::analytics
+
+#endif  // DCBENCH_ANALYTICS_SIMDATA_H_

@@ -1,0 +1,76 @@
+#include "analytics/svm.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dcb::analytics {
+
+namespace {
+constexpr std::uint64_t kDotLoopSite = 0x53001;
+constexpr std::uint64_t kHingeSite = 0x53002;
+}  // namespace
+
+LinearSvm::LinearSvm(trace::ExecCtx& ctx, mem::AddressSpace& space,
+                     std::uint32_t vocab_size, double lambda)
+    : ctx_(ctx), lambda_(lambda),
+      weights_(space, vocab_size, 0.0, "svm_weights")
+{
+    DCB_EXPECTS(vocab_size >= 1);
+    DCB_EXPECTS(lambda > 0.0);
+}
+
+double
+LinearSvm::decision(const datagen::Document& doc)
+{
+    double dot = 0.0;
+    for (std::size_t i = 0; i < doc.words.size(); ++i) {
+        const std::uint32_t w = doc.words[i];
+        ctx_.alu(4);  // feature hash + tf weighting
+        ctx_.load(weights_.addr(w));
+        dot += weights_[w];
+        ctx_.fpu(1);
+        ctx_.fpu(1, true);  // accumulation chain
+        ctx_.branch(kDotLoopSite, i + 1 < doc.words.size());
+    }
+    return dot * scale_;
+}
+
+void
+LinearSvm::train_step(const datagen::Document& doc)
+{
+    ++steps_;
+    const double y = positive_label(doc) ? 1.0 : -1.0;
+    const double eta = 1.0 / (lambda_ * static_cast<double>(steps_));
+    const double margin = y * decision(doc);
+
+    // Lazy L2 shrink: w <- (1 - eta*lambda) * w, folded into scale_.
+    scale_ *= 1.0 - eta * lambda_;
+    ctx_.fpu(2);
+    if (scale_ < 1e-9)
+        scale_ = 1e-9;
+
+    const bool violates = margin < 1.0;
+    ctx_.branch(kHingeSite, violates);
+    if (violates) {
+        const double step = eta * y / scale_;
+        ctx_.fpu(2);
+        for (std::size_t i = 0; i < doc.words.size(); ++i) {
+            const std::uint32_t w = doc.words[i];
+            ctx_.alu(4);
+            ctx_.load(weights_.addr(w));
+            weights_[w] += step;
+            ctx_.fpu(2);
+            ctx_.store(weights_.addr(w));
+            ctx_.branch(kDotLoopSite, i + 1 < doc.words.size());
+        }
+    }
+}
+
+bool
+LinearSvm::predict(const datagen::Document& doc)
+{
+    return decision(doc) >= 0.0;
+}
+
+}  // namespace dcb::analytics

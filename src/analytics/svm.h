@@ -1,0 +1,60 @@
+#ifndef DCBENCH_ANALYTICS_SVM_H_
+#define DCBENCH_ANALYTICS_SVM_H_
+
+/**
+ * @file
+ * SVM kernel (workload #5, "our implementation" in the paper): a linear
+ * support vector machine trained with the Pegasos stochastic sub-gradient
+ * method over sparse bag-of-words features. Each step is a sparse dot
+ * product (gather loads indexed by word id), a hinge-loss test
+ * (data-dependent branch) and a scaled weight update -- the classic
+ * sparse-ML access pattern.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/simdata.h"
+#include "datagen/text.h"
+#include "trace/exec_ctx.h"
+
+namespace dcb::analytics {
+
+/** Narrated Pegasos linear SVM (binary: label = class parity). */
+class LinearSvm
+{
+  public:
+    /**
+     * @param lambda Regularization strength.
+     */
+    LinearSvm(trace::ExecCtx& ctx, mem::AddressSpace& space,
+              std::uint32_t vocab_size, double lambda);
+
+    /** One Pegasos step on a labelled document. */
+    void train_step(const datagen::Document& doc);
+
+    /** Decision value w . x for a document. */
+    double decision(const datagen::Document& doc);
+
+    /** Predicted binary label (+1 / -1 encoded as bool). */
+    bool predict(const datagen::Document& doc);
+
+    /** True binary label used for training: odd class ids are positive. */
+    static bool positive_label(const datagen::Document& doc)
+    {
+        return doc.label % 2 == 1;
+    }
+
+    std::uint64_t steps() const { return steps_; }
+
+  private:
+    trace::ExecCtx& ctx_;
+    double lambda_;
+    SimVec<double> weights_;
+    double scale_ = 1.0;  ///< lazy global scaling of w
+    std::uint64_t steps_ = 0;
+};
+
+}  // namespace dcb::analytics
+
+#endif  // DCBENCH_ANALYTICS_SVM_H_

@@ -1,0 +1,82 @@
+#include "analytics/word_count.h"
+
+#include <bit>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dcb::analytics {
+
+namespace {
+constexpr std::uint64_t kProbeSite = 0x3C001;
+constexpr std::uint64_t kNewWordSite = 0x3C002;
+}  // namespace
+
+WordCounter::WordCounter(trace::ExecCtx& ctx, mem::AddressSpace& space,
+                         std::size_t buckets)
+    : ctx_(ctx), table_(space, buckets, Slot{}, "wordcount_table"),
+      mask_(buckets - 1)
+{
+    DCB_EXPECTS(std::has_single_bit(buckets));
+}
+
+std::size_t
+WordCounter::find_slot(std::uint32_t word, bool narrate) const
+{
+    std::size_t idx = util::mix64(word) & mask_;
+    while (true) {
+        if (narrate) {
+            ctx_.alu(2);  // hash / index arithmetic
+            ctx_.load(table_.addr(idx));
+            ++probes_;
+        }
+        const Slot& slot = table_[idx];
+        const bool done = slot.word == word || slot.word == kEmpty;
+        if (narrate)
+            ctx_.branch(kProbeSite, !done);
+        if (done)
+            return idx;
+        idx = (idx + 1) & mask_;
+    }
+}
+
+void
+WordCounter::add(std::uint32_t word)
+{
+    DCB_EXPECTS(word != kEmpty);
+    const std::size_t idx = find_slot(word, true);
+    Slot& slot = table_[idx];
+    const bool is_new = slot.word == kEmpty;
+    ctx_.branch(kNewWordSite, is_new);
+    if (is_new) {
+        DCB_EXPECTS_MSG(distinct_ + 1 < table_.size(),
+                        "wordcount table over capacity");
+        slot.word = word;
+        ++distinct_;
+    }
+    ++slot.count;
+    ctx_.alu(1);
+    ctx_.store(table_.addr(idx));
+    ++total_;
+}
+
+void
+WordCounter::add_document(const std::vector<std::uint32_t>& words)
+{
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        // Tokenizer: scan word bytes, classify delimiters, intern the
+        // string (Text object churn in the real Hadoop WordCount).
+        ctx_.alu(11);
+        ctx_.branch(0x3C003, i + 1 < words.size());
+        add(words[i]);
+    }
+}
+
+std::uint64_t
+WordCounter::count_of(std::uint32_t word) const
+{
+    const std::size_t idx = find_slot(word, false);
+    return table_[idx].word == word ? table_[idx].count : 0;
+}
+
+}  // namespace dcb::analytics

@@ -1,0 +1,63 @@
+#include "core/domain_catalog.h"
+
+namespace dcb::core {
+
+const std::vector<DomainShare>&
+domain_shares()
+{
+    static const std::vector<DomainShare> kShares = {
+        {"Search Engine", 0.40},
+        {"Social Network", 0.25},
+        {"Electronic Commerce", 0.15},
+        {"Media Streaming", 0.05},
+        {"Others", 0.15},
+    };
+    return kShares;
+}
+
+const std::vector<Scenario>&
+scenario_catalog()
+{
+    static const std::vector<Scenario> kCatalog = {
+        {"Grep", "search engine", "Log analysis"},
+        {"Grep", "social network", "Web information extraction"},
+        {"Grep", "electronic commerce", "Fuzzy search"},
+        {"Naive Bayes", "social network", "Spam recognition"},
+        {"Naive Bayes", "electronic commerce", "Web page classification"},
+        {"SVM", "social network", "Image Processing"},
+        {"SVM", "electronic commerce", "Data Mining"},
+        {"SVM", "electronic commerce", "Text Categorization"},
+        {"PageRank", "search engine", "Compute the page rank"},
+        {"Fuzzy K-means", "search engine", "Image processing"},
+        {"Fuzzy K-means", "social network", "High-resolution landform"},
+        {"K-means", "electronic commerce", "Classification"},
+        {"K-means", "social network", "Speech recognition"},
+        {"HMM", "search engine", "Word Segmentation"},
+        {"HMM", "search engine", "Handwriting recognition"},
+        {"WordCount", "search engine", "Word frequency count"},
+        {"WordCount", "social network", "Calculating the TF-IDF value"},
+        {"WordCount", "electronic commerce",
+         "Obtaining the user operations count"},
+        {"Sort", "electronic commerce", "Document sorting"},
+        {"Sort", "search engine", "Pages sorting"},
+        {"IBCF", "electronic commerce", "Recommend the right products"},
+        {"IBCF", "social network", "Recommend friends"},
+        {"IBCF", "search engine", "Recommend key words"},
+        {"Hive-bench", "search engine", "Data warehouse operations"},
+        {"Hive-bench", "social network", "Data warehouse operations"},
+        {"Hive-bench", "electronic commerce", "Data warehouse operations"},
+    };
+    return kCatalog;
+}
+
+std::vector<Scenario>
+scenarios_for(const std::string& workload)
+{
+    std::vector<Scenario> out;
+    for (const auto& s : scenario_catalog())
+        if (s.workload == workload)
+            out.push_back(s);
+    return out;
+}
+
+}  // namespace dcb::core

@@ -1,0 +1,42 @@
+#ifndef DCBENCH_CORE_DOMAIN_CATALOG_H_
+#define DCBENCH_CORE_DOMAIN_CATALOG_H_
+
+/**
+ * @file
+ * Application-domain catalog: Figure 1's top-site category shares (from
+ * the Alexa-derived survey) and Table II's workload/scenario matrix,
+ * which together justify the paper's workload selection.
+ */
+
+#include <string>
+#include <vector>
+
+namespace dcb::core {
+
+/** One slice of Figure 1. */
+struct DomainShare
+{
+    std::string domain;
+    double share = 0.0;  ///< fraction of top-20 sites
+};
+
+/** One Table II row: workload x (domain, scenario). */
+struct Scenario
+{
+    std::string workload;
+    std::string domain;
+    std::string scenario;
+};
+
+/** Figure 1 category shares (sum to 1). */
+const std::vector<DomainShare>& domain_shares();
+
+/** Table II scenario matrix. */
+const std::vector<Scenario>& scenario_catalog();
+
+/** Scenarios for one workload. */
+std::vector<Scenario> scenarios_for(const std::string& workload);
+
+}  // namespace dcb::core
+
+#endif  // DCBENCH_CORE_DOMAIN_CATALOG_H_

@@ -1,0 +1,54 @@
+#include "core/harness.h"
+
+#include "util/assert.h"
+
+namespace dcb::core {
+
+cpu::CounterReport
+run_workload(workloads::Workload& workload, const HarnessConfig& config)
+{
+    cpu::Core core(config.core_config, config.memory_config);
+    if (config.run.warmup_ops > 0) {
+        DCB_CONFIG_CHECK(config.run.warmup_ops < config.run.op_budget,
+                         "warmup must be shorter than the op budget");
+        core.set_counter_reset_at(config.run.warmup_ops);
+    }
+    if (config.use_pmu) {
+        core.pmu().configure_events(cpu::default_event_set(),
+                                    config.pmu_rotate_instr);
+    }
+    workload.run(core, config.run);
+    return config.use_pmu
+               ? cpu::make_report_from_pmu(workload.info().name, core)
+               : cpu::make_report(workload.info().name, core);
+}
+
+cpu::CounterReport
+run_workload(const std::string& name, const HarnessConfig& config)
+{
+    auto workload = workloads::make_workload(name);
+    DCB_CONFIG_CHECK(workload != nullptr, "unknown workload name");
+    return run_workload(*workload, config);
+}
+
+std::vector<cpu::CounterReport>
+run_suite(const std::vector<std::string>& names,
+          const HarnessConfig& config)
+{
+    std::vector<cpu::CounterReport> out;
+    out.reserve(names.size());
+    for (const auto& name : names)
+        out.push_back(run_workload(name, config));
+    return out;
+}
+
+HarnessConfig
+bench_config()
+{
+    HarnessConfig config;
+    config.run.op_budget = kBenchOpBudget;
+    config.run.warmup_ops = kBenchWarmupOps;
+    return config;
+}
+
+}  // namespace dcb::core

@@ -1,0 +1,58 @@
+#ifndef DCBENCH_CORE_HARNESS_H_
+#define DCBENCH_CORE_HARNESS_H_
+
+/**
+ * @file
+ * The DCBench-Repro run harness: instantiates the Table III machine,
+ * applies the paper's methodology (ramp-up discard, ~20-event perf-style
+ * collection) and produces a CounterReport per workload.
+ */
+
+#include <string>
+#include <vector>
+
+#include "cpu/config.h"
+#include "cpu/perf.h"
+#include "mem/config.h"
+#include "workloads/registry.h"
+
+namespace dcb::core {
+
+/** Everything configurable about a measured run. */
+struct HarnessConfig
+{
+    workloads::RunConfig run{};
+    cpu::CoreConfig core_config = cpu::westmere_core_config();
+    mem::MemoryConfig memory_config = mem::westmere_memory_config();
+    /**
+     * Collect through the multiplexed PMU (the paper's actual
+     * methodology) instead of the always-on counters. Slightly noisier;
+     * the two paths agree within multiplexing error.
+     */
+    bool use_pmu = false;
+    std::uint64_t pmu_rotate_instr = 50'000;
+};
+
+/** Run one workload instance on a fresh core. */
+cpu::CounterReport run_workload(workloads::Workload& workload,
+                                const HarnessConfig& config);
+
+/** Construct by name and run; fatal() on unknown names. */
+cpu::CounterReport run_workload(const std::string& name,
+                                const HarnessConfig& config);
+
+/** Run a list of workloads, one fresh core each. */
+std::vector<cpu::CounterReport> run_suite(
+    const std::vector<std::string>& names, const HarnessConfig& config);
+
+/** Default op budget used by the bench binaries. */
+inline constexpr std::uint64_t kBenchOpBudget = 6'000'000;
+/** Default warm-up discarded before measurement. */
+inline constexpr std::uint64_t kBenchWarmupOps = 500'000;
+
+/** HarnessConfig preset used by the figure benches. */
+HarnessConfig bench_config();
+
+}  // namespace dcb::core
+
+#endif  // DCBENCH_CORE_HARNESS_H_

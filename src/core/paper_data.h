@@ -1,0 +1,86 @@
+#ifndef DCBENCH_CORE_PAPER_DATA_H_
+#define DCBENCH_CORE_PAPER_DATA_H_
+
+/**
+ * @file
+ * Reference values from the paper, used by every bench binary to print
+ * paper-vs-measured rows and by the integration tests to check shape.
+ *
+ * Provenance: values the paper states in text (averages, ranges, named
+ * extremes) are exact; per-workload bar heights are *approximate
+ * digitizations* of Figures 3-12 constrained to honour every textual
+ * statement (e.g. DA IPC averages 0.78 with Naive Bayes lowest; services
+ * average ~60 L2 MPKI; Media Streaming's L1I misses ~3x the DA average).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dcb::core {
+
+/** Per-workload reference metrics (Figures 3-12). */
+struct PaperMetrics
+{
+    std::string name;
+    double ipc = 0.0;                 ///< Figure 3
+    double kernel_frac = 0.0;         ///< Figure 4
+    double l1i_mpki = 0.0;            ///< Figure 7
+    double itlb_walk_pki = 0.0;       ///< Figure 8
+    double l2_mpki = 0.0;             ///< Figure 9
+    double l3_ratio = 0.0;            ///< Figure 10
+    double dtlb_walk_pki = 0.0;       ///< Figure 11
+    double br_mispred = 0.0;          ///< Figure 12 (ratio, not %)
+    // Figure 6 normalized stall shares (sum to 1).
+    double stall_fetch = 0.0;
+    double stall_rat = 0.0;
+    double stall_load = 0.0;
+    double stall_store = 0.0;
+    double stall_rs = 0.0;
+    double stall_rob = 0.0;
+};
+
+/** Table I row. */
+struct PaperTable1Row
+{
+    std::string name;
+    double input_gb = 0.0;
+    double instructions_g = 0.0;  ///< billions
+    std::string source;
+};
+
+/** Figure 2 series (speedup at 1/4/8 slaves). */
+struct PaperSpeedup
+{
+    std::string name;
+    double slaves1 = 1.0;
+    double slaves4 = 0.0;
+    double slaves8 = 0.0;
+};
+
+/** Reference metrics for a workload; nullopt if not in the paper. */
+std::optional<PaperMetrics> paper_metrics(const std::string& name);
+
+/** All Table I rows in order. */
+const std::vector<PaperTable1Row>& paper_table1();
+
+/** All Figure 2 series. */
+const std::vector<PaperSpeedup>& paper_speedups();
+
+/** Figure 5 reference: disk writes per second per DA workload. */
+double paper_disk_writes_per_second(const std::string& name);
+
+// Class averages the paper states explicitly.
+inline constexpr double kPaperDaIpcAvg = 0.78;
+inline constexpr double kPaperDaL1iMpkiAvg = 23.0;
+inline constexpr double kPaperDaL2MpkiAvg = 11.0;
+inline constexpr double kPaperServiceL2MpkiAvg = 60.0;
+inline constexpr double kPaperDaL3RatioAvg = 0.855;
+inline constexpr double kPaperServiceL3RatioAvg = 0.949;
+inline constexpr double kPaperDaOooStallShare = 0.57;   // RS+ROB
+inline constexpr double kPaperServiceInOrderStallShare = 0.73;  // fetch+RAT
+
+}  // namespace dcb::core
+
+#endif  // DCBENCH_CORE_PAPER_DATA_H_

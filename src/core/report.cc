@@ -1,0 +1,63 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace dcb::core {
+
+void
+print_figure_table(const std::string& title,
+                   const std::vector<cpu::CounterReport>& reports,
+                   const std::string& metric_header,
+                   const MetricGetter& measured, const PaperGetter& paper,
+                   int decimals, const std::string& csv_path)
+{
+    util::Table table({"workload", metric_header + " (measured)",
+                       metric_header + " (paper)"});
+    table.set_title(title);
+    util::CsvWriter csv({"workload", "measured", "paper"});
+    for (const auto& report : reports) {
+        const double value = measured(report);
+        const double ref = paper ? paper(report.workload) : -1.0;
+        table.add_row({report.workload,
+                       util::format_double(value, decimals),
+                       ref >= 0.0 ? util::format_double(ref, decimals)
+                                  : "-"});
+        csv.add_row({report.workload, util::format_double(value, 6),
+                     util::format_double(ref, 6)});
+    }
+    table.print();
+    if (!csv_path.empty() && csv.write_file(csv_path))
+        std::printf("(csv: %s)\n", csv_path.c_str());
+    std::printf("\n");
+}
+
+double
+class_average(const std::vector<cpu::CounterReport>& reports,
+              const std::vector<std::string>& names,
+              const MetricGetter& metric)
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& report : reports) {
+        for (const auto& name : names) {
+            if (report.workload == name) {
+                sum += metric(report);
+                ++n;
+            }
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+bool
+shape_check(const std::string& claim, bool held)
+{
+    std::printf("  [%s] %s\n", held ? "PASS" : "SHAPE-MISS", claim.c_str());
+    return held;
+}
+
+}  // namespace dcb::core

@@ -1,0 +1,49 @@
+#ifndef DCBENCH_CORE_REPORT_H_
+#define DCBENCH_CORE_REPORT_H_
+
+/**
+ * @file
+ * Report rendering shared by the figure benches: paper-vs-measured
+ * tables, CSV export and class-average summaries.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/perf.h"
+
+namespace dcb::core {
+
+/** Pull one scalar out of a report. */
+using MetricGetter = std::function<double(const cpu::CounterReport&)>;
+/** Paper reference for one workload; negative means "not reported". */
+using PaperGetter = std::function<double(const std::string&)>;
+
+/**
+ * Print a figure-style table: one row per workload with the measured
+ * value and the paper's (approximately digitized) value, and optionally
+ * dump the same rows to `csv_path`.
+ */
+void print_figure_table(const std::string& title,
+                        const std::vector<cpu::CounterReport>& reports,
+                        const std::string& metric_header,
+                        const MetricGetter& measured,
+                        const PaperGetter& paper, int decimals,
+                        const std::string& csv_path = "");
+
+/** Mean of a metric over the named subset of reports. */
+double class_average(const std::vector<cpu::CounterReport>& reports,
+                     const std::vector<std::string>& names,
+                     const MetricGetter& metric);
+
+/**
+ * Print a PASS/SHAPE-MISS line for one ordering/threshold claim and
+ * return whether it held. Benches use this to annotate each figure with
+ * the paper findings it is expected to reproduce.
+ */
+bool shape_check(const std::string& claim, bool held);
+
+}  // namespace dcb::core
+
+#endif  // DCBENCH_CORE_REPORT_H_

@@ -1,0 +1,211 @@
+#include "cpu/branch.h"
+
+#include <bit>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dcb::cpu {
+
+bool
+StaticTakenPredictor::predict(std::uint64_t /*key*/) const
+{
+    return true;
+}
+
+void
+StaticTakenPredictor::update(std::uint64_t /*key*/, bool /*taken*/)
+{
+}
+
+BimodalPredictor::BimodalPredictor(std::uint32_t table_bits)
+    : table_(1ULL << table_bits, 2),  // weakly taken
+      mask_((1ULL << table_bits) - 1)
+{
+    DCB_EXPECTS(table_bits >= 1 && table_bits <= 24);
+}
+
+std::uint64_t
+BimodalPredictor::index(std::uint64_t key) const
+{
+    return util::mix64(key) & mask_;
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t key) const
+{
+    return table_[index(key)] >= 2;
+}
+
+void
+BimodalPredictor::update(std::uint64_t key, bool taken)
+{
+    std::uint8_t& ctr = table_[index(key)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+GsharePredictor::GsharePredictor(std::uint32_t history_bits)
+    : table_(1ULL << history_bits, 2),
+      mask_((1ULL << history_bits) - 1)
+{
+    DCB_EXPECTS(history_bits >= 1 && history_bits <= 24);
+}
+
+std::uint64_t
+GsharePredictor::index(std::uint64_t key) const
+{
+    return (util::mix64(key) ^ history_) & mask_;
+}
+
+bool
+GsharePredictor::predict(std::uint64_t key) const
+{
+    return table_[index(key)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t key, bool taken)
+{
+    std::uint8_t& ctr = table_[index(key)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+}
+
+LocalHistoryPredictor::LocalHistoryPredictor(std::uint32_t history_bits,
+                                             std::uint32_t site_bits)
+    : histories_(1ULL << site_bits, 0),
+      patterns_(1ULL << history_bits, 2),
+      history_mask_((1ULL << history_bits) - 1),
+      site_mask_((1ULL << site_bits) - 1)
+{
+    DCB_EXPECTS(history_bits >= 1 && history_bits <= 16);
+    DCB_EXPECTS(site_bits >= 1 && site_bits <= 20);
+}
+
+std::uint64_t
+LocalHistoryPredictor::site_index(std::uint64_t key) const
+{
+    return util::mix64(key) & site_mask_;
+}
+
+std::uint64_t
+LocalHistoryPredictor::pattern_index(std::uint64_t key) const
+{
+    return histories_[site_index(key)] & history_mask_;
+}
+
+bool
+LocalHistoryPredictor::predict(std::uint64_t key) const
+{
+    return patterns_[pattern_index(key)] >= 2;
+}
+
+void
+LocalHistoryPredictor::update(std::uint64_t key, bool taken)
+{
+    std::uint8_t& ctr = patterns_[pattern_index(key)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    std::uint16_t& h = histories_[site_index(key)];
+    h = static_cast<std::uint16_t>(((h << 1) | (taken ? 1 : 0)) &
+                                   history_mask_);
+}
+
+BranchTargetBuffer::BranchTargetBuffer(std::uint32_t entries,
+                                       std::uint32_t ways)
+    : entries_(entries), ways_(ways), set_mask_(entries / ways - 1)
+{
+    DCB_EXPECTS(entries >= ways && entries % ways == 0);
+    DCB_EXPECTS(std::has_single_bit(entries / ways));
+}
+
+bool
+BranchTargetBuffer::predict_and_update(std::uint64_t key,
+                                       std::uint64_t target)
+{
+    ++stamp_;
+    const std::uint64_t set = util::mix64(key) & set_mask_;
+    Entry* base = &entries_[set * ways_];
+    Entry* victim = base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry& e = base[w];
+        if (e.valid && e.key == key) {
+            const bool hit = e.target == target;
+            e.target = target;
+            e.lru = stamp_;
+            return hit;
+        }
+        if (!e.valid)
+            victim = &e;
+        else if (victim->valid && e.lru < victim->lru)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->key = key;
+    victim->target = target;
+    victim->lru = stamp_;
+    return false;  // cold BTB entry: predicted target unknown
+}
+
+BranchUnit::BranchUnit(std::unique_ptr<DirectionPredictor> direction,
+                       std::uint32_t btb_entries, std::uint32_t btb_ways)
+    : direction_(std::move(direction)), btb_(btb_entries, btb_ways)
+{
+    DCB_EXPECTS(direction_ != nullptr);
+}
+
+bool
+BranchUnit::resolve_conditional(std::uint64_t key, bool taken)
+{
+    ++branches_;
+    const bool predicted = direction_->predict(key);
+    direction_->update(key, taken);
+    const bool miss = predicted != taken;
+    if (miss)
+        ++mispredicts_;
+    return miss;
+}
+
+bool
+BranchUnit::resolve_indirect(std::uint64_t key, std::uint64_t target)
+{
+    ++branches_;
+    const bool hit = btb_.predict_and_update(key, target);
+    if (!hit)
+        ++mispredicts_;
+    return !hit;
+}
+
+double
+BranchUnit::misprediction_ratio() const
+{
+    return branches_ ? static_cast<double>(mispredicts_) /
+                           static_cast<double>(branches_)
+                     : 0.0;
+}
+
+void
+BranchUnit::reset_counters()
+{
+    branches_ = 0;
+    mispredicts_ = 0;
+}
+
+}  // namespace dcb::cpu

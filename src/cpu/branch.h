@@ -1,0 +1,167 @@
+#ifndef DCBENCH_CPU_BRANCH_H_
+#define DCBENCH_CPU_BRANCH_H_
+
+/**
+ * @file
+ * Branch prediction unit.
+ *
+ * The paper's Figure 12 reports retired-branch misprediction ratios and
+ * argues (Section IV-E) that data-analysis branch patterns are simple
+ * enough that "a simpler branch predictor may be preferred". To support
+ * that claim (and the ablate_branch bench), the unit is pluggable: a
+ * static always-taken scheme, a bimodal table, and a gshare predictor are
+ * provided, plus a set-associative BTB for indirect-branch targets.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dcb::cpu {
+
+/** Direction predictor interface. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the branch at site `key`. */
+    virtual bool predict(std::uint64_t key) const = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(std::uint64_t key, bool taken) = 0;
+};
+
+/** Static always-taken (the simplest possible scheme). */
+class StaticTakenPredictor final : public DirectionPredictor
+{
+  public:
+    bool predict(std::uint64_t key) const override;
+    void update(std::uint64_t key, bool taken) override;
+};
+
+/** Bimodal: per-site 2-bit saturating counters. */
+class BimodalPredictor final : public DirectionPredictor
+{
+  public:
+    /** @param table_bits log2 of the counter-table size. */
+    explicit BimodalPredictor(std::uint32_t table_bits);
+
+    bool predict(std::uint64_t key) const override;
+    void update(std::uint64_t key, bool taken) override;
+
+  private:
+    std::uint64_t index(std::uint64_t key) const;
+
+    std::vector<std::uint8_t> table_;
+    std::uint64_t mask_;
+};
+
+/** Gshare: global history XOR site, 2-bit counters. */
+class GsharePredictor final : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(std::uint32_t history_bits);
+
+    bool predict(std::uint64_t key) const override;
+    void update(std::uint64_t key, bool taken) override;
+
+  private:
+    std::uint64_t index(std::uint64_t key) const;
+
+    std::vector<std::uint8_t> table_;
+    std::uint64_t mask_;
+    std::uint64_t history_ = 0;
+};
+
+/**
+ * Two-level local-history predictor (Yeh/Patt): per-site history
+ * registers indexing a shared pattern table. Captures per-branch loop
+ * periods a global-history gshare dilutes.
+ */
+class LocalHistoryPredictor final : public DirectionPredictor
+{
+  public:
+    /**
+     * @param history_bits Per-site history length (pattern-table index).
+     * @param site_bits    log2 of the history-register table size.
+     */
+    LocalHistoryPredictor(std::uint32_t history_bits,
+                          std::uint32_t site_bits);
+
+    bool predict(std::uint64_t key) const override;
+    void update(std::uint64_t key, bool taken) override;
+
+  private:
+    std::uint64_t site_index(std::uint64_t key) const;
+    std::uint64_t pattern_index(std::uint64_t key) const;
+
+    std::vector<std::uint16_t> histories_;
+    std::vector<std::uint8_t> patterns_;
+    std::uint64_t history_mask_;
+    std::uint64_t site_mask_;
+};
+
+/** Set-associative branch target buffer (for indirect branches). */
+class BranchTargetBuffer
+{
+  public:
+    BranchTargetBuffer(std::uint32_t entries, std::uint32_t ways);
+
+    /**
+     * Look up the predicted target for site `key` and train with the
+     * resolved `target`.
+     * @return true if the predicted target matched.
+     */
+    bool predict_and_update(std::uint64_t key, std::uint64_t target);
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::uint64_t target = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries_;
+    std::uint32_t ways_;
+    std::uint64_t set_mask_;
+    std::uint64_t stamp_ = 0;
+};
+
+/** Complete branch unit: direction predictor + BTB + statistics. */
+class BranchUnit
+{
+  public:
+    BranchUnit(std::unique_ptr<DirectionPredictor> direction,
+               std::uint32_t btb_entries, std::uint32_t btb_ways);
+
+    /**
+     * Resolve one conditional branch.
+     * @return true if it was mispredicted.
+     */
+    bool resolve_conditional(std::uint64_t key, bool taken);
+
+    /**
+     * Resolve one indirect branch with its actual target.
+     * @return true if it was mispredicted (target mismatch).
+     */
+    bool resolve_indirect(std::uint64_t key, std::uint64_t target);
+
+    std::uint64_t branches() const { return branches_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    double misprediction_ratio() const;
+
+    void reset_counters();
+
+  private:
+    std::unique_ptr<DirectionPredictor> direction_;
+    BranchTargetBuffer btb_;
+    std::uint64_t branches_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace dcb::cpu
+
+#endif  // DCBENCH_CPU_BRANCH_H_

@@ -1,0 +1,61 @@
+#include "cpu/config.h"
+
+#include <bit>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace dcb::cpu {
+
+void
+CoreConfig::validate() const
+{
+    DCB_CONFIG_CHECK(fetch_width >= 1 && dispatch_width >= 1 &&
+                     retire_width >= 1,
+                     "pipeline widths must be at least 1");
+    DCB_CONFIG_CHECK(rob_entries >= dispatch_width,
+                     "ROB must hold at least one dispatch group");
+    DCB_CONFIG_CHECK(rs_entries >= 1, "RS must have at least one entry");
+    DCB_CONFIG_CHECK(load_buffer_entries >= 1 && store_buffer_entries >= 1,
+                     "load/store buffers must have at least one entry");
+    DCB_CONFIG_CHECK(alu_ports >= 1 && fpu_ports >= 1 && load_ports >= 1 &&
+                     store_ports >= 1,
+                     "every port class needs at least one port");
+    DCB_CONFIG_CHECK(rat_read_ports >= 1, "RAT needs read ports");
+    DCB_CONFIG_CHECK(rat_bypass_fraction >= 0.0 &&
+                     rat_bypass_fraction <= 1.0,
+                     "bypass fraction must be in [0,1]");
+    DCB_CONFIG_CHECK(gshare_history_bits >= 1 && gshare_history_bits <= 24,
+                     "gshare history must be 1..24 bits");
+    DCB_CONFIG_CHECK(std::has_single_bit(btb_entries) &&
+                     btb_entries % btb_ways == 0,
+                     "BTB entries must be a power of two multiple of ways");
+    DCB_CONFIG_CHECK(frequency_ghz > 0.0, "frequency must be positive");
+    DCB_CONFIG_CHECK(memory_bandwidth_cycles_per_line >= 0.0,
+                     "bus occupancy cannot be negative");
+}
+
+std::string
+CoreConfig::to_string() const
+{
+    std::ostringstream os;
+    os << "Core: " << dispatch_width << "-wide OoO @ " << frequency_ghz
+       << " GHz\n"
+       << "ROB " << rob_entries << ", RS " << rs_entries << ", load buffer "
+       << load_buffer_entries << ", store buffer " << store_buffer_entries
+       << "\n"
+       << "Branch: gshare(" << gshare_history_bits << "b) + BTB "
+       << btb_entries << " entries, mispredict penalty "
+       << mispredict_penalty << " cycles\n";
+    return os.str();
+}
+
+CoreConfig
+westmere_core_config()
+{
+    CoreConfig cfg;  // defaults model the E5645
+    cfg.validate();
+    return cfg;
+}
+
+}  // namespace dcb::cpu

@@ -1,0 +1,86 @@
+#ifndef DCBENCH_CPU_CONFIG_H_
+#define DCBENCH_CPU_CONFIG_H_
+
+/**
+ * @file
+ * Core (pipeline) configuration. Defaults model one core of the paper's
+ * Intel Xeon E5645 (Westmere-EP): a 4-wide speculative out-of-order
+ * pipeline with a 128-entry ROB, 36-entry reservation station and
+ * 48/32-entry load/store buffers.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace dcb::cpu {
+
+/** Pipeline and execution-resource parameters. */
+struct CoreConfig
+{
+    // Widths (ops per cycle).
+    std::uint32_t fetch_width = 4;
+    std::uint32_t dispatch_width = 4;
+    std::uint32_t retire_width = 4;
+
+    // Out-of-order window resources (Westmere-EP).
+    std::uint32_t rob_entries = 128;
+    std::uint32_t rs_entries = 36;
+    std::uint32_t load_buffer_entries = 48;
+    std::uint32_t store_buffer_entries = 32;
+
+    // Execution ports (ops per cycle per class).
+    std::uint32_t alu_ports = 3;
+    std::uint32_t fpu_ports = 2;
+    std::uint32_t load_ports = 1;
+    std::uint32_t store_ports = 1;
+
+    // Execution latencies (cycles); loads take their cache latency.
+    std::uint32_t alu_latency = 1;
+    std::uint32_t fpu_latency = 4;
+    std::uint32_t branch_latency = 1;
+
+    // Rename stage.
+    std::uint32_t rat_read_ports = 3;
+    std::uint32_t partial_reg_penalty = 3;
+    /** Fraction of register reads satisfied by the bypass network. */
+    double rat_bypass_fraction = 0.7;
+
+    // Branch recovery: front-end refill depth after a mispredict.
+    std::uint32_t mispredict_penalty = 17;
+
+    /**
+     * Cycles of instruction-supply latency the decoupled front end
+     * (fetch/uop queues, next-line prefetch) hides before the core
+     * actually starves. Only the excess of a front-end miss beyond this
+     * is charged as instruction-fetch stall.
+     */
+    std::uint32_t frontend_hide_cycles = 40;
+
+    /**
+     * Memory-bus occupancy per cache-line transfer (cycles). Bounds
+     * streaming throughput to ~64B * f / this per core (~12.8 GB/s at
+     * the default), which is what makes bandwidth-bound kernels like
+     * HPCC-STREAM sub-1 IPC even with prefetchers hiding latency.
+     */
+    double memory_bandwidth_cycles_per_line = 12.0;
+
+    // Branch prediction structures.
+    std::uint32_t gshare_history_bits = 16;
+    std::uint32_t btb_entries = 2048;
+    std::uint32_t btb_ways = 4;
+
+    double frequency_ghz = 2.4;  ///< Table III: 6 cores @ 2.4 GHz
+
+    /** Validate; calls fatal() on a bad user configuration. */
+    void validate() const;
+
+    /** Human-readable dump used by the Table III bench. */
+    std::string to_string() const;
+};
+
+/** One core of the paper's evaluation machine. */
+CoreConfig westmere_core_config();
+
+}  // namespace dcb::cpu
+
+#endif  // DCBENCH_CPU_CONFIG_H_

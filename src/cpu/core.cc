@@ -1,0 +1,358 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.h"
+
+namespace dcb::cpu {
+
+namespace {
+
+/** Execution port class index for port cursors. */
+enum PortClass : std::size_t { kPortAlu = 0, kPortFpu, kPortLoad, kPortStore };
+
+}  // namespace
+
+Core::Core(const CoreConfig& core_config,
+           const mem::MemoryConfig& memory_config)
+    : cfg_(core_config),
+      page_table_(memory_config.walk_levels,
+                  std::countr_zero(memory_config.page_bytes)),
+      hierarchy_(memory_config),
+      shared_tlb_(memory_config.l2_tlb, memory_config.page_bytes),
+      itlb_(memory_config.itlb, memory_config, shared_tlb_, page_table_,
+            [this](std::uint64_t a) { return walker_access(a); }),
+      dtlb_(memory_config.dtlb, memory_config, shared_tlb_, page_table_,
+            [this](std::uint64_t a) { return walker_access(a); }),
+      branch_(std::make_unique<GsharePredictor>(
+                  core_config.gshare_history_bits),
+              core_config.btb_entries, core_config.btb_ways)
+{
+    cfg_.validate();
+    inv_fetch_width_ = 1.0 / cfg_.fetch_width;
+    inv_dispatch_width_ = 1.0 / cfg_.dispatch_width;
+    inv_retire_width_ = 1.0 / cfg_.retire_width;
+    inv_rat_ports_ = 1.0 / cfg_.rat_read_ports;
+    rat_demand_per_reg_ = (1.0 - cfg_.rat_bypass_fraction) * inv_rat_ports_;
+    inv_ports_ = {1.0 / cfg_.alu_ports, 1.0 / cfg_.fpu_ports,
+                  1.0 / cfg_.load_ports, 1.0 / cfg_.store_ports};
+    rob_.assign(cfg_.rob_entries, 0.0);
+    rs_.assign(cfg_.rs_entries, 0.0);
+    load_buf_.assign(cfg_.load_buffer_entries, 0.0);
+    store_buf_.assign(cfg_.store_buffer_entries, 0.0);
+}
+
+void
+Core::note(Event e, double w, trace::Mode mode)
+{
+    stats_.add(e, w);
+    pmu_.record(e, w, mode);
+}
+
+void
+Core::note_unified_levels(mem::HitLevel level, trace::Mode mode)
+{
+    note(Event::kL2Access, 1.0, mode);
+    if (level == mem::HitLevel::kL2)
+        return;
+    note(Event::kL2Miss, 1.0, mode);
+    note(Event::kL3Access, 1.0, mode);
+    if (level == mem::HitLevel::kL3)
+        return;
+    note(Event::kL3Miss, 1.0, mode);
+}
+
+std::uint32_t
+Core::walker_access(std::uint64_t addr)
+{
+    const mem::AccessResult r = hierarchy_.walker_access(addr);
+    note_unified_levels(r.level, cur_mode_);
+    return r.latency;
+}
+
+void
+Core::set_direction_predictor(std::unique_ptr<DirectionPredictor> predictor)
+{
+    branch_ = BranchUnit(std::move(predictor), cfg_.btb_entries,
+                         cfg_.btb_ways);
+}
+
+void
+Core::consume(const trace::MicroOp& op)
+{
+    using trace::Mode;
+    using trace::OpClass;
+
+    const Mode mode = op.mode;
+    cur_mode_ = mode;
+
+    // ------------------------------------------------------------------
+    // Front end: ITLB translation + L1I fetch. The fetch cursor may not
+    // run further ahead of dispatch than the in-flight window allows.
+    // ------------------------------------------------------------------
+    const double fetch_floor = dispatch_time_ -
+        static_cast<double>(cfg_.rob_entries) * inv_dispatch_width_;
+    if (fetch_time_ < fetch_floor)
+        fetch_time_ = fetch_floor;
+
+    const mem::TranslationResult itr = itlb_.translate(op.fetch_addr);
+    if (!itr.l1_hit)
+        note(Event::kITlbL1Miss, 1.0, mode);
+    if (itr.walked)
+        note(Event::kITlbWalk, 1.0, mode);
+
+    const mem::AccessResult fa = hierarchy_.fetch(op.fetch_addr);
+    note(Event::kL1IAccess, 1.0, mode);
+    double frontend_penalty = itr.latency;
+    if (fa.level != mem::HitLevel::kL1) {
+        note(Event::kL1IMiss, 1.0, mode);
+        note_unified_levels(fa.level, mode);
+        frontend_penalty += fa.latency;
+    }
+    // The decoupled front end (fetch/uop queues) absorbs short
+    // instruction-supply hiccups; only the excess starves the core.
+    frontend_penalty = std::max(0.0, frontend_penalty -
+                                         cfg_.frontend_hide_cycles);
+    if (frontend_penalty > 0.0) {
+        note(Event::kFetchStallCycles, frontend_penalty, mode);
+        fetch_time_ += frontend_penalty;
+    }
+    fetch_time_ += inv_fetch_width_;
+    const double fetched = fetch_time_;
+
+    // ------------------------------------------------------------------
+    // Rename: width-limited, plus RAT read-port and partial-register
+    // pressure (the paper's RAT-stall category).
+    // ------------------------------------------------------------------
+    double renamed = std::max(fetched, rename_time_ + inv_dispatch_width_);
+    const double rat_arrival = renamed;
+    const double rat_start = std::max(rat_read_time_, rat_arrival);
+    rat_read_time_ = rat_start + op.src_regs * rat_demand_per_reg_;
+    double rat_penalty = rat_start - rat_arrival;
+    if (op.partial_reg)
+        rat_penalty += cfg_.partial_reg_penalty;
+    if (rat_penalty > 0.0) {
+        note(Event::kRatStallCycles, rat_penalty, mode);
+        renamed += rat_penalty;
+    }
+    rename_time_ = renamed;
+
+    // ------------------------------------------------------------------
+    // Dispatch: needs a ROB entry, an RS entry, and a load/store buffer
+    // entry. Each ring stores the release time of the entry this op
+    // reuses; waiting on it is the corresponding "resource full" stall.
+    // ------------------------------------------------------------------
+    double dispatched = std::max(renamed,
+                                 dispatch_time_ + inv_dispatch_width_);
+
+    const std::size_t rob_slot = op_index_ % cfg_.rob_entries;
+    if (rob_[rob_slot] > dispatched) {
+        note(Event::kRobFullStallCycles, rob_[rob_slot] - dispatched, mode);
+        dispatched = rob_[rob_slot];
+    }
+    const std::size_t rs_slot = op_index_ % cfg_.rs_entries;
+    if (rs_[rs_slot] > dispatched) {
+        note(Event::kRsFullStallCycles, rs_[rs_slot] - dispatched, mode);
+        dispatched = rs_[rs_slot];
+    }
+    std::size_t lq_slot = 0;
+    std::size_t sq_slot = 0;
+    if (op.cls == OpClass::kLoad) {
+        lq_slot = load_count_ % cfg_.load_buffer_entries;
+        if (load_buf_[lq_slot] > dispatched) {
+            note(Event::kLoadBufStallCycles, load_buf_[lq_slot] - dispatched,
+                 mode);
+            dispatched = load_buf_[lq_slot];
+        }
+    } else if (op.cls == OpClass::kStore) {
+        sq_slot = store_count_ % cfg_.store_buffer_entries;
+        if (store_buf_[sq_slot] > dispatched) {
+            note(Event::kStoreBufStallCycles,
+                 store_buf_[sq_slot] - dispatched, mode);
+            dispatched = store_buf_[sq_slot];
+        }
+    }
+    dispatch_time_ = dispatched;
+
+    // ------------------------------------------------------------------
+    // Issue: wait for the producer (dependency) and an execution port.
+    // ------------------------------------------------------------------
+    double ready = dispatched;
+    if (op.dep_dist > 0 && op.dep_dist <= op_index_ &&
+        op.dep_dist < kCompWindow) {
+        const double producer =
+            comp_[(op_index_ - op.dep_dist) % kCompWindow];
+        ready = std::max(ready, producer);
+    }
+
+    std::size_t port = kPortAlu;
+    std::uint32_t exec_latency = cfg_.alu_latency;
+    std::uint32_t store_drain = 0;
+    switch (op.cls) {
+      case OpClass::kAlu:
+        break;
+      case OpClass::kFpu:
+        port = kPortFpu;
+        exec_latency = cfg_.fpu_latency;
+        break;
+      case OpClass::kBranch:
+        exec_latency = cfg_.branch_latency;
+        break;
+      case OpClass::kLoad: {
+        port = kPortLoad;
+        const mem::TranslationResult dtr = dtlb_.translate(op.addr);
+        if (!dtr.l1_hit)
+            note(Event::kDTlbL1Miss, 1.0, mode);
+        if (dtr.walked)
+            note(Event::kDTlbWalk, 1.0, mode);
+        const mem::AccessResult da = hierarchy_.data_access(op.addr, false);
+        note(Event::kLoads, 1.0, mode);
+        note(Event::kL1DAccess, 1.0, mode);
+        if (da.level != mem::HitLevel::kL1) {
+            note(Event::kL1DMiss, 1.0, mode);
+            note_unified_levels(da.level, mode);
+        }
+        exec_latency = da.latency + dtr.latency;
+        if (da.level == mem::HitLevel::kMemory) {
+            // Occupy the memory bus; queueing delay adds to the load.
+            const double start = std::max(mem_bus_time_, dispatched);
+            mem_bus_time_ = start + cfg_.memory_bandwidth_cycles_per_line;
+            exec_latency += static_cast<std::uint32_t>(start - dispatched);
+        }
+        break;
+      }
+      case OpClass::kStore: {
+        port = kPortStore;
+        const mem::TranslationResult dtr = dtlb_.translate(op.addr);
+        if (!dtr.l1_hit)
+            note(Event::kDTlbL1Miss, 1.0, mode);
+        if (dtr.walked)
+            note(Event::kDTlbWalk, 1.0, mode);
+        const mem::AccessResult da = hierarchy_.data_access(op.addr, true);
+        note(Event::kStores, 1.0, mode);
+        note(Event::kL1DAccess, 1.0, mode);
+        if (da.level != mem::HitLevel::kL1) {
+            note(Event::kL1DMiss, 1.0, mode);
+            note_unified_levels(da.level, mode);
+        }
+        // Forwardable after address generation; the write drains to the
+        // cache after retirement and holds the store-buffer entry.
+        exec_latency = 1;
+        store_drain = da.latency + dtr.latency;
+        break;
+      }
+      case OpClass::kNop:
+        exec_latency = 0;
+        break;
+    }
+
+    double issued = ready;
+    if (op.cls != OpClass::kNop) {
+        issued = std::max(port_time_[port], ready);
+        port_time_[port] = issued + inv_ports_[port];
+    }
+    const double completed = issued + exec_latency;
+    comp_[op_index_ % kCompWindow] = completed;
+    rs_[rs_slot] = issued;  // RS entry frees at issue
+
+    // ------------------------------------------------------------------
+    // Retire: in order, at retire width.
+    // ------------------------------------------------------------------
+    const double prev_retire = last_retire_;
+    const double retired = std::max(completed,
+                                    last_retire_ + inv_retire_width_);
+    last_retire_ = retired;
+    rob_[rob_slot] = retired;
+    if (op.cls == OpClass::kLoad) {
+        load_buf_[lq_slot] = completed;
+        ++load_count_;
+    } else if (op.cls == OpClass::kStore) {
+        store_buf_[sq_slot] = retired + store_drain;
+        ++store_count_;
+    }
+
+    // ------------------------------------------------------------------
+    // Branch resolution: mispredicts restart the front end after the
+    // branch resolves plus the refill depth.
+    // ------------------------------------------------------------------
+    if (op.cls == OpClass::kBranch) {
+        note(Event::kBrRetired, 1.0, mode);
+        const bool mispredicted =
+            op.indirect ? branch_.resolve_indirect(op.branch_key,
+                                                   op.target_key)
+                        : branch_.resolve_conditional(op.branch_key,
+                                                      op.taken);
+        if (mispredicted) {
+            note(Event::kBrMispred, 1.0, mode);
+            // The recovery bubble costs cycles (front end restarts after
+            // resolution) but is not an instruction-fetch-stall *event*:
+            // the paper's six Figure 6 counters do not include
+            // speculation recovery, so it is not attributed there.
+            const double restart = completed + cfg_.mispredict_penalty;
+            if (restart > fetch_time_)
+                fetch_time_ = restart;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Retirement accounting.
+    // ------------------------------------------------------------------
+    const std::uint64_t pf = hierarchy_.prefetch_fills();
+    if (pf != seen_prefetch_fills_) {
+        note(Event::kPrefetchFill,
+             static_cast<double>(pf - seen_prefetch_fills_), mode);
+        seen_prefetch_fills_ = pf;
+    }
+    const std::uint64_t pfm = hierarchy_.prefetch_memory_fills();
+    if (pfm != seen_prefetch_mem_fills_) {
+        // Memory-sourced prefetches consume bus bandwidth asynchronously.
+        const double fills = static_cast<double>(pfm -
+                                                 seen_prefetch_mem_fills_);
+        mem_bus_time_ = std::max(mem_bus_time_, dispatched) +
+                        fills * cfg_.memory_bandwidth_cycles_per_line;
+        seen_prefetch_mem_fills_ = pfm;
+    }
+
+    note(Event::kInstRetired, 1.0, mode);
+    note(Event::kCycles, retired - prev_retire, mode);
+    if (mode == Mode::kUser)
+        stats_.user_instructions += 1.0;
+    else
+        stats_.kernel_instructions += 1.0;
+    ++op_index_;
+
+    if (warmup_reset_at_ != 0 && op_index_ == warmup_reset_at_) {
+        reset_counters();
+        warmup_reset_at_ = 0;
+    }
+}
+
+void
+Core::reset_counters()
+{
+    stats_ = CoreStats{};
+    hierarchy_.reset_counters();
+    itlb_.reset_counters();
+    dtlb_.reset_counters();
+    shared_tlb_.reset_counters();
+    branch_.reset_counters();
+    cycle_baseline_ = last_retire_;
+    op_baseline_ = op_index_;
+}
+
+double
+Core::ipc() const
+{
+    const double cycles = last_retire_ - cycle_baseline_;
+    const double ops = static_cast<double>(op_index_ - op_baseline_);
+    return cycles > 0.0 ? ops / cycles : 0.0;
+}
+
+double
+Core::branch_misprediction_ratio() const
+{
+    return branch_.misprediction_ratio();
+}
+
+}  // namespace dcb::cpu

@@ -1,0 +1,157 @@
+#ifndef DCBENCH_CPU_CORE_H_
+#define DCBENCH_CPU_CORE_H_
+
+/**
+ * @file
+ * First-order out-of-order core model.
+ *
+ * The model follows the interval-analysis tradition the paper cites
+ * (Karkhanis & Smith [27]; Eyerman et al. [22]): micro-ops flow through
+ * fetch -> rename(RAT) -> dispatch(RS/ROB/LSQ) -> issue -> execute ->
+ * in-order retire, each stage advancing per-stage time cursors at the
+ * configured widths. Structural resources are modelled as rings of
+ * release times (a dispatch must wait for the entry of the op
+ * `capacity` positions earlier), so every lost cycle can be attributed to
+ * one of the six stall classes of the paper's Figure 6: instruction fetch,
+ * RAT, load buffer, store buffer, RS full and ROB full.
+ *
+ * Cache, TLB and branch structures are simulated exactly (per access), so
+ * the MPKI-class figures derive from real address streams rather than
+ * statistical rates.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/branch.h"
+#include "cpu/config.h"
+#include "cpu/pmu.h"
+#include "mem/hierarchy.h"
+#include "mem/page_table.h"
+#include "mem/tlb.h"
+#include "trace/microop.h"
+
+namespace dcb::cpu {
+
+/** Raw event totals, collected unconditionally alongside the PMU. */
+class CoreStats
+{
+  public:
+    double get(Event e) const
+    {
+        return values_[static_cast<std::size_t>(e)];
+    }
+
+    void add(Event e, double w) { values_[static_cast<std::size_t>(e)] += w; }
+
+    double user_instructions = 0.0;
+    double kernel_instructions = 0.0;
+
+  private:
+    std::array<double, kEventCount> values_{};
+};
+
+/** One simulated out-of-order core with its private memory structures. */
+class Core final : public trace::OpSink
+{
+  public:
+    Core(const CoreConfig& core_config,
+         const mem::MemoryConfig& memory_config);
+
+    /** Consume one micro-op in program order. */
+    void consume(const trace::MicroOp& op) override;
+
+    // --- Results ---------------------------------------------------------
+
+    const CoreStats& stats() const { return stats_; }
+    double cycles() const { return last_retire_; }
+    std::uint64_t instructions() const { return op_index_; }
+    double ipc() const;
+
+    /** Retired-branch misprediction ratio (Figure 12). */
+    double branch_misprediction_ratio() const;
+
+    Pmu& pmu() { return pmu_; }
+    mem::CacheHierarchy& caches() { return hierarchy_; }
+    const mem::CacheHierarchy& caches() const { return hierarchy_; }
+
+    const CoreConfig& config() const { return cfg_; }
+
+    /**
+     * Replace the branch direction predictor (ablation support). Resets
+     * branch statistics.
+     */
+    void set_direction_predictor(
+        std::unique_ptr<DirectionPredictor> predictor);
+
+    /**
+     * Zero every counter (CoreStats, cache/TLB/branch hit rates) while
+     * keeping all microarchitectural state warm -- the paper's
+     * "measure after ramp-up" methodology.
+     */
+    void reset_counters();
+
+    /** Automatically reset_counters() once `op` ops have retired. */
+    void set_counter_reset_at(std::uint64_t op) { warmup_reset_at_ = op; }
+
+  private:
+    void note(Event e, double w, trace::Mode mode);
+    /** Record L2/L3 access+miss events for one beyond-L1 access. */
+    void note_unified_levels(mem::HitLevel level, trace::Mode mode);
+    /** Page-walker PTE access that also records unified-cache events. */
+    std::uint32_t walker_access(std::uint64_t addr);
+
+    CoreConfig cfg_;
+    mem::PageTable page_table_;
+    mem::CacheHierarchy hierarchy_;
+    mem::Tlb shared_tlb_;
+    mem::TwoLevelTlb itlb_;
+    mem::TwoLevelTlb dtlb_;
+    BranchUnit branch_;
+    Pmu pmu_;
+    CoreStats stats_;
+
+    // Stage-width reciprocals (cycles per op at full width).
+    double inv_fetch_width_;
+    double inv_dispatch_width_;
+    double inv_retire_width_;
+    double inv_rat_ports_;
+    double rat_demand_per_reg_;
+    std::array<double, 4> inv_ports_;  ///< alu, fpu, load, store
+
+    // Timeline cursors (cycles).
+    double fetch_time_ = 0.0;
+    double rename_time_ = 0.0;
+    double rat_read_time_ = 0.0;
+    double dispatch_time_ = 0.0;
+    double last_retire_ = 0.0;
+    std::array<double, 4> port_time_{};
+
+    // Structural resource rings (release times).
+    std::vector<double> rob_;
+    std::vector<double> rs_;
+    std::vector<double> load_buf_;
+    std::vector<double> store_buf_;
+
+    // Completion times of the last kCompWindow ops (dependency lookups).
+    static constexpr std::uint64_t kCompWindow = 256;
+    std::array<double, kCompWindow> comp_{};
+
+    std::uint64_t op_index_ = 0;
+    std::uint64_t load_count_ = 0;
+    std::uint64_t store_count_ = 0;
+    std::uint64_t seen_prefetch_fills_ = 0;
+    std::uint64_t seen_prefetch_mem_fills_ = 0;
+    trace::Mode cur_mode_ = trace::Mode::kUser;
+    /** Memory-bus cursor: next cycle a line transfer can start. */
+    double mem_bus_time_ = 0.0;
+    std::uint64_t warmup_reset_at_ = 0;
+    /** Retire-time baseline of the last counter reset (IPC windows). */
+    double cycle_baseline_ = 0.0;
+    std::uint64_t op_baseline_ = 0;
+};
+
+}  // namespace dcb::cpu
+
+#endif  // DCBENCH_CPU_CORE_H_

@@ -1,0 +1,86 @@
+#ifndef DCBENCH_CPU_PERF_H_
+#define DCBENCH_CPU_PERF_H_
+
+/**
+ * @file
+ * Perf-like counter collection and derived metrics.
+ *
+ * The paper derives every reported figure from raw counter values; this
+ * header defines the same derivations: IPC (Figure 3), user/kernel
+ * instruction split (Figure 4), the normalized six-way pipeline stall
+ * breakdown (Figure 6), L1I MPKI (Figure 7), ITLB walks PKI (Figure 8),
+ * L2 MPKI (Figure 9), the L3 service ratio per Equation 1 (Figure 10),
+ * DTLB walks PKI (Figure 11), and the branch misprediction ratio
+ * (Figure 12).
+ */
+
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+#include "cpu/pmu.h"
+
+namespace dcb::cpu {
+
+/** Normalized pipeline-stall breakdown (sums to 1 when any stalls). */
+struct StallBreakdown
+{
+    double fetch = 0.0;
+    double rat = 0.0;
+    double load = 0.0;
+    double store = 0.0;
+    double rs = 0.0;
+    double rob = 0.0;
+
+    double sum() const { return fetch + rat + load + store + rs + rob; }
+    /** In-order-part share (fetch + RAT), as discussed in Section IV-B. */
+    double in_order_part() const { return fetch + rat; }
+    /** Out-of-order-part share (RS + ROB). */
+    double out_of_order_part() const { return rs + rob; }
+};
+
+/** All derived metrics for one workload run. */
+struct CounterReport
+{
+    std::string workload;
+
+    double instructions = 0.0;
+    double cycles = 0.0;
+    double ipc = 0.0;                      ///< Figure 3
+
+    double kernel_instr_fraction = 0.0;    ///< Figure 4
+
+    StallBreakdown stalls;                 ///< Figure 6
+
+    double l1i_mpki = 0.0;                 ///< Figure 7
+    double itlb_walk_pki = 0.0;            ///< Figure 8
+    double l2_mpki = 0.0;                  ///< Figure 9
+    double l3_service_ratio = 0.0;         ///< Figure 10 (Equation 1)
+    double dtlb_walk_pki = 0.0;            ///< Figure 11
+    double branch_misprediction_ratio = 0.0;  ///< Figure 12
+};
+
+/** Build a report from a core's always-on counters. */
+CounterReport make_report(const std::string& workload, const Core& core);
+
+/**
+ * Build the same report from multiplexed PMU readings produced by a
+ * session configured with default_event_set(). This path exercises the
+ * paper's actual methodology (limited counters, perf-style scaling).
+ */
+CounterReport make_report_from_pmu(const std::string& workload,
+                                   const Core& core);
+
+/**
+ * The ~20-event collection set the paper programs (Section III-D),
+ * packed into multiplexable groups of four.
+ */
+std::vector<EventSelect> default_event_set();
+
+/** Compute the normalized stall breakdown from raw event values. */
+StallBreakdown normalize_stalls(double fetch, double rat, double load,
+                                double store, double rs, double rob);
+
+}  // namespace dcb::cpu
+
+#endif  // DCBENCH_CPU_PERF_H_

@@ -1,0 +1,154 @@
+#include "cpu/pmu.h"
+
+#include "util/assert.h"
+
+namespace dcb::cpu {
+
+const char*
+event_name(Event e)
+{
+    switch (e) {
+      case Event::kCycles: return "cycles";
+      case Event::kInstRetired: return "inst_retired";
+      case Event::kLoads: return "loads";
+      case Event::kStores: return "stores";
+      case Event::kBrRetired: return "br_retired";
+      case Event::kBrMispred: return "br_mispred";
+      case Event::kL1IAccess: return "l1i_access";
+      case Event::kL1IMiss: return "l1i_miss";
+      case Event::kITlbL1Miss: return "itlb_miss";
+      case Event::kITlbWalk: return "itlb_walk";
+      case Event::kL1DAccess: return "l1d_access";
+      case Event::kL1DMiss: return "l1d_miss";
+      case Event::kL2Access: return "l2_access";
+      case Event::kL2Miss: return "l2_miss";
+      case Event::kL3Access: return "l3_access";
+      case Event::kL3Miss: return "l3_miss";
+      case Event::kDTlbL1Miss: return "dtlb_miss";
+      case Event::kDTlbWalk: return "dtlb_walk";
+      case Event::kFetchStallCycles: return "fetch_stall";
+      case Event::kRatStallCycles: return "rat_stall";
+      case Event::kLoadBufStallCycles: return "load_buf_stall";
+      case Event::kStoreBufStallCycles: return "store_buf_stall";
+      case Event::kRsFullStallCycles: return "rs_full_stall";
+      case Event::kRobFullStallCycles: return "rob_full_stall";
+      case Event::kPrefetchFill: return "prefetch_fill";
+      case Event::kCount: break;
+    }
+    return "unknown";
+}
+
+Pmu::Pmu() = default;
+
+void
+Pmu::configure_groups(std::vector<std::vector<EventSelect>> groups,
+                      std::uint64_t rotate_instr)
+{
+    DCB_CONFIG_CHECK(!groups.empty(), "at least one PMU group required");
+    DCB_CONFIG_CHECK(rotate_instr > 0, "rotation period must be positive");
+    slots_.clear();
+    group_count_ = groups.size();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        DCB_CONFIG_CHECK(groups[g].size() <= kNumProgrammable,
+                         "a PMU group exceeds the programmable counters");
+        DCB_CONFIG_CHECK(!groups[g].empty(), "empty PMU group");
+        for (const EventSelect& sel : groups[g])
+            slots_.push_back({sel, g, 0.0});
+    }
+    rotate_instr_ = rotate_instr;
+    active_group_ = 0;
+    instr_in_group_ = 0;
+    group_enabled_instr_.assign(group_count_, 0.0);
+    fixed_instructions_ = 0.0;
+    fixed_cycles_ = 0.0;
+    enabled_ = true;
+    rebuild_dispatch();
+}
+
+void
+Pmu::configure_events(const std::vector<EventSelect>& events,
+                      std::uint64_t rotate_instr)
+{
+    std::vector<std::vector<EventSelect>> groups;
+    for (std::size_t i = 0; i < events.size(); i += kNumProgrammable) {
+        const std::size_t end = std::min(i + kNumProgrammable,
+                                         events.size());
+        groups.emplace_back(events.begin() + static_cast<long>(i),
+                            events.begin() + static_cast<long>(end));
+    }
+    configure_groups(std::move(groups), rotate_instr);
+}
+
+void
+Pmu::disable()
+{
+    enabled_ = false;
+    for (auto& d : dispatch_)
+        d.clear();
+}
+
+void
+Pmu::rebuild_dispatch()
+{
+    for (auto& d : dispatch_)
+        d.clear();
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].group == active_group_) {
+            dispatch_[static_cast<std::size_t>(slots_[i].select.event)]
+                .push_back(i);
+        }
+    }
+}
+
+void
+Pmu::rotate()
+{
+    active_group_ = (active_group_ + 1) % group_count_;
+    instr_in_group_ = 0;
+    rebuild_dispatch();
+}
+
+void
+Pmu::record(Event e, double weight, trace::Mode mode)
+{
+    if (!enabled_)
+        return;
+    const auto idx = static_cast<std::size_t>(e);
+    for (std::uint32_t slot_idx : dispatch_[idx]) {
+        Slot& slot = slots_[slot_idx];
+        const bool mode_ok = mode == trace::Mode::kUser
+                                 ? slot.select.count_user
+                                 : slot.select.count_kernel;
+        if (mode_ok)
+            slot.value += weight;
+    }
+    if (e == Event::kInstRetired) {
+        fixed_instructions_ += weight;
+        group_enabled_instr_[active_group_] += weight;
+        instr_in_group_ += static_cast<std::uint64_t>(weight);
+        if (instr_in_group_ >= rotate_instr_ && group_count_ > 1)
+            rotate();
+    } else if (e == Event::kCycles) {
+        fixed_cycles_ += weight;
+    }
+}
+
+std::vector<PmuReading>
+Pmu::readings() const
+{
+    std::vector<PmuReading> out;
+    out.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+        PmuReading r;
+        r.select = slot.select;
+        r.raw = slot.value;
+        r.enabled_instr = group_enabled_instr_[slot.group];
+        r.scaled = r.enabled_instr > 0.0
+                       ? r.raw * fixed_instructions_ / r.enabled_instr
+                       : 0.0;
+        out.push_back(r);
+    }
+    return out;
+}
+
+}  // namespace dcb::cpu

@@ -1,0 +1,37 @@
+#include "datagen/graph.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace dcb::datagen {
+
+CsrGraph
+make_web_graph(std::uint32_t nodes, double mean_degree, double skew,
+               std::uint64_t seed)
+{
+    DCB_EXPECTS(nodes >= 2);
+    DCB_EXPECTS(mean_degree > 0.0);
+    util::Rng rng(seed);
+    util::ZipfSampler popularity(nodes, skew);
+
+    CsrGraph g;
+    g.num_nodes = nodes;
+    g.row_offsets.reserve(nodes + 1);
+    g.row_offsets.push_back(0);
+    g.targets.reserve(static_cast<std::size_t>(nodes * mean_degree * 1.1));
+    for (std::uint32_t v = 0; v < nodes; ++v) {
+        const std::uint64_t degree =
+            1 + rng.next_geometric(mean_degree - 1.0, 512);
+        for (std::uint64_t e = 0; e < degree; ++e) {
+            auto t = static_cast<std::uint32_t>(popularity.sample(rng));
+            if (t == v)
+                t = (t + 1) % nodes;  // no self loops
+            g.targets.push_back(t);
+        }
+        g.row_offsets.push_back(g.targets.size());
+    }
+    return g;
+}
+
+}  // namespace dcb::datagen

@@ -1,0 +1,46 @@
+#ifndef DCBENCH_DATAGEN_GRAPH_H_
+#define DCBENCH_DATAGEN_GRAPH_H_
+
+/**
+ * @file
+ * Web-graph generator for PageRank (Table I: "187 GB web page").
+ * Produces a directed graph with power-law in-degree (preferential
+ * attachment over a Zipf target distribution) in CSR form, matching the
+ * locality structure real link graphs give the PageRank inner loop:
+ * mostly-sequential source traversal with skewed, cache-unfriendly
+ * scatter to destination ranks.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace dcb::datagen {
+
+/** Directed graph in compressed-sparse-row form (out-edges). */
+struct CsrGraph
+{
+    std::uint32_t num_nodes = 0;
+    std::vector<std::uint64_t> row_offsets;  ///< size num_nodes + 1
+    std::vector<std::uint32_t> targets;      ///< size num_edges
+
+    std::uint64_t num_edges() const { return targets.size(); }
+    std::uint64_t out_degree(std::uint32_t v) const
+    {
+        return row_offsets[v + 1] - row_offsets[v];
+    }
+};
+
+/**
+ * Generate a power-law web graph.
+ *
+ * @param nodes        Node count.
+ * @param mean_degree  Average out-degree.
+ * @param skew         Zipf skew of target popularity (in-degree tail).
+ * @param seed         Determinism seed.
+ */
+CsrGraph make_web_graph(std::uint32_t nodes, double mean_degree,
+                        double skew, std::uint64_t seed);
+
+}  // namespace dcb::datagen
+
+#endif  // DCBENCH_DATAGEN_GRAPH_H_

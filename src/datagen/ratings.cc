@@ -1,0 +1,34 @@
+#include "datagen/ratings.h"
+
+#include "util/assert.h"
+
+namespace dcb::datagen {
+
+RatingsGenerator::RatingsGenerator(std::uint32_t users, std::uint32_t items,
+                                   std::uint64_t seed)
+    : users_(users), items_(items), item_popularity_(items, 0.9), rng_(seed)
+{
+    DCB_EXPECTS(users >= 1 && items >= 1);
+}
+
+Rating
+RatingsGenerator::next()
+{
+    Rating r;
+    r.user = static_cast<std::uint32_t>(rng_.next_below(users_));
+    r.item = static_cast<std::uint32_t>(item_popularity_.sample(rng_));
+    // Latent taste: users rate items in "their" genre band higher. The
+    // genre of an item is item % 8; user taste is user % 8.
+    const std::uint32_t genre = r.item % 8;
+    const std::uint32_t taste = r.user % 8;
+    const double affinity = genre == taste ? 1.5 : 0.0;
+    double score = 3.0 + affinity + rng_.next_gaussian() * 0.8;
+    if (score < 1.0)
+        score = 1.0;
+    if (score > 5.0)
+        score = 5.0;
+    r.score = static_cast<float>(score);
+    return r;
+}
+
+}  // namespace dcb::datagen

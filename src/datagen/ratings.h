@@ -1,0 +1,49 @@
+#ifndef DCBENCH_DATAGEN_RATINGS_H_
+#define DCBENCH_DATAGEN_RATINGS_H_
+
+/**
+ * @file
+ * User-item ratings generator for the IBCF recommendation workload
+ * (Table I: "147 GB ratings data"). Item popularity is Zipfian (a few
+ * blockbusters, a long tail) and each user has a latent taste vector so
+ * item-item co-occurrence carries real signal for collaborative
+ * filtering.
+ */
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace dcb::datagen {
+
+/** One (user, item, rating) triple. */
+struct Rating
+{
+    std::uint32_t user = 0;
+    std::uint32_t item = 0;
+    float score = 0.0f;  ///< 1..5
+};
+
+/** Ratings stream generator. */
+class RatingsGenerator
+{
+  public:
+    RatingsGenerator(std::uint32_t users, std::uint32_t items,
+                     std::uint64_t seed);
+
+    Rating next();
+
+    std::uint32_t users() const { return users_; }
+    std::uint32_t items() const { return items_; }
+
+  private:
+    std::uint32_t users_;
+    std::uint32_t items_;
+    util::ZipfSampler item_popularity_;
+    util::Rng rng_;
+};
+
+}  // namespace dcb::datagen
+
+#endif  // DCBENCH_DATAGEN_RATINGS_H_

@@ -1,0 +1,40 @@
+#include "datagen/tables.h"
+
+#include "util/assert.h"
+
+namespace dcb::datagen {
+
+TableGenerator::TableGenerator(std::uint32_t num_urls, std::uint32_t num_ips,
+                               std::uint64_t seed)
+    : num_urls_(num_urls), num_ips_(num_ips),
+      url_popularity_(num_urls, 0.85), rng_(seed)
+{
+    DCB_EXPECTS(num_urls >= 1 && num_ips >= 1);
+}
+
+RankingRow
+TableGenerator::next_ranking()
+{
+    RankingRow row;
+    row.page_url = next_url_;
+    next_url_ = (next_url_ + 1) % num_urls_;
+    row.page_rank = static_cast<std::uint32_t>(rng_.next_geometric(80, 9999));
+    row.avg_duration =
+        static_cast<std::uint32_t>(1 + rng_.next_below(120));
+    return row;
+}
+
+UserVisitRow
+TableGenerator::next_visit()
+{
+    UserVisitRow row;
+    row.source_ip = static_cast<std::uint32_t>(rng_.next_below(num_ips_));
+    row.dest_url =
+        static_cast<std::uint32_t>(url_popularity_.sample(rng_));
+    row.visit_date =
+        static_cast<std::uint32_t>(14000 + rng_.next_below(3650));
+    row.ad_revenue = static_cast<float>(rng_.next_double() * 0.9 + 0.1);
+    return row;
+}
+
+}  // namespace dcb::datagen

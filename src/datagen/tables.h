@@ -1,0 +1,63 @@
+#ifndef DCBENCH_DATAGEN_TABLES_H_
+#define DCBENCH_DATAGEN_TABLES_H_
+
+/**
+ * @file
+ * Relational table generators for the Hive-bench workload (Table I:
+ * "156 GB DBtable"). The schemas follow the benchmark the paper cites
+ * (HIVE-396 / the Pavlo et al. suite Hive-bench derives from):
+ *
+ *   rankings(pageURL, pageRank, avgDuration)
+ *   uservisits(sourceIP, destURL, visitDate, adRevenue, ...)
+ *
+ * URL popularity is Zipfian so joins and group-bys see realistic key
+ * skew.
+ */
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace dcb::datagen {
+
+/** One row of the rankings table. */
+struct RankingRow
+{
+    std::uint32_t page_url = 0;  ///< dense URL id
+    std::uint32_t page_rank = 0;
+    std::uint32_t avg_duration = 0;
+};
+
+/** One row of the uservisits table. */
+struct UserVisitRow
+{
+    std::uint32_t source_ip = 0;
+    std::uint32_t dest_url = 0;  ///< joins against RankingRow::page_url
+    std::uint32_t visit_date = 0;  ///< days since epoch
+    float ad_revenue = 0.0f;
+};
+
+/** Generator for both Hive-bench tables. */
+class TableGenerator
+{
+  public:
+    TableGenerator(std::uint32_t num_urls, std::uint32_t num_ips,
+                   std::uint64_t seed);
+
+    RankingRow next_ranking();
+    UserVisitRow next_visit();
+
+    std::uint32_t num_urls() const { return num_urls_; }
+
+  private:
+    std::uint32_t num_urls_;
+    std::uint32_t num_ips_;
+    std::uint32_t next_url_ = 0;
+    util::ZipfSampler url_popularity_;
+    util::Rng rng_;
+};
+
+}  // namespace dcb::datagen
+
+#endif  // DCBENCH_DATAGEN_TABLES_H_

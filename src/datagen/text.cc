@@ -1,0 +1,87 @@
+#include "datagen/text.h"
+
+#include "util/assert.h"
+
+namespace dcb::datagen {
+
+TextGenerator::TextGenerator(std::uint32_t vocab_size, double skew,
+                             std::uint64_t seed)
+    : vocab_size_(vocab_size), zipf_(vocab_size, skew), rng_(seed)
+{
+    DCB_EXPECTS(vocab_size >= 1);
+}
+
+std::uint32_t
+TextGenerator::next_word()
+{
+    return static_cast<std::uint32_t>(zipf_.sample(rng_));
+}
+
+Document
+TextGenerator::next_document(std::uint32_t mean_words)
+{
+    Document doc;
+    const std::uint64_t len = 1 + rng_.next_geometric(mean_words,
+                                                      mean_words * 16);
+    doc.words.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i)
+        doc.words.push_back(next_word());
+    return doc;
+}
+
+std::string
+TextGenerator::word_string(std::uint32_t id)
+{
+    // Deterministic pronounceable-ish token: alternating consonant/vowel
+    // driven by a mixed id, length 3..12 growing with rarity.
+    static const char kCons[] = "bcdfghjklmnpqrstvwxz";
+    static const char kVowels[] = "aeiou";
+    std::uint64_t h = util::mix64(id + 1);
+    const std::size_t len = 3 + (id % 10);
+    std::string out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        if (i % 2 == 0) {
+            out += kCons[h % 20];
+            h /= 20;
+        } else {
+            out += kVowels[h % 5];
+            h /= 5;
+        }
+        if (h < 32)
+            h = util::mix64(h + id);
+    }
+    return out;
+}
+
+LabelledTextGenerator::LabelledTextGenerator(std::uint32_t vocab_size,
+                                             std::uint32_t classes,
+                                             double skew, std::uint64_t seed)
+    : vocab_size_(vocab_size), classes_(classes), zipf_(vocab_size, skew),
+      rng_(seed)
+{
+    DCB_EXPECTS(vocab_size >= classes && classes >= 2);
+}
+
+Document
+LabelledTextGenerator::next_document(std::uint32_t mean_words)
+{
+    Document doc;
+    doc.label = static_cast<std::int32_t>(rng_.next_below(classes_));
+    const std::uint64_t len = 1 + rng_.next_geometric(mean_words,
+                                                      mean_words * 16);
+    doc.words.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) {
+        std::uint32_t w = static_cast<std::uint32_t>(zipf_.sample(rng_));
+        // With 35% probability remap into the class's topic band: words
+        // congruent to the label modulo the class count.
+        if (rng_.next_bool(0.35))
+            w = w - (w % classes_) + static_cast<std::uint32_t>(doc.label);
+        if (w >= vocab_size_)
+            w %= vocab_size_;
+        doc.words.push_back(w);
+    }
+    return doc;
+}
+
+}  // namespace dcb::datagen

@@ -1,0 +1,86 @@
+#ifndef DCBENCH_DATAGEN_TEXT_H_
+#define DCBENCH_DATAGEN_TEXT_H_
+
+/**
+ * @file
+ * Synthetic text corpora.
+ *
+ * Stands in for the paper's 147-154 GB document/HTML inputs (Table I):
+ * word frequencies follow Zipf's law as in natural language, documents
+ * have log-normal-ish length variation, and labelled documents are drawn
+ * from per-class topic distributions so classifiers (Naive Bayes, SVM)
+ * have real signal to learn. Word ids map deterministically to printable
+ * strings so string-processing kernels (Grep, Sort, WordCount) exercise
+ * byte-level work.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace dcb::datagen {
+
+/** A document as a sequence of vocabulary ids. */
+struct Document
+{
+    std::vector<std::uint32_t> words;
+    std::int32_t label = -1;  ///< class id for labelled corpora, else -1
+};
+
+/** Zipfian text generator over a fixed vocabulary. */
+class TextGenerator
+{
+  public:
+    /**
+     * @param vocab_size Vocabulary cardinality.
+     * @param skew       Zipf exponent (~1.0 for natural language).
+     * @param seed       Determinism seed.
+     */
+    TextGenerator(std::uint32_t vocab_size, double skew, std::uint64_t seed);
+
+    /** Draw one document of approximately `mean_words` words. */
+    Document next_document(std::uint32_t mean_words);
+
+    /** Draw one word id from the corpus distribution. */
+    std::uint32_t next_word();
+
+    /** Deterministic printable form of a word id (3-12 lowercase chars). */
+    static std::string word_string(std::uint32_t id);
+
+    std::uint32_t vocab_size() const { return vocab_size_; }
+
+  private:
+    std::uint32_t vocab_size_;
+    util::ZipfSampler zipf_;
+    util::Rng rng_;
+};
+
+/**
+ * Labelled corpus: each class tilts the Zipf distribution toward its own
+ * topic words, giving classifiers learnable structure.
+ */
+class LabelledTextGenerator
+{
+  public:
+    LabelledTextGenerator(std::uint32_t vocab_size, std::uint32_t classes,
+                          double skew, std::uint64_t seed);
+
+    /** Draw a labelled document. */
+    Document next_document(std::uint32_t mean_words);
+
+    std::uint32_t num_classes() const { return classes_; }
+    std::uint32_t vocab_size() const { return vocab_size_; }
+
+  private:
+    std::uint32_t vocab_size_;
+    std::uint32_t classes_;
+    util::ZipfSampler zipf_;
+    util::Rng rng_;
+};
+
+}  // namespace dcb::datagen
+
+#endif  // DCBENCH_DATAGEN_TEXT_H_

@@ -1,0 +1,38 @@
+#include "datagen/vectors.h"
+
+#include "util/assert.h"
+
+namespace dcb::datagen {
+
+VectorGenerator::VectorGenerator(std::uint32_t dims,
+                                 std::uint32_t true_centers, double spread,
+                                 std::uint64_t seed)
+    : dims_(dims), true_centers_(true_centers), spread_(spread), rng_(seed)
+{
+    DCB_EXPECTS(dims >= 1 && true_centers >= 1);
+    DCB_EXPECTS(spread > 0.0);
+}
+
+void
+VectorGenerator::center_of(std::uint32_t c, std::vector<double>& out) const
+{
+    out.assign(dims_, 0.0);
+    // Deterministic lattice: each component offsets a subset of dims.
+    std::uint64_t h = util::mix64(c + 1);
+    for (std::uint32_t d = 0; d < dims_; ++d) {
+        out[d] = static_cast<double>((h % 7)) * 10.0;
+        h = util::mix64(h + d);
+    }
+}
+
+void
+VectorGenerator::next_point(std::vector<double>& out)
+{
+    last_component_ = static_cast<std::uint32_t>(
+        rng_.next_below(true_centers_));
+    center_of(last_component_, out);
+    for (std::uint32_t d = 0; d < dims_; ++d)
+        out[d] += rng_.next_gaussian() * spread_;
+}
+
+}  // namespace dcb::datagen

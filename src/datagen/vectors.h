@@ -1,0 +1,55 @@
+#ifndef DCBENCH_DATAGEN_VECTORS_H_
+#define DCBENCH_DATAGEN_VECTORS_H_
+
+/**
+ * @file
+ * Numeric vector generator for the clustering workloads (K-means, Fuzzy
+ * K-means; Table I: "150 GB vector"). Points are drawn from a Gaussian
+ * mixture with well-separated true centers so Lloyd iterations make real
+ * progress and fuzzy memberships have structure.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dcb::datagen {
+
+/** Gaussian-mixture point source. */
+class VectorGenerator
+{
+  public:
+    /**
+     * @param dims        Dimensionality of the points.
+     * @param true_centers Number of mixture components.
+     * @param spread      Component standard deviation (centers sit on a
+     *                    lattice of pitch 10).
+     * @param seed        Determinism seed.
+     */
+    VectorGenerator(std::uint32_t dims, std::uint32_t true_centers,
+                    double spread, std::uint64_t seed);
+
+    /** Fill `out` (resized to dims) with the next point. */
+    void next_point(std::vector<double>& out);
+
+    /** Component the last point was drawn from (oracle for tests). */
+    std::uint32_t last_component() const { return last_component_; }
+
+    std::uint32_t dims() const { return dims_; }
+    std::uint32_t true_centers() const { return true_centers_; }
+
+    /** Oracle center coordinates of component c. */
+    void center_of(std::uint32_t c, std::vector<double>& out) const;
+
+  private:
+    std::uint32_t dims_;
+    std::uint32_t true_centers_;
+    double spread_;
+    util::Rng rng_;
+    std::uint32_t last_component_ = 0;
+};
+
+}  // namespace dcb::datagen
+
+#endif  // DCBENCH_DATAGEN_VECTORS_H_

@@ -1,0 +1,200 @@
+#include "mapreduce/engine.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dcb::mapreduce {
+
+namespace {
+constexpr std::uint64_t kGroupSite = 0x4D5201;
+constexpr std::uint64_t kEmitSite = 0x4D5202;
+}  // namespace
+
+/** Partitioned, spill-aware collector for the map phase. */
+class SimpleMapReduce::BufferingEmitter final : public Emitter
+{
+  public:
+    BufferingEmitter(trace::ExecCtx& ctx, std::uint32_t partitions)
+        : ctx_(ctx), buffers_(partitions)
+    {
+    }
+
+    void
+    emit(std::uint64_t key, std::uint64_t value) override
+    {
+        // Serialize + partition: hash the key, pick the reducer.
+        ctx_.alu(5);
+        const std::uint32_t p = static_cast<std::uint32_t>(
+            util::mix64(key) % buffers_.size());
+        last_partition_ = p;
+        buffers_[p].push_back({key, value});
+        // Buffer-full check: almost always not taken.
+        ctx_.branch(kEmitSite, (emitted_ & 1023) == 1023);
+        ++emitted_;
+    }
+
+    std::vector<std::vector<analytics::SortRecord>>& buffers()
+    {
+        return buffers_;
+    }
+    std::uint64_t emitted() const { return emitted_; }
+
+  private:
+    trace::ExecCtx& ctx_;
+    std::vector<std::vector<analytics::SortRecord>> buffers_;
+    std::uint32_t last_partition_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
+namespace {
+
+/** Output collector that appends to the job output vector. */
+class OutputEmitter final : public Emitter
+{
+  public:
+    OutputEmitter(trace::ExecCtx& ctx, std::vector<Record>* out)
+        : ctx_(ctx), out_(out)
+    {
+    }
+
+    void
+    emit(std::uint64_t key, std::uint64_t value) override
+    {
+        ctx_.alu(2);  // serialize
+        ++count_;
+        if (out_)
+            out_->push_back({key, value});
+    }
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    trace::ExecCtx& ctx_;
+    std::vector<Record>* out_;
+    std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+SimpleMapReduce::SimpleMapReduce(trace::ExecCtx& ctx,
+                                 mem::AddressSpace& space, os::OsModel& os,
+                                 const EngineConfig& config)
+    : ctx_(ctx), space_(space), os_(os), config_(config), io_(os, space),
+      // A map() call may emit a few records past the spill threshold
+      // before the engine checks, so size the spill sorter generously.
+      sorter_(ctx, space, config.spill_records * 2, config.spill_records),
+      merger_(ctx, space, config.max_partition_records,
+              config.spill_records)
+{
+    DCB_CONFIG_CHECK(config.num_map_tasks >= 1 &&
+                     config.num_reduce_tasks >= 1,
+                     "a job needs at least one map and one reduce task");
+    DCB_CONFIG_CHECK(config.spill_records >= 2,
+                     "spill buffer must hold at least two records");
+}
+
+JobCounters
+SimpleMapReduce::run(const std::vector<Record>& input, const MapFn& map,
+                     const ReduceFn& reduce, std::vector<Record>* output)
+{
+    JobCounters counters;
+    counters.input_records = input.size();
+
+    // Sorted spill runs per reduce partition.
+    std::vector<std::vector<analytics::SortRecord>> runs_per_partition(
+        config_.num_reduce_tasks);
+
+    const std::size_t per_task =
+        (input.size() + config_.num_map_tasks - 1) / config_.num_map_tasks;
+
+    auto spill = [&](std::vector<analytics::SortRecord>& buffer,
+                     std::uint32_t partition) {
+        if (buffer.empty())
+            return;
+        sorter_.sort(buffer);
+        const auto& sorted = sorter_.sorted();
+        std::vector<analytics::SortRecord> run(sorted.begin(),
+                                               sorted.begin() +
+                                                   static_cast<long>(
+                                                       buffer.size()));
+        io_.write_spill(buffer.size() * config_.record_bytes);
+        auto& dest = runs_per_partition[partition];
+        dest.insert(dest.end(), run.begin(), run.end());
+        ++counters.spills;
+        buffer.clear();
+    };
+
+    // ---- Map phase ----------------------------------------------------
+    for (std::uint32_t t = 0; t < config_.num_map_tasks; ++t) {
+        const std::size_t lo = std::min<std::size_t>(t * per_task,
+                                                     input.size());
+        const std::size_t hi = std::min<std::size_t>(lo + per_task,
+                                                     input.size());
+        if (lo >= hi)
+            continue;
+        io_.read_input((hi - lo) * config_.record_bytes);
+        BufferingEmitter emitter(ctx_,
+                                 config_.num_reduce_tasks);
+        for (std::size_t i = lo; i < hi; ++i) {
+            map(input[i], emitter);
+            for (std::uint32_t p = 0; p < config_.num_reduce_tasks; ++p) {
+                if (emitter.buffers()[p].size() >= config_.spill_records)
+                    spill(emitter.buffers()[p], p);
+            }
+        }
+        for (std::uint32_t p = 0; p < config_.num_reduce_tasks; ++p)
+            spill(emitter.buffers()[p], p);
+        counters.map_output_records += emitter.emitted();
+    }
+
+    // ---- Shuffle -------------------------------------------------------
+    for (std::uint32_t p = 0; p < config_.num_reduce_tasks; ++p) {
+        const std::uint64_t bytes =
+            runs_per_partition[p].size() * config_.record_bytes;
+        if (bytes == 0)
+            continue;
+        io_.shuffle_send(bytes);
+        io_.shuffle_recv(bytes);
+    }
+
+    // ---- Reduce phase ---------------------------------------------------
+    OutputEmitter out_emitter(ctx_, output);
+    std::vector<std::uint64_t> values;
+    for (std::uint32_t p = 0; p < config_.num_reduce_tasks; ++p) {
+        auto& part = runs_per_partition[p];
+        if (part.empty())
+            continue;
+        // Merge the concatenated runs into full sorted order (narrated).
+        // The merge buffers persist across jobs, as Hadoop's do.
+        DCB_CONFIG_CHECK(part.size() <= config_.max_partition_records,
+                         "reduce partition exceeds merge buffer");
+        merger_.sort(part);
+        const auto& sorted = merger_.sorted();
+
+        std::size_t i = 0;
+        const std::uint64_t before = out_emitter.count();
+        while (i < part.size()) {
+            const std::uint64_t key = sorted[i].key;
+            values.clear();
+            while (i < part.size() && sorted[i].key == key) {
+                values.push_back(sorted[i].payload);
+                ctx_.alu(1);
+                ctx_.branch(kGroupSite,
+                            i + 1 < part.size() &&
+                                sorted[i + 1].key == key);
+                ++i;
+            }
+            ++counters.reduce_input_groups;
+            reduce(key, values, out_emitter);
+        }
+        io_.write_output((out_emitter.count() - before) *
+                             config_.record_bytes,
+                         config_.output_replicas);
+    }
+    counters.output_records = out_emitter.count();
+    counters.io = io_.totals();
+    return counters;
+}
+
+}  // namespace dcb::mapreduce

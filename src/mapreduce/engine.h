@@ -1,0 +1,113 @@
+#ifndef DCBENCH_MAPREDUCE_ENGINE_H_
+#define DCBENCH_MAPREDUCE_ENGINE_H_
+
+/**
+ * @file
+ * A miniature Hadoop-style MapReduce engine with a real data plane.
+ *
+ * The engine executes user map and reduce functions over (u64, u64)
+ * records, reproducing the structure of Hadoop 1.x task execution the
+ * paper measures: splits are read through the record reader
+ * (TaskIo::read_input), map output is partitioned and buffered, buffers
+ * spill as *narrated* sorted runs (the same merge sort the Sort workload
+ * uses), spills merge, partitions shuffle over the simulated network, and
+ * reducers walk key groups in sorted order before writing replicated
+ * output. All data movement is charged through the OS model, all
+ * comparisons through the core -- so the framework's own costs (the
+ * paper's explanation for front-end pressure and kernel time) are part
+ * of every job.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "analytics/external_sort.h"
+#include "mapreduce/task_io.h"
+#include "trace/exec_ctx.h"
+
+namespace dcb::mapreduce {
+
+/** One intermediate key-value record. */
+struct Record
+{
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+};
+
+/** Collector passed to map/reduce functions. */
+class Emitter
+{
+  public:
+    virtual ~Emitter() = default;
+    virtual void emit(std::uint64_t key, std::uint64_t value) = 0;
+};
+
+/** Job configuration. */
+struct EngineConfig
+{
+    std::uint32_t num_map_tasks = 4;
+    std::uint32_t num_reduce_tasks = 2;
+    /** Records buffered before a sorted spill (io.sort.mb analogue). */
+    std::size_t spill_records = 64 * 1024;
+    /** Bytes a serialized record occupies on disk / on the wire. */
+    std::uint32_t record_bytes = 16;
+    /** Largest reduce partition the merge buffers must hold. */
+    std::size_t max_partition_records = 128 * 1024;
+    /** HDFS replication of job output. */
+    std::uint32_t output_replicas = 2;
+};
+
+/** Per-job execution statistics. */
+struct JobCounters
+{
+    std::uint64_t input_records = 0;
+    std::uint64_t map_output_records = 0;
+    std::uint64_t reduce_input_groups = 0;
+    std::uint64_t output_records = 0;
+    std::uint64_t spills = 0;
+    IoTotals io;
+};
+
+/** The engine; one instance can run many jobs. */
+class SimpleMapReduce
+{
+  public:
+    using MapFn =
+        std::function<void(const Record&, Emitter&)>;
+    using ReduceFn = std::function<void(
+        std::uint64_t key, std::span<const std::uint64_t> values,
+        Emitter&)>;
+
+    /**
+     * @param ctx   Core execution context (framework narration).
+     * @param space Address space for spill buffers.
+     * @param os    OS model for all I/O.
+     * @param config Engine parameters.
+     */
+    SimpleMapReduce(trace::ExecCtx& ctx, mem::AddressSpace& space,
+                    os::OsModel& os, const EngineConfig& config);
+
+    /**
+     * Run a job over `input`; output records (sorted by key within each
+     * reduce partition) are appended to `output`.
+     */
+    JobCounters run(const std::vector<Record>& input, const MapFn& map,
+                    const ReduceFn& reduce, std::vector<Record>* output);
+
+  private:
+    class BufferingEmitter;
+
+    trace::ExecCtx& ctx_;
+    mem::AddressSpace& space_;
+    os::OsModel& os_;
+    EngineConfig config_;
+    TaskIo io_;
+    analytics::ExternalSort sorter_;
+    analytics::ExternalSort merger_;
+};
+
+}  // namespace dcb::mapreduce
+
+#endif  // DCBENCH_MAPREDUCE_ENGINE_H_

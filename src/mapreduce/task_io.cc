@@ -1,0 +1,98 @@
+#include "mapreduce/task_io.h"
+
+namespace dcb::mapreduce {
+
+TaskIo::TaskIo(os::OsModel& os, mem::AddressSpace& space)
+    : os_(os), user_buf_(space.alloc(kBufferBytes, "task_io_buffer"))
+{
+}
+
+void
+TaskIo::chunked(std::uint64_t bytes, bool write, bool network)
+{
+    std::uint64_t& pending =
+        pending_[(write ? 1 : 0) * 2 + (network ? 1 : 0)];
+    pending += bytes;
+    while (pending >= kBufferBytes) {
+        if (network) {
+            if (write)
+                os_.sys_send(user_buf_.base, kBufferBytes);
+            else
+                os_.sys_recv(user_buf_.base, kBufferBytes);
+        } else {
+            if (write)
+                os_.sys_write(user_buf_.base, kBufferBytes);
+            else
+                os_.sys_read(user_buf_.base, kBufferBytes);
+        }
+        pending -= kBufferBytes;
+    }
+}
+
+void
+TaskIo::flush()
+{
+    for (int channel = 0; channel < 4; ++channel) {
+        std::uint64_t& pending = pending_[channel];
+        if (pending == 0)
+            continue;
+        const bool write = channel >= 2;
+        const bool network = (channel & 1) != 0;
+        if (network) {
+            if (write)
+                os_.sys_send(user_buf_.base, pending);
+            else
+                os_.sys_recv(user_buf_.base, pending);
+        } else {
+            if (write)
+                os_.sys_write(user_buf_.base, pending);
+            else
+                os_.sys_read(user_buf_.base, pending);
+        }
+        pending = 0;
+    }
+}
+
+void
+TaskIo::read_input(std::uint64_t bytes)
+{
+    totals_.input_bytes += bytes;
+    chunked(bytes, false, false);
+}
+
+void
+TaskIo::write_spill(std::uint64_t bytes)
+{
+    totals_.spill_bytes += bytes;
+    chunked(bytes, true, false);
+}
+
+void
+TaskIo::read_spill(std::uint64_t bytes)
+{
+    chunked(bytes, false, false);
+}
+
+void
+TaskIo::shuffle_send(std::uint64_t bytes)
+{
+    totals_.shuffle_bytes += bytes;
+    chunked(bytes, true, true);
+}
+
+void
+TaskIo::shuffle_recv(std::uint64_t bytes)
+{
+    chunked(bytes, false, true);
+}
+
+void
+TaskIo::write_output(std::uint64_t bytes, std::uint32_t replicas)
+{
+    totals_.output_bytes += bytes;
+    chunked(bytes, true, false);
+    for (std::uint32_t r = 1; r < replicas; ++r)
+        chunked(bytes, true, true);  // pipeline copies to other datanodes
+}
+
+}  // namespace dcb::mapreduce

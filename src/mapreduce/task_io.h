@@ -1,0 +1,80 @@
+#ifndef DCBENCH_MAPREDUCE_TASK_IO_H_
+#define DCBENCH_MAPREDUCE_TASK_IO_H_
+
+/**
+ * @file
+ * Per-task I/O helper: routes a task's input reads, spill/output writes
+ * and shuffle transfers through the OS model in Hadoop-sized buffer
+ * chunks (io.file.buffer.size = 64 KB), so every byte a workload moves
+ * becomes kernel-mode instructions, disk requests and network messages --
+ * the raw material of Figures 4 and 5.
+ */
+
+#include <cstdint>
+
+#include "mem/address_space.h"
+#include "os/syscalls.h"
+
+namespace dcb::mapreduce {
+
+/** Byte-movement accounting for one task/job. */
+struct IoTotals
+{
+    std::uint64_t input_bytes = 0;
+    std::uint64_t spill_bytes = 0;
+    std::uint64_t shuffle_bytes = 0;
+    std::uint64_t output_bytes = 0;
+};
+
+/** Chunked syscall-backed I/O for one task. */
+class TaskIo
+{
+  public:
+    static constexpr std::uint64_t kBufferBytes = 64 * 1024;
+
+    TaskIo(os::OsModel& os, mem::AddressSpace& space);
+
+    /** Read `bytes` of task input from HDFS-local disk. */
+    void read_input(std::uint64_t bytes);
+
+    /** Spill `bytes` of intermediate data to local disk. */
+    void write_spill(std::uint64_t bytes);
+
+    /** Re-read spilled data for merging. */
+    void read_spill(std::uint64_t bytes);
+
+    /** Send `bytes` of map output to a reducer. */
+    void shuffle_send(std::uint64_t bytes);
+
+    /** Receive `bytes` of shuffle input. */
+    void shuffle_recv(std::uint64_t bytes);
+
+    /**
+     * Write job output to HDFS: local disk plus `replicas - 1` network
+     * copies (dfs.replication).
+     */
+    void write_output(std::uint64_t bytes, std::uint32_t replicas = 2);
+
+    const IoTotals& totals() const { return totals_; }
+
+    /** Issue any buffered partial chunks as syscalls now. */
+    void flush();
+
+  private:
+    /**
+     * Buffered channel I/O: logical bytes accumulate per channel and a
+     * syscall is issued per full kBufferBytes buffer, matching Hadoop's
+     * io.file.buffer.size batching (record readers/writers do NOT issue
+     * one syscall per record).
+     */
+    void chunked(std::uint64_t bytes, bool write, bool network);
+
+    os::OsModel& os_;
+    mem::Region user_buf_;
+    IoTotals totals_;
+    std::uint64_t pending_[4] = {0, 0, 0, 0};  ///< [write][network]
+};
+
+}  // namespace dcb::mapreduce
+
+#endif  // DCBENCH_MAPREDUCE_TASK_IO_H_

@@ -1,0 +1,31 @@
+#include "mem/address_space.h"
+
+#include <bit>
+
+#include "util/assert.h"
+
+namespace dcb::mem {
+
+Region
+AddressSpace::alloc(std::uint64_t bytes, const std::string& name,
+                    std::uint64_t align)
+{
+    DCB_EXPECTS(bytes > 0);
+    DCB_EXPECTS(std::has_single_bit(align));
+    if (align < 64)
+        align = 64;  // never share a cache line across regions
+    const std::uint64_t base = (next_ + align - 1) & ~(align - 1);
+    next_ = base + bytes;
+    Region r{name, base, bytes};
+    regions_.push_back(r);
+    return r;
+}
+
+void
+AddressSpace::reset()
+{
+    next_ = kHeapBase;
+    regions_.clear();
+}
+
+}  // namespace dcb::mem

@@ -1,0 +1,67 @@
+#ifndef DCBENCH_MEM_ADDRESS_SPACE_H_
+#define DCBENCH_MEM_ADDRESS_SPACE_H_
+
+/**
+ * @file
+ * Simulated virtual address space.
+ *
+ * Workload kernels keep their data in ordinary host containers but issue
+ * loads and stores against *simulated* addresses so runs are deterministic
+ * (host ASLR never leaks into cache indexing). The address space hands out
+ * disjoint, aligned regions; kernels compute element addresses as
+ * `region + index * stride`.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcb::mem {
+
+/** A named allocation inside the simulated address space. */
+struct Region
+{
+    std::string name;
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+
+    /** Address of the idx-th element of `stride` bytes. */
+    std::uint64_t at(std::uint64_t idx, std::uint64_t stride) const
+    {
+        return base + idx * stride;
+    }
+    std::uint64_t end() const { return base + size; }
+};
+
+/** Bump allocator over a large private virtual range. */
+class AddressSpace
+{
+  public:
+    /** Data regions start here; well below the PTE region. */
+    static constexpr std::uint64_t kHeapBase = 0x0000'1000'0000ULL;
+
+    AddressSpace() = default;
+
+    /**
+     * Allocate a region. Alignment must be a power of two; regions are
+     * additionally padded so distinct regions never share a cache line.
+     */
+    Region alloc(std::uint64_t bytes, const std::string& name,
+                 std::uint64_t align = 4096);
+
+    /** Total bytes allocated so far. */
+    std::uint64_t bytes_allocated() const { return next_ - kHeapBase; }
+
+    const std::vector<Region>& regions() const { return regions_; }
+
+    /** Release everything (addresses may be reused afterwards). */
+    void reset();
+
+  private:
+    std::uint64_t next_ = kHeapBase;
+    std::vector<Region> regions_;
+};
+
+}  // namespace dcb::mem
+
+#endif  // DCBENCH_MEM_ADDRESS_SPACE_H_

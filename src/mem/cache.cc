@@ -1,0 +1,159 @@
+#include "mem/cache.h"
+
+#include <bit>
+
+#include "util/assert.h"
+
+namespace dcb::mem {
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geometry,
+                             Replacement policy, std::uint64_t rng_seed)
+    : geometry_(geometry), policy_(policy),
+      line_shift_(std::countr_zero(geometry.line_bytes)),
+      num_sets_(geometry.num_sets()),
+      lines_(geometry.num_lines()), rng_(rng_seed)
+{
+    DCB_EXPECTS(std::has_single_bit(
+        static_cast<std::uint64_t>(geometry.line_bytes)));
+    DCB_EXPECTS(num_sets_ >= 1);
+}
+
+std::uint64_t
+SetAssocCache::set_index(std::uint64_t line_addr) const
+{
+    // Modulo indexing handles non-power-of-two set counts (the E5645's
+    // 12 MB L3 has 12288 sets; real hardware hashes the index).
+    return line_addr % num_sets_;
+}
+
+std::uint64_t
+SetAssocCache::tag_of(std::uint64_t line_addr) const
+{
+    return line_addr / num_sets_;
+}
+
+SetAssocCache::Line*
+SetAssocCache::find(std::uint64_t addr)
+{
+    const std::uint64_t line_addr = addr >> line_shift_;
+    const std::uint64_t set = set_index(line_addr);
+    const std::uint64_t tag = tag_of(line_addr);
+    Line* base = &lines_[set * geometry_.ways];
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line*
+SetAssocCache::find(std::uint64_t addr) const
+{
+    return const_cast<SetAssocCache*>(this)->find(addr);
+}
+
+bool
+SetAssocCache::access(std::uint64_t addr)
+{
+    ++stamp_;
+    if (Line* line = find(addr)) {
+        line->lru = stamp_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+
+    const std::uint64_t line_addr = addr >> line_shift_;
+    const std::uint64_t set = set_index(line_addr);
+    Line* base = &lines_[set * geometry_.ways];
+    Line* victim = base;
+    if (policy_ == Replacement::kRandom) {
+        // Prefer an invalid way; otherwise evict at random.
+        bool found_invalid = false;
+        for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                found_invalid = true;
+                break;
+            }
+        }
+        if (!found_invalid)
+            victim = &base[rng_.next_below(geometry_.ways)];
+    } else {
+        for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag_of(line_addr);
+    victim->lru = stamp_;
+    return false;
+}
+
+bool
+SetAssocCache::probe(std::uint64_t addr) const
+{
+    return find(addr) != nullptr;
+}
+
+void
+SetAssocCache::fill(std::uint64_t addr)
+{
+    ++stamp_;
+    if (Line* line = find(addr)) {
+        line->lru = stamp_;
+        return;
+    }
+    const std::uint64_t line_addr = addr >> line_shift_;
+    const std::uint64_t set = set_index(line_addr);
+    Line* base = &lines_[set * geometry_.ways];
+    Line* victim = base;
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag_of(line_addr);
+    victim->lru = stamp_;
+}
+
+void
+SetAssocCache::invalidate(std::uint64_t addr)
+{
+    if (Line* line = find(addr))
+        line->valid = false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto& line : lines_)
+        line.valid = false;
+    stamp_ = 0;
+}
+
+double
+SetAssocCache::miss_ratio() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) / static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+SetAssocCache::reset_counters()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+}  // namespace dcb::mem

@@ -1,0 +1,91 @@
+#ifndef DCBENCH_MEM_CACHE_H_
+#define DCBENCH_MEM_CACHE_H_
+
+/**
+ * @file
+ * A single level of set-associative cache with selectable replacement.
+ *
+ * The simulator tracks tags only (no data): the paper's counter metrics
+ * depend on hit/miss behaviour, not on values. Accesses are by full
+ * byte address; the cache extracts set index and tag from the line-aligned
+ * address.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/config.h"
+#include "util/rng.h"
+
+namespace dcb::mem {
+
+/** Replacement policy for SetAssocCache. */
+enum class Replacement { kLru, kRandom };
+
+/** Tag-only set-associative cache model. */
+class SetAssocCache
+{
+  public:
+    SetAssocCache(const CacheGeometry& geometry, Replacement policy,
+                  std::uint64_t rng_seed = 1);
+
+    /**
+     * Look up an address, filling the line on miss.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    /** Look up without filling or updating recency (probe only). */
+    bool probe(std::uint64_t addr) const;
+
+    /**
+     * Insert a line without touching the demand hit/miss counters
+     * (prefetch fill). An already-present line only has its recency
+     * refreshed.
+     */
+    void fill(std::uint64_t addr);
+
+    /** Invalidate a single line if present. */
+    void invalidate(std::uint64_t addr);
+
+    /** Drop all contents and reset recency (counters are kept). */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+    /** Miss ratio in [0,1]; 0 when never accessed. */
+    double miss_ratio() const;
+
+    /** Zero the hit/miss counters (contents are kept). */
+    void reset_counters();
+
+    const CacheGeometry& geometry() const { return geometry_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;  ///< last-touch stamp (LRU policy)
+        bool valid = false;
+    };
+
+    std::uint64_t set_index(std::uint64_t line_addr) const;
+    std::uint64_t tag_of(std::uint64_t line_addr) const;
+    Line* find(std::uint64_t addr);
+    const Line* find(std::uint64_t addr) const;
+
+    CacheGeometry geometry_;
+    Replacement policy_;
+    std::uint32_t line_shift_;
+    std::uint64_t num_sets_;
+    std::vector<Line> lines_;  ///< sets * ways, row-major by set
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    util::Rng rng_;
+};
+
+}  // namespace dcb::mem
+
+#endif  // DCBENCH_MEM_CACHE_H_

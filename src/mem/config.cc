@@ -1,0 +1,92 @@
+#include "mem/config.h"
+
+#include <bit>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace dcb::mem {
+
+namespace {
+
+void
+check_cache(const CacheGeometry& g, const char* name)
+{
+    DCB_CONFIG_CHECK(g.size_bytes > 0, name);
+    DCB_CONFIG_CHECK(g.line_bytes > 0 && std::has_single_bit(g.line_bytes),
+                     "cache line size must be a power of two");
+    DCB_CONFIG_CHECK(g.ways >= 1, "cache must have at least one way");
+    DCB_CONFIG_CHECK(g.size_bytes % (static_cast<std::uint64_t>(g.ways) *
+                                     g.line_bytes) == 0,
+                     "cache size must be divisible by ways*line");
+    DCB_CONFIG_CHECK(g.num_sets() >= 1,
+                     "cache must have at least one set");
+}
+
+void
+check_tlb(const TlbGeometry& g)
+{
+    DCB_CONFIG_CHECK(g.entries >= g.ways && g.entries % g.ways == 0,
+                     "TLB entries must be a multiple of ways");
+    DCB_CONFIG_CHECK(std::has_single_bit(g.num_sets()),
+                     "TLB set count must be a power of two");
+}
+
+}  // namespace
+
+void
+MemoryConfig::validate() const
+{
+    check_cache(l1i, "L1I size must be positive");
+    check_cache(l1d, "L1D size must be positive");
+    check_cache(l2, "L2 size must be positive");
+    check_cache(l3, "L3 size must be positive");
+    check_tlb(itlb);
+    check_tlb(dtlb);
+    check_tlb(l2_tlb);
+    DCB_CONFIG_CHECK(std::has_single_bit(page_bytes),
+                     "page size must be a power of two");
+    DCB_CONFIG_CHECK(l1_latency >= 1 && l2_latency > l1_latency &&
+                     l3_latency > l2_latency &&
+                     memory_latency > l3_latency,
+                     "latencies must increase down the hierarchy");
+    DCB_CONFIG_CHECK(walk_levels >= 1 && walk_levels <= 5,
+                     "page walk depth must be 1..5");
+    DCB_CONFIG_CHECK(prefetch_degree >= 1 && prefetch_degree <= 8,
+                     "prefetch degree must be 1..8");
+    DCB_CONFIG_CHECK(std::has_single_bit(prefetch_table_entries),
+                     "prefetch table entries must be a power of two");
+}
+
+std::string
+MemoryConfig::to_string() const
+{
+    std::ostringstream os;
+    auto cache_line = [&](const char* name, const CacheGeometry& g) {
+        os << name << ": " << util::human_bytes(g.size_bytes) << ", "
+           << g.ways << "-way associative, " << g.line_bytes
+           << " byte/line\n";
+    };
+    cache_line("L1 DCache", l1d);
+    cache_line("L1 ICache", l1i);
+    cache_line("L2 Cache", l2);
+    cache_line("L3 Cache", l3);
+    os << "ITLB: " << itlb.ways << "-way set associative, " << itlb.entries
+       << " entries\n";
+    os << "DTLB: " << dtlb.ways << "-way set associative, " << dtlb.entries
+       << " entries\n";
+    os << "L2 TLB: " << l2_tlb.ways << "-way associative, " << l2_tlb.entries
+       << " entries\n";
+    return os.str();
+}
+
+MemoryConfig
+westmere_memory_config()
+{
+    MemoryConfig cfg;  // defaults are Table III
+    cfg.validate();
+    return cfg;
+}
+
+}  // namespace dcb::mem

@@ -1,0 +1,85 @@
+#ifndef DCBENCH_MEM_CONFIG_H_
+#define DCBENCH_MEM_CONFIG_H_
+
+/**
+ * @file
+ * Memory-system configuration. The default values reproduce Table III of
+ * the paper (Intel Xeon E5645, Westmere-EP) exactly where the paper gives
+ * them, and use published Westmere numbers for latencies the paper omits.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace dcb::mem {
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint64_t size_bytes = 0;
+    std::uint32_t ways = 1;
+    std::uint32_t line_bytes = 64;
+
+    std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+    std::uint64_t num_sets() const { return num_lines() / ways; }
+};
+
+/** Geometry of one TLB level. */
+struct TlbGeometry
+{
+    std::uint32_t entries = 64;
+    std::uint32_t ways = 4;
+
+    std::uint32_t num_sets() const { return entries / ways; }
+};
+
+/**
+ * Full memory-system configuration (Table III plus latencies).
+ *
+ * Latencies are in core cycles at the configured frequency. The paper's
+ * Table III gives the geometries; load-to-use latencies follow Intel's
+ * published Westmere-EP characteristics (L1 4, L2 10, L3 ~44, DRAM ~180
+ * cycles at 2.4 GHz).
+ */
+struct MemoryConfig
+{
+    CacheGeometry l1i{32 * 1024, 4, 64};    ///< 32KB 4-way (Table III)
+    CacheGeometry l1d{32 * 1024, 8, 64};    ///< 32KB 8-way (Table III)
+    CacheGeometry l2{256 * 1024, 8, 64};    ///< 256KB 8-way (Table III)
+    CacheGeometry l3{12 * 1024 * 1024, 16, 64};  ///< 12MB 16-way (Table III)
+
+    TlbGeometry itlb{64, 4};     ///< 64-entry 4-way (Table III)
+    TlbGeometry dtlb{64, 4};     ///< 64-entry 4-way (Table III)
+    TlbGeometry l2_tlb{512, 4};  ///< 512-entry 4-way (Table III)
+
+    std::uint32_t page_bytes = 4096;
+
+    std::uint32_t l1_latency = 4;
+    std::uint32_t l2_latency = 10;
+    std::uint32_t l3_latency = 44;
+    std::uint32_t memory_latency = 180;
+
+    /** Extra fixed cycles for a page walk beyond its PTE cache accesses. */
+    std::uint32_t walk_base_latency = 8;
+    /** Radix page-table depth (x86-64: 4 levels). */
+    std::uint32_t walk_levels = 4;
+
+    /** Hardware stream prefetchers (on, as on the E5645). */
+    bool enable_data_prefetch = true;
+    bool enable_insn_prefetch = true;
+    std::uint32_t prefetch_degree = 4;
+    std::uint32_t prefetch_table_entries = 64;
+
+    /** Validate internal consistency; calls fatal() on bad user config. */
+    void validate() const;
+
+    /** Human-readable dump used by the Table III bench. */
+    std::string to_string() const;
+};
+
+/** The paper's evaluation machine (Table III defaults). */
+MemoryConfig westmere_memory_config();
+
+}  // namespace dcb::mem
+
+#endif  // DCBENCH_MEM_CONFIG_H_

@@ -1,0 +1,36 @@
+#include "mem/page_table.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dcb::mem {
+
+PageTable::PageTable(std::uint32_t levels, std::uint32_t page_shift)
+    : levels_(levels), page_shift_(page_shift)
+{
+    DCB_EXPECTS(levels >= 1 && levels <= kMaxLevels);
+    DCB_EXPECTS(page_shift >= 10 && page_shift <= 21);
+}
+
+void
+PageTable::walk_addresses(std::uint64_t vaddr,
+                          std::array<std::uint64_t, kMaxLevels>& out) const
+{
+    const std::uint64_t vpn = vaddr >> page_shift_;
+    // 9 index bits per level, root (level 0) indexed by the topmost bits.
+    for (std::uint32_t level = 0; level < levels_; ++level) {
+        const std::uint32_t shift = 9 * (levels_ - 1 - level);
+        const std::uint64_t index = (vpn >> shift) & 0x1ff;
+        // Path prefix identifying this node: all VPN bits above `index`.
+        const std::uint64_t prefix = shift + 9 < 64 ? (vpn >> (shift + 9))
+                                                    : 0;
+        // Deterministic 4KB-aligned node base inside the PTE region.
+        const std::uint64_t node = util::mix64(prefix * kMaxLevels + level +
+                                               1);
+        const std::uint64_t node_base = kPteRegionBase +
+                                        ((node & 0xFFFFFFFFFULL) << 12);
+        out[level] = node_base + index * 8;
+    }
+}
+
+}  // namespace dcb::mem

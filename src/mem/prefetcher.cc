@@ -1,0 +1,56 @@
+#include "mem/prefetcher.h"
+
+#include <bit>
+#include <cstdlib>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dcb::mem {
+
+StridePrefetcher::StridePrefetcher(std::uint32_t table_entries,
+                                   std::uint32_t degree,
+                                   std::uint32_t page_bytes)
+    : table_(table_entries), index_mask_(table_entries - 1),
+      degree_(degree), page_mask_(~static_cast<std::uint64_t>(page_bytes - 1))
+{
+    DCB_EXPECTS(std::has_single_bit(table_entries));
+    DCB_EXPECTS(degree >= 1 && degree <= kMaxPrefetches);
+    DCB_EXPECTS(std::has_single_bit(page_bytes));
+}
+
+std::uint32_t
+StridePrefetcher::observe(std::uint64_t addr,
+                          std::uint64_t out[kMaxPrefetches])
+{
+    // Streams are tracked per 4 KB page so concurrent streams (e.g. the
+    // two inputs and one output of a merge) get separate trackers; the
+    // page index is hashed so page-aligned arrays do not alias.
+    Entry& e = table_[util::mix64(addr >> 12) & index_mask_];
+    const std::int64_t stride = static_cast<std::int64_t>(addr) -
+                                static_cast<std::int64_t>(e.last_addr);
+    std::uint32_t n = 0;
+    if (e.last_addr != 0 && stride == e.stride && stride != 0 &&
+        std::llabs(stride) <= 2048) {
+        if (e.confidence < 4)
+            ++e.confidence;
+        if (e.confidence >= 1) {
+            const std::uint64_t page = addr & page_mask_;
+            for (std::uint32_t k = 1; k <= degree_; ++k) {
+                const std::uint64_t target = addr +
+                    static_cast<std::uint64_t>(stride) * k;
+                if ((target & page_mask_) != page)
+                    break;  // never cross a page
+                out[n++] = target;
+            }
+        }
+    } else {
+        e.stride = stride;
+        e.confidence = 0;
+    }
+    e.last_addr = addr;
+    issued_ += n;
+    return n;
+}
+
+}  // namespace dcb::mem

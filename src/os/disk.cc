@@ -1,0 +1,59 @@
+#include "os/disk.h"
+
+#include "util/assert.h"
+
+namespace dcb::os {
+
+Disk::Disk(const DiskParams& params) : params_(params)
+{
+    DCB_CONFIG_CHECK(params.bandwidth_mb_s > 0.0,
+                     "disk bandwidth must be positive");
+    DCB_CONFIG_CHECK(params.request_bytes > 0,
+                     "disk request granularity must be positive");
+}
+
+std::uint64_t
+Disk::requests_for(std::uint64_t bytes) const
+{
+    return (bytes + params_.request_bytes - 1) / params_.request_bytes;
+}
+
+double
+Disk::service_time(std::uint64_t bytes) const
+{
+    const double stream = static_cast<double>(bytes) /
+                          (params_.bandwidth_mb_s * 1024.0 * 1024.0);
+    return params_.request_latency_s + stream;
+}
+
+double
+Disk::write(std::uint64_t bytes)
+{
+    bytes_written_ += bytes;
+    write_requests_ += requests_for(bytes);
+    const double t = service_time(bytes);
+    busy_seconds_ += t;
+    return t;
+}
+
+double
+Disk::read(std::uint64_t bytes)
+{
+    bytes_read_ += bytes;
+    read_requests_ += requests_for(bytes);
+    const double t = service_time(bytes);
+    busy_seconds_ += t;
+    return t;
+}
+
+void
+Disk::reset()
+{
+    bytes_written_ = 0;
+    bytes_read_ = 0;
+    write_requests_ = 0;
+    read_requests_ = 0;
+    busy_seconds_ = 0.0;
+}
+
+}  // namespace dcb::os

@@ -1,0 +1,64 @@
+#ifndef DCBENCH_OS_DISK_H_
+#define DCBENCH_OS_DISK_H_
+
+/**
+ * @file
+ * Disk model: request/byte accounting plus a simple service-time model.
+ *
+ * Figure 5 of the paper reports disk writes per second from /proc data;
+ * the request counters here provide the numerator, and the MapReduce
+ * engine's simulated job duration provides the denominator. The
+ * service-time model (seek + streaming bandwidth) also feeds task timing
+ * in the cluster simulation.
+ */
+
+#include <cstdint>
+
+namespace dcb::os {
+
+/** Parameters of a 7.2k-rpm SATA disk of the paper's era. */
+struct DiskParams
+{
+    double bandwidth_mb_s = 100.0;     ///< streaming bandwidth
+    double request_latency_s = 0.004;  ///< per-request seek+rotate
+    std::uint64_t request_bytes = 1 << 20;  ///< device request granularity
+};
+
+/** One node's disk. */
+class Disk
+{
+  public:
+    explicit Disk(const DiskParams& params = DiskParams{});
+
+    /** Account a write of `bytes`; returns service time in seconds. */
+    double write(std::uint64_t bytes);
+
+    /** Account a read of `bytes`; returns service time in seconds. */
+    double read(std::uint64_t bytes);
+
+    std::uint64_t bytes_written() const { return bytes_written_; }
+    std::uint64_t bytes_read() const { return bytes_read_; }
+    /** Device-level write requests (Figure 5 numerator). */
+    std::uint64_t write_requests() const { return write_requests_; }
+    std::uint64_t read_requests() const { return read_requests_; }
+
+    /** Total busy time accumulated (seconds). */
+    double busy_seconds() const { return busy_seconds_; }
+
+    void reset();
+
+  private:
+    std::uint64_t requests_for(std::uint64_t bytes) const;
+    double service_time(std::uint64_t bytes) const;
+
+    DiskParams params_;
+    std::uint64_t bytes_written_ = 0;
+    std::uint64_t bytes_read_ = 0;
+    std::uint64_t write_requests_ = 0;
+    std::uint64_t read_requests_ = 0;
+    double busy_seconds_ = 0.0;
+};
+
+}  // namespace dcb::os
+
+#endif  // DCBENCH_OS_DISK_H_

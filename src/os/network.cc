@@ -1,0 +1,40 @@
+#include "os/network.h"
+
+#include "util/assert.h"
+
+namespace dcb::os {
+
+Network::Network(const NetworkParams& params) : params_(params)
+{
+    DCB_CONFIG_CHECK(params.bandwidth_mb_s > 0.0,
+                     "network bandwidth must be positive");
+}
+
+double
+Network::transfer_seconds(std::uint64_t bytes,
+                          std::uint32_t concurrent_flows) const
+{
+    if (concurrent_flows == 0)
+        concurrent_flows = 1;
+    const double effective = params_.bandwidth_mb_s /
+                             static_cast<double>(concurrent_flows);
+    return params_.message_latency_s +
+           static_cast<double>(bytes) / (effective * 1024.0 * 1024.0);
+}
+
+double
+Network::send(std::uint64_t bytes, std::uint32_t concurrent_flows)
+{
+    bytes_sent_ += bytes;
+    ++messages_;
+    return transfer_seconds(bytes, concurrent_flows);
+}
+
+void
+Network::reset()
+{
+    bytes_sent_ = 0;
+    messages_ = 0;
+}
+
+}  // namespace dcb::os

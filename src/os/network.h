@@ -1,0 +1,54 @@
+#ifndef DCBENCH_OS_NETWORK_H_
+#define DCBENCH_OS_NETWORK_H_
+
+/**
+ * @file
+ * Network model: the 1 Gb Ethernet connecting the paper's Hadoop nodes
+ * (Section III-A). Point-to-point transfers have a per-message latency
+ * plus serialization at link bandwidth; a shared-fabric helper scales
+ * effective bandwidth when many flows cross the same link (all-to-all
+ * shuffle), which is what bends the Figure 2 speedup curves for
+ * shuffle-heavy jobs.
+ */
+
+#include <cstdint>
+
+namespace dcb::os {
+
+/** 1 GbE link parameters. */
+struct NetworkParams
+{
+    double bandwidth_mb_s = 117.0;     ///< 1 Gb/s minus framing
+    double message_latency_s = 0.0002;
+};
+
+/** A node's NIC / the cluster fabric. */
+class Network
+{
+  public:
+    explicit Network(const NetworkParams& params = NetworkParams{});
+
+    /**
+     * Time to move `bytes` point-to-point when `concurrent_flows` flows
+     * share the receiver's link.
+     */
+    double transfer_seconds(std::uint64_t bytes,
+                            std::uint32_t concurrent_flows = 1) const;
+
+    /** Account an outbound transfer; returns service time. */
+    double send(std::uint64_t bytes, std::uint32_t concurrent_flows = 1);
+
+    std::uint64_t bytes_sent() const { return bytes_sent_; }
+    std::uint64_t messages() const { return messages_; }
+
+    void reset();
+
+  private:
+    NetworkParams params_;
+    std::uint64_t bytes_sent_ = 0;
+    std::uint64_t messages_ = 0;
+};
+
+}  // namespace dcb::os
+
+#endif  // DCBENCH_OS_NETWORK_H_

@@ -1,0 +1,155 @@
+#include "os/syscalls.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dcb::os {
+
+trace::CodeLayout
+kernel_code_layout(std::uint64_t base, std::uint64_t seed)
+{
+    std::vector<trace::CodeRegionSpec> specs;
+    // Hot syscall entry + copy loops: small, very warm.
+    specs.push_back({"kernel_hot", 48, 320, 0.58, 0.7, 48.0});
+    // VFS / block / net subsystem paths.
+    specs.push_back({"kernel_subsys", 1200, 384, 0.41, 0.8, 24.0});
+    // Cold driver and housekeeping code.
+    specs.push_back({"kernel_cold", 4000, 384, 0.01, 0.9, 16.0});
+    return trace::CodeLayout(std::move(specs), base, seed);
+}
+
+OsModel::OsModel(trace::ExecCtx& ctx, mem::AddressSpace& space, Disk& disk,
+                 Network& net, const SyscallCosts& costs)
+    : ctx_(ctx), disk_(disk), net_(net), costs_(costs),
+      bounce_(space.alloc(costs.bounce_buffer_bytes, "kernel_bounce")),
+      branch_site_base_(util::mix64(0xBADC0FFEEULL))
+{
+    DCB_CONFIG_CHECK(costs.copy_bytes_per_pair >= 8,
+                     "copy granularity must be at least 8 bytes");
+}
+
+std::uint64_t
+OsModel::kernel_instructions() const
+{
+    return ctx_.counts().kernel_ops;
+}
+
+std::uint64_t
+OsModel::next_bounce_addr(std::uint64_t bytes)
+{
+    if (bounce_cursor_ + bytes > bounce_.size)
+        bounce_cursor_ = 0;
+    const std::uint64_t addr = bounce_.base + bounce_cursor_;
+    bounce_cursor_ += bytes;
+    return addr;
+}
+
+void
+OsModel::kernel_path(std::uint32_t path_instrs)
+{
+    // Kernel code: ALU-heavy with pointer loads (file/socket structs,
+    // queue manipulation) and moderately predictable branches. The
+    // pattern below emits ~16 ops per iteration: 10 ALU, 3 loads,
+    // 2 stores, 1 branch.
+    const std::uint64_t stack = next_bounce_addr(256);
+    const std::uint32_t iters = path_instrs / 16 + 1;
+    for (std::uint32_t i = 0; i < iters; ++i) {
+        ctx_.alu(4);
+        ctx_.load(stack + (i % 4) * 64);
+        ctx_.alu(3);
+        ctx_.chase_load(stack + ((i + 1) % 4) * 64);
+        ctx_.alu(3);
+        ctx_.load(stack + ((i * 3) % 4) * 64);
+        ctx_.store(stack + (i % 4) * 64);
+        ctx_.store(stack + ((i + 2) % 4) * 64);
+        // Error-check branches: almost always not taken.
+        ctx_.branch(branch_site_base_ + (i % 13), i % 29 == 0);
+    }
+}
+
+void
+OsModel::copy_user(std::uint64_t user_buf, std::uint64_t bytes)
+{
+    // copy_user_generic_string: a tight rep-mov loop, one load+store pair
+    // per `copy_bytes_per_pair` bytes, plus a loop branch every 4 pairs.
+    const std::uint64_t kbuf = next_bounce_addr(bytes);
+    const std::uint64_t pairs = bytes / costs_.copy_bytes_per_pair + 1;
+    const std::uint64_t site = branch_site_base_ + 101;
+    for (std::uint64_t p = 0; p < pairs; ++p) {
+        const std::uint64_t off = p * costs_.copy_bytes_per_pair;
+        ctx_.load(user_buf + off);
+        ctx_.store(kbuf + off);
+        if ((p & 3) == 3)
+            ctx_.branch(site, p + 4 < pairs);
+    }
+}
+
+namespace {
+
+/** 4 KB pages touched by an I/O of `bytes`. */
+std::uint32_t
+pages_of(std::uint64_t bytes)
+{
+    return static_cast<std::uint32_t>((bytes + 4095) / 4096);
+}
+
+}  // namespace
+
+void
+OsModel::sys_write(std::uint64_t user_buf, std::uint64_t bytes)
+{
+    ctx_.set_mode(trace::Mode::kKernel);
+    kernel_path(costs_.trap_instrs);
+    // VFS entry plus per-page page-cache/block-layer work.
+    kernel_path(costs_.file_path_instrs +
+                pages_of(bytes) * costs_.file_page_write_instrs);
+    copy_user(user_buf, bytes);
+    ctx_.set_mode(trace::Mode::kUser);
+    disk_.write(bytes);
+}
+
+void
+OsModel::sys_read(std::uint64_t user_buf, std::uint64_t bytes)
+{
+    ctx_.set_mode(trace::Mode::kKernel);
+    kernel_path(costs_.trap_instrs);
+    kernel_path(costs_.file_path_instrs +
+                pages_of(bytes) * costs_.file_page_read_instrs);
+    copy_user(user_buf, bytes);
+    ctx_.set_mode(trace::Mode::kUser);
+    disk_.read(bytes);
+}
+
+void
+OsModel::sys_send(std::uint64_t user_buf, std::uint64_t bytes)
+{
+    ctx_.set_mode(trace::Mode::kKernel);
+    kernel_path(costs_.trap_instrs);
+    kernel_path(costs_.socket_path_instrs +
+                pages_of(bytes) * costs_.socket_page_instrs);
+    copy_user(user_buf, bytes);
+    ctx_.set_mode(trace::Mode::kUser);
+    net_.send(bytes);
+}
+
+void
+OsModel::sys_recv(std::uint64_t user_buf, std::uint64_t bytes)
+{
+    ctx_.set_mode(trace::Mode::kKernel);
+    kernel_path(costs_.trap_instrs);
+    kernel_path(costs_.socket_path_instrs +
+                pages_of(bytes) * costs_.socket_page_instrs);
+    copy_user(user_buf, bytes);
+    ctx_.set_mode(trace::Mode::kUser);
+}
+
+void
+OsModel::sys_sched()
+{
+    ctx_.set_mode(trace::Mode::kKernel);
+    kernel_path(costs_.trap_instrs);
+    kernel_path(costs_.sched_path_instrs);
+    ctx_.set_mode(trace::Mode::kUser);
+}
+
+}  // namespace dcb::os

@@ -1,0 +1,69 @@
+#include "trace/code_layout.h"
+
+#include "util/assert.h"
+
+namespace dcb::trace {
+
+CodeLayout::CodeLayout(std::vector<CodeRegionSpec> specs, std::uint64_t base,
+                       std::uint64_t seed)
+    : base_(base), rng_(seed)
+{
+    DCB_EXPECTS(!specs.empty());
+    double weight_sum = 0.0;
+    std::uint64_t cursor = base;
+    for (const auto& spec : specs) {
+        DCB_EXPECTS(spec.func_count >= 1 && spec.func_bytes >= kInsnBytes);
+        DCB_EXPECTS(spec.weight > 0.0);
+        regions_.emplace_back(spec, cursor);
+        cursor += spec.bytes();
+        total_bytes_ += spec.bytes();
+        weight_sum += spec.weight;
+    }
+    double acc = 0.0;
+    for (const auto& region : regions_) {
+        acc += region.spec.weight / weight_sum;
+        cum_weights_.push_back(acc);
+    }
+    cum_weights_.back() = 1.0;
+    transfer();  // establish an initial execution point
+}
+
+void
+CodeLayout::transfer()
+{
+    const double u = rng_.next_double();
+    std::size_t idx = 0;
+    while (idx + 1 < cum_weights_.size() && u > cum_weights_[idx])
+        ++idx;
+    Region& region = regions_[idx];
+    const std::uint64_t func = region.popularity.sample(rng_);
+    func_start_ = region.base + func * region.spec.func_bytes;
+    func_end_ = func_start_ + region.spec.func_bytes;
+    pc_ = func_start_;
+    mean_run_ = region.spec.mean_run_insns;
+    run_remaining_ = 1 + rng_.next_geometric(mean_run_, 4096);
+}
+
+std::uint64_t
+CodeLayout::next_fetch()
+{
+    if (run_remaining_ == 0)
+        transfer();
+    --run_remaining_;
+    const std::uint64_t addr = pc_;
+    pc_ += kInsnBytes;
+    if (pc_ >= func_end_)
+        pc_ = func_start_;  // loop back within the function
+    return addr;
+}
+
+CodeLayout
+tight_kernel_layout(std::uint64_t base, std::uint64_t seed)
+{
+    std::vector<CodeRegionSpec> specs;
+    specs.push_back({"hot_loop", 4, 512, 0.96, 0.6, 200.0});
+    specs.push_back({"support", 64, 256, 0.04, 0.8, 24.0});
+    return CodeLayout(std::move(specs), base, seed);
+}
+
+}  // namespace dcb::trace

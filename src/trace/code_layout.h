@@ -1,0 +1,112 @@
+#ifndef DCBENCH_TRACE_CODE_LAYOUT_H_
+#define DCBENCH_TRACE_CODE_LAYOUT_H_
+
+/**
+ * @file
+ * Instruction-footprint model.
+ *
+ * The paper attributes the data-analysis workloads' front-end pressure
+ * (Figures 6-8) to the large binaries produced by high-level languages and
+ * third-party frameworks (JVM + Hadoop + Mahout), not to the algorithm
+ * kernels themselves. Our kernels are small C++; their instruction-side
+ * behaviour therefore cannot emerge from the host binary and is modelled
+ * explicitly:
+ *
+ * A CodeLayout describes a binary as a set of regions (e.g. "hot JITed
+ * loops", "framework", "libraries"), each containing many fixed-size
+ * functions. Execution is a stream of instruction addresses: sequential
+ * runs inside one function (with loop wrap-around), punctuated by control
+ * transfers whose targets pick a region by activity weight and a function
+ * within it by Zipf popularity. Region sizes and weights are per-workload
+ * calibration data (see workloads/profiles.cc), and an ablation bench
+ * (ablate_codelayout) verifies the paper's claim that footprint size drives
+ * L1I/ITLB behaviour.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace dcb::trace {
+
+/** Specification of one code region inside a layout. */
+struct CodeRegionSpec
+{
+    std::string name;
+    std::uint64_t func_count = 1;   ///< functions in the region
+    std::uint64_t func_bytes = 256; ///< bytes per function
+    double weight = 1.0;            ///< fraction of transfers landing here
+    double zipf_skew = 0.8;         ///< function popularity skew
+    double mean_run_insns = 24.0;   ///< mean sequential run before transfer
+
+    std::uint64_t bytes() const { return func_count * func_bytes; }
+};
+
+/** Generates a realistic instruction-fetch address stream. */
+class CodeLayout
+{
+  public:
+    /** Average encoded instruction length (x86-64 integer code). */
+    static constexpr std::uint64_t kInsnBytes = 4;
+
+    /**
+     * @param specs Region descriptions; weights are normalized internally.
+     * @param base  Virtual address where the binary is laid out.
+     * @param seed  Stream seed (determinism).
+     */
+    CodeLayout(std::vector<CodeRegionSpec> specs, std::uint64_t base,
+               std::uint64_t seed);
+
+    /** Address of the next instruction; advances the stream. */
+    std::uint64_t next_fetch();
+
+    /**
+     * Force a control transfer on the next fetch (used at call sites so
+     * basic-block boundaries line up with workload structure).
+     */
+    void force_transfer() { run_remaining_ = 0; }
+
+    /** Total bytes mapped by the layout (the modelled binary size). */
+    std::uint64_t total_bytes() const { return total_bytes_; }
+
+    /** First address past the layout (for placing adjacent layouts). */
+    std::uint64_t end_address() const { return base_ + total_bytes_; }
+
+  private:
+    struct Region
+    {
+        CodeRegionSpec spec;
+        std::uint64_t base = 0;
+        util::ZipfSampler popularity;
+
+        Region(const CodeRegionSpec& s, std::uint64_t b)
+            : spec(s), base(b), popularity(s.func_count, s.zipf_skew)
+        {
+        }
+    };
+
+    void transfer();
+
+    std::uint64_t base_;
+    std::uint64_t total_bytes_ = 0;
+    std::vector<Region> regions_;
+    std::vector<double> cum_weights_;
+    util::Rng rng_;
+
+    // Current execution point.
+    std::uint64_t func_start_ = 0;
+    std::uint64_t func_end_ = 0;
+    std::uint64_t pc_ = 0;
+    std::uint64_t run_remaining_ = 0;
+    double mean_run_ = 24.0;
+};
+
+/** A small hot-loop-only layout (HPCC-style kernels). */
+CodeLayout tight_kernel_layout(std::uint64_t base, std::uint64_t seed);
+
+}  // namespace dcb::trace
+
+#endif  // DCBENCH_TRACE_CODE_LAYOUT_H_

@@ -1,0 +1,156 @@
+#include "trace/exec_ctx.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace dcb::trace {
+
+ExecCtx::ExecCtx(OpSink& sink, CodeLayout user_layout,
+                 CodeLayout kernel_layout, const ExecProfile& profile,
+                 std::uint64_t seed)
+    : sink_(sink), user_layout_(std::move(user_layout)),
+      kernel_layout_(std::move(kernel_layout)), profile_(profile),
+      rng_(seed)
+{
+    DCB_EXPECTS(profile.partial_reg_prob >= 0.0 &&
+                profile.partial_reg_prob <= 1.0);
+    partial_reg_threshold_ = static_cast<std::uint64_t>(
+        profile.partial_reg_prob *
+        static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
+}
+
+CodeLayout&
+ExecCtx::active_layout()
+{
+    return mode_ == Mode::kUser ? user_layout_ : kernel_layout_;
+}
+
+void
+ExecCtx::emit(MicroOp& op)
+{
+    op.mode = mode_;
+    op.fetch_addr = active_layout().next_fetch();
+    if (partial_reg_threshold_ && op.cls == OpClass::kAlu)
+        op.partial_reg = rng_.next_u64() < partial_reg_threshold_;
+    // Cheap deterministic register-read pattern (1 or 2 sources).
+    op.src_regs = static_cast<std::uint8_t>(1 + (counts_.total() & 1));
+    if (mode_ == Mode::kUser)
+        ++counts_.user_ops;
+    else
+        ++counts_.kernel_ops;
+    ++ops_since_last_load_;
+    sink_.consume(op);
+}
+
+void
+ExecCtx::load(std::uint64_t addr, std::uint8_t dep_dist)
+{
+    MicroOp op;
+    op.cls = OpClass::kLoad;
+    op.addr = addr;
+    op.dep_dist = dep_dist;
+    ops_since_last_load_ = 0;
+    emit(op);
+}
+
+void
+ExecCtx::chase_load(std::uint64_t addr)
+{
+    MicroOp op;
+    op.cls = OpClass::kLoad;
+    op.addr = addr;
+    // ops_since_last_load_ counts ops emitted since (and including) the
+    // previous load, i.e. exactly its distance from this op.
+    const std::uint64_t dist = ops_since_last_load_;
+    op.dep_dist = static_cast<std::uint8_t>(dist > 255 ? 0 : dist);
+    ops_since_last_load_ = 0;
+    emit(op);
+}
+
+void
+ExecCtx::store(std::uint64_t addr)
+{
+    MicroOp op;
+    op.cls = OpClass::kStore;
+    op.addr = addr;
+    // A store usually consumes a recently produced value.
+    op.dep_dist = 2;
+    emit(op);
+}
+
+void
+ExecCtx::alu(std::uint32_t n, bool serial, std::uint8_t dep_dist)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        MicroOp op;
+        op.cls = OpClass::kAlu;
+        op.dep_dist = serial ? 1
+                             : (dep_dist ? dep_dist
+                                         : profile_.alu_dep_dist);
+        // The first op after a load consumes the loaded value -- unless
+        // the caller stated an explicit dependence.
+        if (op.dep_dist == 0 && ops_since_last_load_ == 1)
+            op.dep_dist = 1;
+        emit(op);
+    }
+}
+
+void
+ExecCtx::fpu(std::uint32_t n, bool serial, std::uint8_t dep_dist)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        MicroOp op;
+        op.cls = OpClass::kFpu;
+        op.dep_dist = serial ? 1
+                             : (dep_dist ? dep_dist
+                                         : profile_.alu_dep_dist);
+        if (op.dep_dist == 0 && ops_since_last_load_ == 1)
+            op.dep_dist = 1;
+        emit(op);
+    }
+}
+
+void
+ExecCtx::branch(std::uint64_t key, bool taken)
+{
+    MicroOp op;
+    op.cls = OpClass::kBranch;
+    op.branch_key = key;
+    op.taken = taken;
+    // A branch typically tests a value computed just before it.
+    op.dep_dist = 1;
+    emit(op);
+    // Taken conditional branches overwhelmingly stay inside the current
+    // function (loop back-edges); the CodeLayout's own run-length model
+    // covers inter-procedural transfers, so no force_transfer() here.
+}
+
+void
+ExecCtx::indirect_branch(std::uint64_t key, std::uint64_t target_key)
+{
+    MicroOp op;
+    op.cls = OpClass::kBranch;
+    op.branch_key = key;
+    op.taken = true;
+    op.indirect = true;
+    op.target_key = target_key;
+    op.dep_dist = 2;
+    emit(op);
+    active_layout().force_transfer();
+}
+
+void
+ExecCtx::call(std::uint64_t key)
+{
+    // Linkage: push return address (store-like ALU work), then transfer.
+    MicroOp op;
+    op.cls = OpClass::kBranch;
+    op.branch_key = key;
+    op.taken = true;
+    emit(op);
+    active_layout().force_transfer();
+}
+
+}  // namespace dcb::trace

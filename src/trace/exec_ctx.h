@@ -1,0 +1,123 @@
+#ifndef DCBENCH_TRACE_EXEC_CTX_H_
+#define DCBENCH_TRACE_EXEC_CTX_H_
+
+/**
+ * @file
+ * The instrumented execution API workload kernels are written against.
+ *
+ * A kernel runs its real algorithm over real (synthetic) data and narrates
+ * every semantically meaningful action to the ExecCtx: loads and stores
+ * with their simulated addresses, ALU/FP work, and branches with their
+ * resolved directions. The context assembles complete MicroOps (attaching
+ * instruction-fetch addresses from the active CodeLayout, privilege mode,
+ * and rename/dependency metadata from the workload's ExecProfile) and
+ * pushes them into an OpSink -- normally the simulated core.
+ */
+
+#include <cstdint>
+#include <optional>
+
+#include "trace/code_layout.h"
+#include "trace/microop.h"
+#include "util/rng.h"
+
+namespace dcb::trace {
+
+/**
+ * Per-workload execution-style parameters.
+ *
+ * These describe properties of the *generated machine code* that the
+ * algorithm source cannot express: partial-register writes (legacy x86
+ * idioms, dense in the service stacks the paper measures, rare in JITed
+ * loops) and the default producer-consumer distances of emitted code.
+ */
+struct ExecProfile
+{
+    double partial_reg_prob = 0.01;
+    std::uint8_t load_consumer_dist = 3;  ///< default load dep distance
+    std::uint8_t alu_dep_dist = 0;        ///< default ALU dep distance
+};
+
+/** Counts of ops issued through an ExecCtx, by mode. */
+struct ExecCounts
+{
+    std::uint64_t user_ops = 0;
+    std::uint64_t kernel_ops = 0;
+
+    std::uint64_t total() const { return user_ops + kernel_ops; }
+};
+
+/** Instrumented execution context: the bridge from algorithm to core. */
+class ExecCtx
+{
+  public:
+    /**
+     * @param sink          Consumer of the op stream (the core).
+     * @param user_layout   Code layout of the application binary.
+     * @param kernel_layout Code layout of the OS kernel.
+     * @param profile      Execution-style parameters.
+     * @param seed          Determinism seed for sampled metadata.
+     */
+    ExecCtx(OpSink& sink, CodeLayout user_layout, CodeLayout kernel_layout,
+            const ExecProfile& profile, std::uint64_t seed);
+
+    // --- Data side -------------------------------------------------------
+
+    /** Load from a simulated address; dep_dist 0 means "use profile". */
+    void load(std::uint64_t addr, std::uint8_t dep_dist = 0);
+
+    /** Load whose address depends on the previous load (pointer chase). */
+    void chase_load(std::uint64_t addr);
+
+    void store(std::uint64_t addr);
+
+    // --- Compute side ------------------------------------------------------
+
+    /**
+     * n integer ops. `serial` chains each op on its predecessor;
+     * otherwise a nonzero `dep_dist` marks each op dependent on the op
+     * that many positions earlier (software-pipelined chains).
+     */
+    void alu(std::uint32_t n = 1, bool serial = false,
+             std::uint8_t dep_dist = 0);
+
+    /** n floating-point ops; same dependency conventions as alu(). */
+    void fpu(std::uint32_t n = 1, bool serial = false,
+             std::uint8_t dep_dist = 0);
+
+    // --- Control flow ----------------------------------------------------
+
+    /** Conditional branch at site `key` resolving to `taken`. */
+    void branch(std::uint64_t key, bool taken);
+
+    /** Indirect branch/call at `key` jumping to `target_key`. */
+    void indirect_branch(std::uint64_t key, std::uint64_t target_key);
+
+    /** Direct call: forces an instruction-stream transfer plus linkage. */
+    void call(std::uint64_t key);
+
+    // --- Mode ------------------------------------------------------------
+
+    void set_mode(Mode mode) { mode_ = mode; }
+    Mode mode() const { return mode_; }
+
+    const ExecCounts& counts() const { return counts_; }
+
+  private:
+    void emit(MicroOp& op);
+    CodeLayout& active_layout();
+
+    OpSink& sink_;
+    CodeLayout user_layout_;
+    CodeLayout kernel_layout_;
+    ExecProfile profile_;
+    util::Rng rng_;
+    Mode mode_ = Mode::kUser;
+    ExecCounts counts_;
+    std::uint64_t ops_since_last_load_ = 1 << 20;
+    std::uint64_t partial_reg_threshold_ = 0;  ///< u64-scaled probability
+};
+
+}  // namespace dcb::trace
+
+#endif  // DCBENCH_TRACE_EXEC_CTX_H_

@@ -1,0 +1,61 @@
+#ifndef DCBENCH_TRACE_MICROOP_H_
+#define DCBENCH_TRACE_MICROOP_H_
+
+/**
+ * @file
+ * The micro-operation model: the unit of work exchanged between workloads
+ * and the simulated core.
+ *
+ * Following the paper's methodology section, the front end decodes CISC
+ * instructions into RISC-like micro-operations; this simulator works at
+ * that granularity directly (one MicroOp approximates one retired
+ * instruction for counter purposes, which is the right first-order mapping
+ * for the integer-dominated workloads studied).
+ */
+
+#include <cstdint>
+
+namespace dcb::trace {
+
+/** Functional class of a micro-op (selects execution port and latency). */
+enum class OpClass : std::uint8_t {
+    kAlu,     ///< integer ALU
+    kFpu,     ///< floating point
+    kLoad,    ///< memory read
+    kStore,   ///< memory write
+    kBranch,  ///< conditional or indirect branch
+    kNop,     ///< pipeline filler (fetch/decode only)
+};
+
+/** Privilege mode an op retires in (Figure 4's user/kernel breakdown). */
+enum class Mode : std::uint8_t { kUser, kKernel };
+
+/** One micro-operation, fully described for the core model. */
+struct MicroOp
+{
+    OpClass cls = OpClass::kAlu;
+    Mode mode = Mode::kUser;
+    bool taken = false;        ///< branch: resolved direction
+    bool indirect = false;     ///< branch: target comes from a register
+    bool partial_reg = false;  ///< writes a partial register (RAT hazard)
+    std::uint8_t src_regs = 2;  ///< architectural registers read
+    std::uint8_t dep_dist = 0;  ///< distance to producer op; 0 = none
+    std::uint64_t fetch_addr = 0;  ///< instruction address (L1I / ITLB)
+    std::uint64_t addr = 0;        ///< data address (load/store)
+    std::uint64_t branch_key = 0;  ///< stable branch-site identity
+    std::uint64_t target_key = 0;  ///< indirect branch target identity
+};
+
+/** Consumer of a micro-op stream (implemented by cpu::Core). */
+class OpSink
+{
+  public:
+    virtual ~OpSink() = default;
+
+    /** Consume one op; called in program order. */
+    virtual void consume(const MicroOp& op) = 0;
+};
+
+}  // namespace dcb::trace
+
+#endif  // DCBENCH_TRACE_MICROOP_H_

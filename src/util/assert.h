@@ -1,0 +1,56 @@
+#ifndef DCBENCH_UTIL_ASSERT_H_
+#define DCBENCH_UTIL_ASSERT_H_
+
+/**
+ * @file
+ * Contract-checking helpers, following the gem5 fatal()/panic() split:
+ * panic-class checks fire on internal invariant violations (simulator bugs),
+ * fatal-class checks fire on invalid user configuration.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcb::util {
+
+/** Abort with a message; used when an internal invariant is violated. */
+[[noreturn]] inline void
+panic_at(const char* file, int line, const char* cond, const char* msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s%s%s\n", file, line, cond,
+                 msg[0] ? " -- " : "", msg);
+    std::abort();
+}
+
+/** Exit(1) with a message; used when a user-supplied config is invalid. */
+[[noreturn]] inline void
+fatal_at(const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+}  // namespace dcb::util
+
+/** Precondition / invariant check: violation is a bug in this library. */
+#define DCB_EXPECTS(cond)                                                   \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::dcb::util::panic_at(__FILE__, __LINE__, #cond, "");           \
+    } while (0)
+
+/** Same as DCB_EXPECTS but with an explanatory message. */
+#define DCB_EXPECTS_MSG(cond, msg)                                          \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::dcb::util::panic_at(__FILE__, __LINE__, #cond, msg);          \
+    } while (0)
+
+/** Configuration check: violation is the caller's fault, not a bug. */
+#define DCB_CONFIG_CHECK(cond, msg)                                         \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::dcb::util::fatal_at(__FILE__, __LINE__, msg);                 \
+    } while (0)
+
+#endif  // DCBENCH_UTIL_ASSERT_H_

@@ -1,0 +1,72 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace dcb::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    DCB_EXPECTS(!header_.empty());
+}
+
+void
+CsvWriter::add_row(std::vector<std::string> row)
+{
+    DCB_EXPECTS_MSG(row.size() == header_.size(),
+                    "row width must match header width");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+CsvWriter::escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::to_string() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ',';
+            os << escape(row[i]);
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+    return os.str();
+}
+
+bool
+CsvWriter::write_file(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open CSV output file: " + path);
+        return false;
+    }
+    const std::string s = to_string();
+    const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
+    std::fclose(f);
+    return ok;
+}
+
+}  // namespace dcb::util

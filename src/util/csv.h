@@ -1,0 +1,36 @@
+#ifndef DCBENCH_UTIL_CSV_H_
+#define DCBENCH_UTIL_CSV_H_
+
+/**
+ * @file
+ * CSV emission for bench results so figures can be re-plotted externally.
+ */
+
+#include <string>
+#include <vector>
+
+namespace dcb::util {
+
+/** Accumulates rows and writes RFC-4180-ish CSV (quotes when needed). */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+
+    std::string to_string() const;
+
+    /** Write to a file; returns false (and warns) on I/O failure. */
+    bool write_file(const std::string& path) const;
+
+  private:
+    static std::string escape(const std::string& cell);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_CSV_H_

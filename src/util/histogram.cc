@@ -1,0 +1,104 @@
+#include "util/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace dcb::util {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    DCB_EXPECTS(hi > lo);
+    DCB_EXPECTS(buckets >= 1);
+}
+
+void
+LinearHistogram::add(double x, std::uint64_t weight)
+{
+    std::size_t idx = 0;
+    if (x >= hi_) {
+        idx = counts_.size() - 1;
+    } else if (x > lo_) {
+        idx = static_cast<std::size_t>((x - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+    }
+    counts_[idx] += weight;
+    total_ += weight;
+}
+
+double
+LinearHistogram::bucket_lo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+LinearHistogram::quantile(double fraction) const
+{
+    DCB_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+    if (total_ == 0)
+        return lo_;
+    const auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return bucket_lo(i) + width_ * 0.5;
+    }
+    return hi_;
+}
+
+std::string
+LinearHistogram::to_string() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os << "[" << bucket_lo(i) << ", " << bucket_lo(i) + width_ << "): "
+           << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+void
+Log2Histogram::add(std::uint64_t x, std::uint64_t weight)
+{
+    const std::size_t b = std::bit_width(x + 1) - 1;
+    if (b >= counts_.size())
+        counts_.resize(b + 1, 0);
+    counts_[b] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Log2Histogram::bucket(std::size_t i) const
+{
+    return i < counts_.size() ? counts_[i] : 0;
+}
+
+std::size_t
+Log2Histogram::max_bucket() const
+{
+    return counts_.empty() ? 0 : counts_.size() - 1;
+}
+
+std::string
+Log2Histogram::to_string() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os << "2^" << i << ": " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace dcb::util

@@ -1,0 +1,64 @@
+#ifndef DCBENCH_UTIL_HISTOGRAM_H_
+#define DCBENCH_UTIL_HISTOGRAM_H_
+
+/**
+ * @file
+ * Fixed-bucket and power-of-two histograms for latency and reuse-distance
+ * accounting inside the simulators.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcb::util {
+
+/** Linear-bucket histogram over [lo, hi); out-of-range goes to edge bins. */
+class LinearHistogram
+{
+  public:
+    LinearHistogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x, std::uint64_t weight = 1);
+
+    std::uint64_t total() const { return total_; }
+    std::size_t bucket_count() const { return counts_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    /** Lower edge of bucket i. */
+    double bucket_lo(std::size_t i) const;
+
+    /** Value below which `fraction` (0..1) of the mass lies. */
+    double quantile(double fraction) const;
+
+    std::string to_string() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** Power-of-two bucket histogram for values in [0, 2^63). */
+class Log2Histogram
+{
+  public:
+    void add(std::uint64_t x, std::uint64_t weight = 1);
+
+    std::uint64_t total() const { return total_; }
+    /** Count of values whose floor(log2(x+1)) equals bucket. */
+    std::uint64_t bucket(std::size_t i) const;
+    std::size_t max_bucket() const;
+
+    std::string to_string() const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_HISTOGRAM_H_

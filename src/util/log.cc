@@ -1,0 +1,44 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace dcb::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+inform(const std::string& msg)
+{
+    if (g_level >= LogLevel::kInform)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string& msg)
+{
+    if (g_level >= LogLevel::kWarn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+debug(const std::string& msg)
+{
+    if (g_level >= LogLevel::kDebug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+}  // namespace dcb::util

@@ -1,0 +1,32 @@
+#ifndef DCBENCH_UTIL_LOG_H_
+#define DCBENCH_UTIL_LOG_H_
+
+/**
+ * @file
+ * Minimal status-message facility in the spirit of gem5's inform()/warn():
+ * inform() is normal operating status; warn() flags approximations the user
+ * should know about. Neither stops execution.
+ */
+
+#include <string>
+
+namespace dcb::util {
+
+enum class LogLevel { kQuiet = 0, kWarn = 1, kInform = 2, kDebug = 3 };
+
+/** Set the global verbosity (default kWarn). */
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/** Normal status message (suppressed below kInform). */
+void inform(const std::string& msg);
+
+/** Approximation/irregularity warning (suppressed below kWarn). */
+void warn(const std::string& msg);
+
+/** Developer diagnostics (suppressed below kDebug). */
+void debug(const std::string& msg);
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_LOG_H_

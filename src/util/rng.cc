@@ -1,0 +1,139 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dcb::util {
+
+std::uint64_t
+split_mix64(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    std::uint64_t s = x;
+    return split_mix64(s);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& s : s_)
+        s = split_mix64(sm);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::next_below(std::uint64_t bound)
+{
+    DCB_EXPECTS(bound != 0);
+    // Lemire's nearly-divisionless method.
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            m = static_cast<__uint128_t>(next_u64()) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::next_range(std::int64_t lo, std::int64_t hi)
+{
+    DCB_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double
+Rng::next_double()
+{
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::next_gaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = next_double();
+    } while (u1 <= 1e-300);
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+bool
+Rng::next_bool(double p)
+{
+    return next_double() < p;
+}
+
+double
+Rng::next_exponential(double lambda)
+{
+    DCB_EXPECTS(lambda > 0.0);
+    double u = 0.0;
+    do {
+        u = next_double();
+    } while (u <= 1e-300);
+    return -std::log(u) / lambda;
+}
+
+std::uint64_t
+Rng::next_geometric(double mean, std::uint64_t cap)
+{
+    if (mean <= 0.0)
+        return 0;
+    const auto v = static_cast<std::uint64_t>(next_exponential(1.0 / mean));
+    return v < cap ? v : cap;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next_u64());
+}
+
+}  // namespace dcb::util

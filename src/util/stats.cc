@@ -1,0 +1,118 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dcb::util {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat& other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nt = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    mean_ += delta * nb / nt;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ += other.n_;
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    DCB_EXPECTS(p >= 0.0 && p <= 100.0);
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double idx = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+mean_of(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+double
+geomean_of(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        DCB_EXPECTS(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+Summary
+summarize(const std::vector<double>& values)
+{
+    Summary s;
+    RunningStat rs;
+    for (double v : values)
+        rs.add(v);
+    s.count = rs.count();
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    s.min = rs.min();
+    s.max = rs.max();
+    s.p50 = percentile(values, 50.0);
+    s.p95 = percentile(values, 95.0);
+    return s;
+}
+
+}  // namespace dcb::util

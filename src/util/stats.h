@@ -1,0 +1,72 @@
+#ifndef DCBENCH_UTIL_STATS_H_
+#define DCBENCH_UTIL_STATS_H_
+
+/**
+ * @file
+ * Streaming and batch statistics used throughout the harness: Welford
+ * running moments for online aggregation, and batch percentile/summary
+ * helpers for report tables.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace dcb::util {
+
+/** Online mean/variance accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator); 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one (parallel-safe combine). */
+    void merge(const RunningStat& other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Percentile of a sample set by linear interpolation; p in [0, 100].
+ * The input is copied and partially sorted; empty input yields 0.
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Arithmetic mean of a vector; 0 for empty input. */
+double mean_of(const std::vector<double>& values);
+
+/** Geometric mean; all values must be > 0; 0 for empty input. */
+double geomean_of(const std::vector<double>& values);
+
+/** Five-number-style summary of a batch of samples. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+};
+
+/** Compute a Summary over a batch of values. */
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_STATS_H_

@@ -1,0 +1,47 @@
+#ifndef DCBENCH_UTIL_STRING_UTIL_H_
+#define DCBENCH_UTIL_STRING_UTIL_H_
+
+/**
+ * @file
+ * Small string helpers shared by the tokenizers, report writers and the
+ * mini SQL engine.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcb::util {
+
+/** Split on a single delimiter; empty fields are preserved. */
+std::vector<std::string> split(std::string_view text, char delim);
+
+/** Split on runs of ASCII whitespace; empty tokens are dropped. */
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/** Join parts with a separator. */
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/** ASCII lower-casing (locale-independent). */
+std::string to_lower(std::string_view text);
+
+/** Trim ASCII whitespace from both ends. */
+std::string_view trim(std::string_view text);
+
+/** True if text begins with prefix. */
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/** Human-readable byte count, e.g. "1.5 GB". */
+std::string human_bytes(std::uint64_t bytes);
+
+/** Human-readable count with thousands separators, e.g. "12,345,678". */
+std::string with_commas(std::uint64_t value);
+
+/** printf-style double formatting with fixed decimals. */
+std::string format_double(double value, int decimals);
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_STRING_UTIL_H_

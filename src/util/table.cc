@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace dcb::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    DCB_EXPECTS(!header_.empty());
+}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    DCB_EXPECTS_MSG(row.size() == header_.size(),
+                    "row width must match header width");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    emit_row(header_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << "\n";
+    for (const auto& row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    const std::string s = to_string();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+}  // namespace dcb::util

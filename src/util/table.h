@@ -1,0 +1,42 @@
+#ifndef DCBENCH_UTIL_TABLE_H_
+#define DCBENCH_UTIL_TABLE_H_
+
+/**
+ * @file
+ * Console table formatter used by the per-figure bench binaries so their
+ * output mirrors the paper's tables/series in a readable fixed-width form.
+ */
+
+#include <string>
+#include <vector>
+
+namespace dcb::util {
+
+/** Fixed-width text table with a header row and optional title. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void set_title(std::string title) { title_ = std::move(title); }
+
+    /** Append a row; it must have exactly as many cells as the header. */
+    void add_row(std::vector<std::string> row);
+
+    /** Render the table; every column is padded to its widest cell. */
+    std::string to_string() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    std::size_t row_count() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_TABLE_H_

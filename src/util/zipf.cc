@@ -1,0 +1,77 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dcb::util {
+
+namespace {
+
+// Generalized harmonic helper used by rejection-inversion: the integral of
+// (1 + x)^-s, with the s == 1 special case handled via log.
+double
+h_integral(double x, double s)
+{
+    const double log_x = std::log(x);
+    if (std::fabs(1.0 - s) < 1e-12)
+        return log_x;
+    return (std::exp((1.0 - s) * log_x) - 1.0) / (1.0 - s);
+}
+
+double
+h_integral_inv(double x, double s)
+{
+    if (std::fabs(1.0 - s) < 1e-12)
+        return std::exp(x);
+    double t = x * (1.0 - s) + 1.0;
+    if (t < 0.0)
+        t = 0.0;
+    return std::exp(std::log(t) / (1.0 - s));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s)
+{
+    DCB_EXPECTS(n >= 1);
+    DCB_EXPECTS(s >= 0.0);
+    h_x1_ = h_integral(1.5, s_) - 1.0;
+    h_n_ = h_integral(static_cast<double>(n_) + 0.5, s_);
+    threshold_ = 2.0 - h_integral_inv(h_integral(2.5, s_) - std::pow(2.0, -s_),
+                                      s_);
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return h_integral(x, s_);
+}
+
+double
+ZipfSampler::h_inv(double x) const
+{
+    return h_integral_inv(x, s_);
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng& rng) const
+{
+    if (n_ == 1)
+        return 0;
+    while (true) {
+        const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+        const double x = h_inv(u);
+        double k = std::floor(x + 0.5);
+        if (k < 1.0)
+            k = 1.0;
+        else if (k > static_cast<double>(n_))
+            k = static_cast<double>(n_);
+        if (k - x <= threshold_ ||
+            u >= h(k + 0.5) - std::exp(-std::log(k) * s_)) {
+            return static_cast<std::uint64_t>(k) - 1;
+        }
+    }
+}
+
+}  // namespace dcb::util

@@ -1,0 +1,51 @@
+#ifndef DCBENCH_UTIL_ZIPF_H_
+#define DCBENCH_UTIL_ZIPF_H_
+
+/**
+ * @file
+ * Zipf-distributed sampling over ranks [0, n).
+ *
+ * Natural-language corpora (the paper's 147-154 GB document inputs) and web
+ * popularity follow Zipf's law; the text, ratings and page-request
+ * generators all sample from this distribution. Implementation is
+ * rejection-inversion (Hormann & Derflinger 1996), O(1) per sample with no
+ * precomputed tables, so corpora with hundred-million-word vocabularies
+ * stay cheap.
+ */
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace dcb::util {
+
+/** Zipf(n, s) sampler: P(rank k) proportional to 1 / (k + 1)^s. */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of ranks; must be >= 1.
+     * @param s Skew exponent; s >= 0 (0 degenerates to uniform).
+     */
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw one rank in [0, n). */
+    std::uint64_t sample(Rng& rng) const;
+
+    std::uint64_t size() const { return n_; }
+    double skew() const { return s_; }
+
+  private:
+    double h(double x) const;
+    double h_inv(double x) const;
+
+    std::uint64_t n_;
+    double s_;
+    double h_x1_;
+    double h_n_;
+    double threshold_;
+};
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_ZIPF_H_

@@ -1,0 +1,36 @@
+#ifndef DCBENCH_WORKLOADS_DATA_ANALYSIS_H_
+#define DCBENCH_WORKLOADS_DATA_ANALYSIS_H_
+
+/**
+ * @file
+ * The eleven representative data-analysis workloads of Table I, each a
+ * real algorithm (src/analytics) over synthetic data (src/datagen),
+ * executed inside the Hadoop-style structure the paper measures: the
+ * three basic operations run as full MapReduce jobs through the engine
+ * (spill/sort/shuffle/replicated output), and the Mahout-driver workloads
+ * (classification, clustering, recommendation, segmentation, graph,
+ * warehouse) run their iterations against HDFS-style chunked I/O exactly
+ * as the Mahout drivers do.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace dcb::workloads {
+
+/** Factory: one of the eleven by Table I name. */
+std::unique_ptr<Workload> make_data_analysis_workload(
+    const std::string& name);
+
+/** Table I order: Sort .. Hive-bench. */
+const std::vector<std::string>& data_analysis_names();
+
+/** Paper presentation order (Figures 3-12): Naive Bayes first. */
+const std::vector<std::string>& data_analysis_figure_order();
+
+}  // namespace dcb::workloads
+
+#endif  // DCBENCH_WORKLOADS_DATA_ANALYSIS_H_

@@ -1,0 +1,31 @@
+#ifndef DCBENCH_WORKLOADS_HPCC_H_
+#define DCBENCH_WORKLOADS_HPCC_H_
+
+/**
+ * @file
+ * The seven HPCC 1.4 benchmarks (Section III-C1), implemented as real
+ * narrated micro-kernels: HPL (LU factorization with partial pivoting),
+ * DGEMM (register-blocked matrix multiply), STREAM (triad),
+ * PTRANS (blocked matrix transpose), RandomAccess (64-bit table updates,
+ * including the copy_user-heavy exchange phase the paper calls out in
+ * Figure 4), FFT (iterative radix-2) and COMM (latency/bandwidth
+ * ping-pong through the socket stack).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace dcb::workloads {
+
+/** Factory by figure label, e.g. "HPCC-HPL". */
+std::unique_ptr<Workload> make_hpcc_workload(const std::string& name);
+
+/** Figure order: COMM, DGEMM, FFT, HPL, PTRANS, RandomAccess, STREAM. */
+const std::vector<std::string>& hpcc_names();
+
+}  // namespace dcb::workloads
+
+#endif  // DCBENCH_WORKLOADS_HPCC_H_

@@ -1,0 +1,98 @@
+#include "workloads/profiles.h"
+
+#include <vector>
+
+namespace dcb::workloads {
+
+trace::CodeLayout
+make_code_layout(FootprintClass cls, std::uint64_t base, std::uint64_t seed)
+{
+    using trace::CodeRegionSpec;
+    std::vector<CodeRegionSpec> specs;
+    switch (cls) {
+      case FootprintClass::kJvmFramework:
+        // JVM + Hadoop + Mahout: modest JITed hot set, a deep warm
+        // framework layer and a long cold library tail (Section IV-C:
+        // "large binary size complicated by high-level language and
+        // third-party libraries").
+        specs.push_back({"jit_hot", 40, 320, 0.55, 0.6, 36.0});
+        specs.push_back({"framework", 3000, 448, 0.42, 0.75, 20.0});
+        specs.push_back({"jvm_cold", 8000, 512, 0.006, 0.9, 14.0});
+        break;
+      case FootprintClass::kJvmCompact:
+        // Naive Bayes: Mahout's counting loops JIT into a small resident
+        // set; the paper singles it out for the *lowest* L1I misses and
+        // page walks of the eleven.
+        specs.push_back({"jit_hot", 16, 320, 0.85, 0.6, 64.0});
+        specs.push_back({"framework", 800, 448, 0.146, 0.75, 24.0});
+        specs.push_back({"jvm_cold", 4000, 512, 0.004, 0.9, 14.0});
+        break;
+      case FootprintClass::kServiceStack:
+        // Multi-tier service: request handling sprawls across a hot set
+        // larger than the L1I plus a wide warm application layer.
+        specs.push_back({"handlers", 150, 384, 0.38, 0.55, 22.0});
+        specs.push_back({"app_stack", 1800, 448, 0.61, 0.62, 16.0});
+        specs.push_back({"libs_cold", 8000, 512, 0.01, 0.9, 12.0});
+        break;
+      case FootprintClass::kMediaStack:
+        // Media Streaming: the largest instruction footprint the paper
+        // measures (~3x the DA average in Figure 7).
+        specs.push_back({"handlers", 200, 384, 0.24, 0.5, 18.0});
+        specs.push_back({"app_stack", 5000, 480, 0.745, 0.45, 10.0});
+        specs.push_back({"libs_cold", 8000, 512, 0.015, 0.9, 12.0});
+        break;
+      case FootprintClass::kStaticCompute:
+        // SPEC CPU: one statically compiled binary, loop-resident.
+        specs.push_back({"hot_loops", 12, 512, 0.85, 0.6, 80.0});
+        specs.push_back({"support", 400, 384, 0.15, 0.8, 28.0});
+        break;
+      case FootprintClass::kTightKernel:
+        return trace::tight_kernel_layout(base, seed);
+    }
+    return trace::CodeLayout(std::move(specs), base, seed);
+}
+
+trace::ExecProfile
+data_analysis_exec_profile()
+{
+    trace::ExecProfile p;
+    p.partial_reg_prob = 0.008;  // JITed code uses full registers
+    p.load_consumer_dist = 3;
+    p.alu_dep_dist = 0;
+    return p;
+}
+
+trace::ExecProfile
+service_exec_profile()
+{
+    trace::ExecProfile p;
+    // Legacy hand-written C stacks: dense partial-register idioms and
+    // read-port pressure, the paper's explanation for the services'
+    // dominant RAT-stall share (Section IV-B).
+    p.partial_reg_prob = 0.26;
+    p.load_consumer_dist = 2;
+    p.alu_dep_dist = 0;
+    return p;
+}
+
+trace::ExecProfile
+spec_exec_profile()
+{
+    trace::ExecProfile p;
+    p.partial_reg_prob = 0.04;
+    p.load_consumer_dist = 3;
+    p.alu_dep_dist = 0;
+    return p;
+}
+
+trace::ExecProfile
+hpcc_exec_profile()
+{
+    trace::ExecProfile p;
+    p.partial_reg_prob = 0.001;
+    p.load_consumer_dist = 4;
+    p.alu_dep_dist = 0;
+    return p;
+}
+
+}  // namespace dcb::workloads

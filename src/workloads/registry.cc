@@ -1,0 +1,70 @@
+#include "workloads/registry.h"
+
+#include "workloads/data_analysis.h"
+#include "workloads/hpcc.h"
+#include "workloads/services.h"
+#include "workloads/spec.h"
+
+namespace dcb::workloads {
+
+const char*
+category_name(Category c)
+{
+    switch (c) {
+      case Category::kDataAnalysis: return "data-analysis";
+      case Category::kService: return "service";
+      case Category::kSpecCpu: return "spec-cpu";
+      case Category::kHpcc: return "hpcc";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<Workload>
+make_workload(const std::string& name)
+{
+    if (auto w = make_data_analysis_workload(name))
+        return w;
+    if (auto w = make_service_workload(name))
+        return w;
+    if (auto w = make_spec_workload(name))
+        return w;
+    if (auto w = make_hpcc_workload(name))
+        return w;
+    return nullptr;
+}
+
+const std::vector<std::string>&
+figure_order()
+{
+    static const std::vector<std::string> kOrder = [] {
+        std::vector<std::string> order = data_analysis_figure_order();
+        for (const auto& n : service_names())
+            if (n != "SPECWeb")
+                order.push_back(n);
+        for (const auto& n : spec_names())
+            order.push_back(n);
+        order.push_back("SPECWeb");
+        for (const auto& n : hpcc_names())
+            order.push_back(n);
+        return order;
+    }();
+    return kOrder;
+}
+
+std::vector<std::string>
+names_in_category(Category category)
+{
+    switch (category) {
+      case Category::kDataAnalysis:
+        return data_analysis_names();
+      case Category::kService:
+        return service_names();
+      case Category::kSpecCpu:
+        return spec_names();
+      case Category::kHpcc:
+        return hpcc_names();
+    }
+    return {};
+}
+
+}  // namespace dcb::workloads

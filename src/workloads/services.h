@@ -1,0 +1,35 @@
+#ifndef DCBENCH_WORKLOADS_SERVICES_H_
+#define DCBENCH_WORKLOADS_SERVICES_H_
+
+/**
+ * @file
+ * Behavioural models of the comparison service workloads: the five
+ * CloudSuite benchmarks the paper deploys (Software Testing, Media
+ * Streaming, Data Serving, Web Search, Web Serving) and SPECweb2005.
+ *
+ * These are *models*, not reimplementations of Cassandra/Darwin/Nutch/
+ * Olio (DESIGN.md §2): each is a request-processing loop whose op mix --
+ * kernel-heavy socket/disk I/O, random loads over a memcached-style heap,
+ * large flat instruction footprints, partial-register-dense legacy code
+ * and indirect dispatch -- is set to reproduce the counter signature the
+ * paper reports for that workload. Their `source` field is prefixed
+ * "model:" so no output can be mistaken for a real-system measurement.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace dcb::workloads {
+
+/** Factory by figure label, e.g. "Media Streaming" or "SPECWeb". */
+std::unique_ptr<Workload> make_service_workload(const std::string& name);
+
+/** Figure order: Software Testing ... Web Serving, then SPECWeb. */
+const std::vector<std::string>& service_names();
+
+}  // namespace dcb::workloads
+
+#endif  // DCBENCH_WORKLOADS_SERVICES_H_

@@ -1,0 +1,30 @@
+#ifndef DCBENCH_WORKLOADS_SPEC_H_
+#define DCBENCH_WORKLOADS_SPEC_H_
+
+/**
+ * @file
+ * SPEC CPU2006 group models (Section III-C1 reports SPECINT and SPECFP
+ * as run-averages of the official suites). These are behavioural
+ * composites -- "model:" sources -- reproducing the groups' counter
+ * signatures: SPECINT mixes pointer chasing, compression-style loops and
+ * data-dependent branches; SPECFP is loop-parallel dense FP with regular
+ * control flow.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace dcb::workloads {
+
+/** Factory: "SPECINT" or "SPECFP". */
+std::unique_ptr<Workload> make_spec_workload(const std::string& name);
+
+/** Figure order: SPECFP, SPECINT. */
+const std::vector<std::string>& spec_names();
+
+}  // namespace dcb::workloads
+
+#endif  // DCBENCH_WORKLOADS_SPEC_H_

@@ -1,0 +1,157 @@
+/** @file Tests for WordCount and Grep against standard-library oracles. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "analytics/grep.h"
+#include "analytics/word_count.h"
+#include "datagen/text.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace dcb::analytics {
+namespace {
+
+TEST(WordCounter, MatchesUnorderedMapOracle)
+{
+    test::KernelEnv env;
+    WordCounter counter(env.ctx, env.space, 1 << 14);
+    datagen::TextGenerator text(2000, 1.0, 6);
+    std::unordered_map<std::uint32_t, std::uint64_t> oracle;
+    for (int d = 0; d < 100; ++d) {
+        const datagen::Document doc = text.next_document(60);
+        counter.add_document(doc.words);
+        for (std::uint32_t w : doc.words)
+            ++oracle[w];
+    }
+    EXPECT_EQ(counter.distinct_words(), oracle.size());
+    std::uint64_t total = 0;
+    for (const auto& [word, count] : oracle) {
+        EXPECT_EQ(counter.count_of(word), count) << "word " << word;
+        total += count;
+    }
+    EXPECT_EQ(counter.total_words(), total);
+}
+
+TEST(WordCounter, UnseenWordIsZero)
+{
+    test::KernelEnv env;
+    WordCounter counter(env.ctx, env.space, 256);
+    counter.add(7);
+    EXPECT_EQ(counter.count_of(8), 0u);
+    EXPECT_EQ(counter.count_of(7), 1u);
+}
+
+TEST(WordCounter, CollisionsProbeCorrectly)
+{
+    test::KernelEnv env;
+    // Tiny table forces probe chains.
+    WordCounter counter(env.ctx, env.space, 64);
+    for (std::uint32_t w = 0; w < 40; ++w)
+        for (std::uint32_t k = 0; k <= w; ++k)
+            counter.add(w);
+    for (std::uint32_t w = 0; w < 40; ++w)
+        EXPECT_EQ(counter.count_of(w), w + 1);
+    EXPECT_GE(counter.probe_steps(), counter.total_words());
+}
+
+TEST(WordCounter, NarratesProbes)
+{
+    test::KernelEnv env;
+    WordCounter counter(env.ctx, env.space, 1024);
+    const std::uint64_t before = env.sink.ops;
+    for (int i = 0; i < 100; ++i)
+        counter.add(static_cast<std::uint32_t>(i));
+    EXPECT_GT(env.sink.ops - before, 300u);
+}
+
+std::uint64_t
+oracle_count(const std::string& line, const std::string& pattern)
+{
+    // Non-overlapping occurrences, matching Grep's advance-by-m rule.
+    std::uint64_t n = 0;
+    std::size_t pos = 0;
+    while ((pos = line.find(pattern, pos)) != std::string::npos) {
+        ++n;
+        pos += pattern.size();
+    }
+    return n;
+}
+
+TEST(Grep, FindsImplantedPatterns)
+{
+    test::KernelEnv env;
+    Grep grep(env.ctx, env.space, "needle", 1 << 16);
+    EXPECT_EQ(grep.scan_line("hay needle hay"), 1u);
+    EXPECT_EQ(grep.scan_line("no match here"), 0u);
+    EXPECT_EQ(grep.scan_line("needleneedle"), 2u);
+    EXPECT_EQ(grep.matches(), 3u);
+    EXPECT_EQ(grep.matching_lines(), 2u);
+}
+
+TEST(Grep, EdgeCases)
+{
+    test::KernelEnv env;
+    Grep grep(env.ctx, env.space, "ab", 1 << 12);
+    EXPECT_EQ(grep.scan_line(""), 0u);
+    EXPECT_EQ(grep.scan_line("a"), 0u);       // shorter than pattern
+    EXPECT_EQ(grep.scan_line("ab"), 1u);      // exact
+    EXPECT_EQ(grep.scan_line("xab"), 1u);     // at end
+    EXPECT_EQ(grep.scan_line("abx"), 1u);     // at start
+    EXPECT_EQ(grep.scan_line("aab"), 1u);     // prefix overlap
+}
+
+TEST(Grep, MatchesOracleOnRandomText)
+{
+    test::KernelEnv env;
+    const std::string pattern = "xyz";
+    Grep grep(env.ctx, env.space, pattern, 1 << 16);
+    util::Rng rng(9);
+    for (int t = 0; t < 300; ++t) {
+        std::string line;
+        for (int i = 0; i < 80; ++i)
+            line += static_cast<char>('x' + rng.next_below(3));
+        EXPECT_EQ(grep.scan_line(line), oracle_count(line, pattern))
+            << line;
+    }
+}
+
+TEST(Grep, CountsBytesScanned)
+{
+    test::KernelEnv env;
+    Grep grep(env.ctx, env.space, "qq", 1 << 12);
+    grep.scan_line("0123456789");
+    EXPECT_EQ(grep.bytes_scanned(), 10u);
+}
+
+/** Parameterized pattern sweep against the oracle. */
+class GrepPatterns : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(GrepPatterns, OracleAgreement)
+{
+    test::KernelEnv env;
+    const std::string pattern = GetParam();
+    Grep grep(env.ctx, env.space, pattern, 1 << 16);
+    util::Rng rng(31);
+    for (int t = 0; t < 150; ++t) {
+        std::string line;
+        const int len = 20 + static_cast<int>(rng.next_below(100));
+        for (int i = 0; i < len; ++i)
+            line += static_cast<char>('a' + rng.next_below(4));
+        // Occasionally implant the pattern.
+        if (rng.next_bool(0.5))
+            line.insert(rng.next_below(line.size()), pattern);
+        EXPECT_EQ(grep.scan_line(line), oracle_count(line, pattern));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, GrepPatterns,
+                         ::testing::Values("a", "ab", "abc", "aaa",
+                                           "dcba"));
+
+}  // namespace
+}  // namespace dcb::analytics

@@ -1,0 +1,139 @@
+/** @file Tests for the mini SQL engine against brute-force oracles. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analytics/hive.h"
+#include "datagen/tables.h"
+#include "test_support.h"
+
+namespace dcb::analytics {
+namespace {
+
+class HiveFixture : public ::testing::Test
+{
+  protected:
+    HiveFixture()
+    {
+        datagen::TableGenerator gen(200, 100, 12);
+        for (int i = 0; i < 500; ++i)
+            rankings_.push_back(gen.next_ranking());
+        for (int i = 0; i < 2000; ++i)
+            visits_.push_back(gen.next_visit());
+        engine_ = std::make_unique<HiveEngine>(env_.ctx, env_.space,
+                                               rankings_, visits_);
+    }
+
+    test::KernelEnv env_;
+    std::vector<datagen::RankingRow> rankings_;
+    std::vector<datagen::UserVisitRow> visits_;
+    std::unique_ptr<HiveEngine> engine_;
+};
+
+TEST_F(HiveFixture, FilterMatchesOracle)
+{
+    for (std::uint32_t threshold : {0u, 50u, 200u, 100'000u}) {
+        std::uint64_t oracle = 0;
+        for (const auto& r : rankings_)
+            oracle += r.page_rank > threshold;
+        EXPECT_EQ(engine_->query_filter(threshold), oracle)
+            << "threshold " << threshold;
+    }
+}
+
+TEST_F(HiveFixture, GroupByRevenueMatchesOracle)
+{
+    std::map<std::uint32_t, double> oracle;
+    for (const auto& v : visits_)
+        oracle[v.source_ip] += v.ad_revenue;
+
+    const auto result = engine_->query_group_revenue();
+    EXPECT_EQ(result.size(), oracle.size());
+    for (const auto& agg : result) {
+        ASSERT_TRUE(oracle.count(agg.source_ip));
+        EXPECT_NEAR(agg.revenue, oracle[agg.source_ip],
+                    1e-4 * oracle[agg.source_ip] + 1e-5);
+    }
+}
+
+TEST_F(HiveFixture, JoinMatchesOracle)
+{
+    const std::uint32_t lo = 14'500;
+    const std::uint32_t hi = 16'000;
+    // Oracle: last ranking row per URL wins (matching hash-build order).
+    std::map<std::uint32_t, std::uint32_t> url_rank;
+    for (const auto& r : rankings_)
+        url_rank[r.page_url] = r.page_rank;
+    std::map<std::uint32_t, double> revenue;
+    std::map<std::uint32_t, std::pair<double, int>> rank_acc;
+    for (const auto& v : visits_) {
+        if (v.visit_date < lo || v.visit_date > hi)
+            continue;
+        const auto it = url_rank.find(v.dest_url);
+        if (it == url_rank.end())
+            continue;
+        revenue[v.source_ip] += v.ad_revenue;
+        rank_acc[v.source_ip].first += it->second;
+        rank_acc[v.source_ip].second += 1;
+    }
+
+    IpAggregate top;
+    const auto result = engine_->query_join(lo, hi, &top);
+    EXPECT_EQ(result.size(), revenue.size());
+    double best_revenue = 0.0;
+    for (const auto& agg : result) {
+        ASSERT_TRUE(revenue.count(agg.source_ip));
+        EXPECT_NEAR(agg.revenue, revenue[agg.source_ip],
+                    1e-4 * revenue[agg.source_ip] + 1e-5);
+        const auto& [sum, cnt] = rank_acc[agg.source_ip];
+        EXPECT_NEAR(agg.avg_page_rank, sum / cnt, 1e-6);
+        best_revenue = std::max(best_revenue, agg.revenue);
+    }
+    EXPECT_NEAR(top.revenue, best_revenue, 1e-9);
+}
+
+TEST_F(HiveFixture, EmptyDateWindowYieldsNothing)
+{
+    IpAggregate top;
+    const auto result = engine_->query_join(1, 2, &top);
+    EXPECT_TRUE(result.empty());
+    EXPECT_EQ(top.revenue, 0.0);
+}
+
+TEST_F(HiveFixture, ScanCounterAdvances)
+{
+    const std::uint64_t before = engine_->rows_scanned();
+    engine_->query_filter(10);
+    EXPECT_EQ(engine_->rows_scanned(), before + rankings_.size());
+}
+
+TEST_F(HiveFixture, QueriesAreRepeatable)
+{
+    const auto a = engine_->query_group_revenue();
+    const auto b = engine_->query_group_revenue();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].source_ip, b[i].source_ip);
+        EXPECT_NEAR(a[i].revenue, b[i].revenue, 1e-9);
+    }
+}
+
+TEST(Hive, NarratesProbesAndScans)
+{
+    test::KernelEnv env;
+    datagen::TableGenerator gen(50, 20, 13);
+    std::vector<datagen::RankingRow> rankings;
+    std::vector<datagen::UserVisitRow> visits;
+    for (int i = 0; i < 100; ++i) {
+        rankings.push_back(gen.next_ranking());
+        visits.push_back(gen.next_visit());
+    }
+    HiveEngine engine(env.ctx, env.space, rankings, visits);
+    const std::uint64_t before = env.sink.ops;
+    engine.query_group_revenue();
+    EXPECT_GT(env.sink.ops - before, visits.size() * 10);
+}
+
+}  // namespace
+}  // namespace dcb::analytics

@@ -1,0 +1,203 @@
+/** @file Tests for the ML kernels: Naive Bayes, SVM, K-means, fuzzy. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/fuzzy_kmeans.h"
+#include "analytics/kmeans.h"
+#include "analytics/naive_bayes.h"
+#include "analytics/svm.h"
+#include "datagen/text.h"
+#include "datagen/vectors.h"
+#include "test_support.h"
+
+namespace dcb::analytics {
+namespace {
+
+TEST(NaiveBayes, BeatsChanceOnSeparableData)
+{
+    test::KernelEnv env;
+    constexpr std::uint32_t kClasses = 4;
+    datagen::LabelledTextGenerator gen(2000, kClasses, 1.0, 3);
+    NaiveBayes nb(env.ctx, env.space, 2000, kClasses);
+    for (int i = 0; i < 600; ++i)
+        nb.train(gen.next_document(60));
+    nb.finalize();
+    int correct = 0;
+    const int tests = 300;
+    for (int i = 0; i < tests; ++i) {
+        const datagen::Document doc = gen.next_document(60);
+        correct += nb.classify(doc) ==
+                   static_cast<std::uint32_t>(doc.label);
+    }
+    // Chance is 25%; the topic tilt makes documents quite separable.
+    EXPECT_GT(correct, tests * 0.6);
+    EXPECT_EQ(nb.trained_documents(), 600u);
+}
+
+TEST(NaiveBayes, PriorsFollowClassFrequencies)
+{
+    test::KernelEnv env;
+    NaiveBayes nb(env.ctx, env.space, 100, 2);
+    // Class 0 is 9x more frequent; an empty-ish doc should go to it.
+    datagen::Document doc0;
+    doc0.label = 0;
+    doc0.words = {1};
+    datagen::Document doc1;
+    doc1.label = 1;
+    doc1.words = {1};
+    for (int i = 0; i < 90; ++i)
+        nb.train(doc0);
+    for (int i = 0; i < 10; ++i)
+        nb.train(doc1);
+    nb.finalize();
+    datagen::Document query;
+    query.words = {1};
+    EXPECT_EQ(nb.classify(query), 0u);
+}
+
+TEST(Svm, TrainingReducesHingeViolations)
+{
+    test::KernelEnv env;
+    datagen::LabelledTextGenerator gen(3000, 2, 1.0, 4);
+    LinearSvm svm(env.ctx, env.space, 3000, 1e-4);
+    // Accuracy before any training is chance.
+    std::vector<datagen::Document> held_out;
+    for (int i = 0; i < 200; ++i)
+        held_out.push_back(gen.next_document(60));
+    for (int i = 0; i < 3000; ++i)
+        svm.train_step(gen.next_document(60));
+    int correct = 0;
+    for (const auto& doc : held_out)
+        correct += svm.predict(doc) == LinearSvm::positive_label(doc);
+    EXPECT_GT(correct, 140);  // 70% on held-out vs 50% chance
+    EXPECT_EQ(svm.steps(), 3000u);
+}
+
+TEST(Svm, DecisionIsLinearInWeights)
+{
+    test::KernelEnv env;
+    datagen::LabelledTextGenerator gen(100, 2, 1.0, 5);
+    LinearSvm svm(env.ctx, env.space, 100, 1e-3);
+    datagen::Document doc;
+    doc.label = 1;
+    doc.words = {1, 2, 3};
+    EXPECT_EQ(svm.decision(doc), 0.0);  // zero weights initially
+}
+
+TEST(Kmeans, InertiaDecreasesMonotonically)
+{
+    test::KernelEnv env;
+    datagen::VectorGenerator gen(6, 4, 1.0, 6);
+    std::vector<double> points;
+    std::vector<double> p;
+    const std::size_t n = 600;
+    for (std::size_t i = 0; i < n; ++i) {
+        gen.next_point(p);
+        points.insert(points.end(), p.begin(), p.end());
+    }
+    Kmeans km(env.ctx, env.space, points, n, 6, 4);
+    const KmeansResult r = km.run(12, 1e-9);
+    ASSERT_GE(r.inertia_history.size(), 2u);
+    for (std::size_t i = 1; i < r.inertia_history.size(); ++i)
+        EXPECT_LE(r.inertia_history[i], r.inertia_history[i - 1] * 1.0001);
+}
+
+TEST(Kmeans, AssignsPointsToNearestCenter)
+{
+    test::KernelEnv env;
+    // Two obvious clusters on a line.
+    std::vector<double> points = {0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+    Kmeans km(env.ctx, env.space, points, 6, 1, 2);
+    km.run(10, 1e-9);
+    const auto& assign = km.assignments();
+    EXPECT_EQ(assign[0], assign[1]);
+    EXPECT_EQ(assign[1], assign[2]);
+    EXPECT_EQ(assign[3], assign[4]);
+    EXPECT_NE(assign[0], assign[3]);
+    // Centers converge to cluster means.
+    const auto& c = km.centers();
+    const double lo = std::min(c[0], c[1]);
+    const double hi = std::max(c[0], c[1]);
+    EXPECT_NEAR(lo, 0.1, 0.01);
+    EXPECT_NEAR(hi, 10.1, 0.01);
+}
+
+TEST(Kmeans, SinglePointPerCluster)
+{
+    test::KernelEnv env;
+    std::vector<double> points = {1.0, 5.0};
+    Kmeans km(env.ctx, env.space, points, 2, 1, 2);
+    km.run(5, 1e-9);
+    EXPECT_NE(km.assignments()[0], km.assignments()[1]);
+}
+
+TEST(FuzzyKmeans, ObjectiveDecreases)
+{
+    test::KernelEnv env;
+    datagen::VectorGenerator gen(4, 3, 1.0, 7);
+    std::vector<double> points;
+    std::vector<double> p;
+    const std::size_t n = 300;
+    for (std::size_t i = 0; i < n; ++i) {
+        gen.next_point(p);
+        points.insert(points.end(), p.begin(), p.end());
+    }
+    FuzzyKmeans fkm(env.ctx, env.space, points, n, 4, 3, 2.0);
+    const FuzzyKmeansResult r = fkm.run(10, 1e-9);
+    ASSERT_GE(r.objective_history.size(), 2u);
+    for (std::size_t i = 1; i < r.objective_history.size(); ++i)
+        EXPECT_LE(r.objective_history[i],
+                  r.objective_history[i - 1] * 1.001);
+}
+
+TEST(FuzzyKmeans, MembershipsFormADistribution)
+{
+    test::KernelEnv env;
+    datagen::VectorGenerator gen(4, 3, 1.0, 8);
+    std::vector<double> points;
+    std::vector<double> p;
+    const std::size_t n = 100;
+    for (std::size_t i = 0; i < n; ++i) {
+        gen.next_point(p);
+        points.insert(points.end(), p.begin(), p.end());
+    }
+    FuzzyKmeans fkm(env.ctx, env.space, points, n, 4, 3, 2.0);
+    fkm.run(4, 1e-9);
+    for (std::size_t pt = 0; pt < n; ++pt) {
+        double sum = 0.0;
+        for (std::uint32_t c = 0; c < 3; ++c) {
+            const double u = fkm.membership(pt, c);
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0 + 1e-9);
+            sum += u;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+}
+
+TEST(FuzzyKmeans, DoesMoreFpWorkThanKmeans)
+{
+    // Table I: Fuzzy K-means retires ~5x the instructions of K-means.
+    datagen::VectorGenerator gen(8, 4, 1.0, 9);
+    std::vector<double> points;
+    std::vector<double> p;
+    const std::size_t n = 200;
+    for (std::size_t i = 0; i < n; ++i) {
+        gen.next_point(p);
+        points.insert(points.end(), p.begin(), p.end());
+    }
+    test::KernelEnv hard_env;
+    Kmeans km(hard_env.ctx, hard_env.space, points, n, 8, 4);
+    km.run(1, 0.0);
+    const std::uint64_t hard_ops = hard_env.sink.ops;
+
+    test::KernelEnv fuzzy_env;
+    FuzzyKmeans fkm(fuzzy_env.ctx, fuzzy_env.space, points, n, 8, 4, 2.0);
+    fkm.run(1, 0.0);
+    EXPECT_GT(fuzzy_env.sink.ops, hard_ops * 2);
+}
+
+}  // namespace
+}  // namespace dcb::analytics

@@ -1,0 +1,208 @@
+/** @file Tests for the synthetic data generators. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/graph.h"
+#include "datagen/ratings.h"
+#include "datagen/tables.h"
+#include "datagen/text.h"
+#include "datagen/vectors.h"
+
+namespace dcb::datagen {
+namespace {
+
+TEST(Text, DocumentsHaveWordsInVocab)
+{
+    TextGenerator gen(1000, 1.0, 5);
+    for (int i = 0; i < 50; ++i) {
+        const Document doc = gen.next_document(50);
+        EXPECT_GE(doc.words.size(), 1u);
+        for (std::uint32_t w : doc.words)
+            EXPECT_LT(w, 1000u);
+        EXPECT_EQ(doc.label, -1);
+    }
+}
+
+TEST(Text, ZipfFrequencies)
+{
+    TextGenerator gen(10'000, 1.0, 6);
+    std::map<std::uint32_t, int> counts;
+    for (int i = 0; i < 100'000; ++i)
+        ++counts[gen.next_word()];
+    EXPECT_GT(counts[0], counts[99] * 5);
+}
+
+TEST(Text, WordStringsAreDeterministicAndPrintable)
+{
+    const std::string a = TextGenerator::word_string(1234);
+    EXPECT_EQ(a, TextGenerator::word_string(1234));
+    EXPECT_GE(a.size(), 3u);
+    for (char c : a)
+        EXPECT_TRUE(c >= 'a' && c <= 'z');
+    EXPECT_NE(a, TextGenerator::word_string(1235));
+}
+
+TEST(LabelledText, LabelsCoverClasses)
+{
+    LabelledTextGenerator gen(1000, 4, 1.0, 7);
+    std::set<std::int32_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(gen.next_document(30).label);
+    EXPECT_EQ(seen.size(), 4u);
+    for (std::int32_t label : seen) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 4);
+    }
+}
+
+TEST(LabelledText, TopicSignalExists)
+{
+    // Words congruent to the label mod classes are over-represented.
+    LabelledTextGenerator gen(10'000, 4, 1.0, 8);
+    std::uint64_t matching = 0;
+    std::uint64_t total = 0;
+    for (int i = 0; i < 500; ++i) {
+        const Document doc = gen.next_document(80);
+        for (std::uint32_t w : doc.words) {
+            matching += (w % 4) == static_cast<std::uint32_t>(doc.label);
+            ++total;
+        }
+    }
+    // Chance level would be 25%; the tilt pushes well above.
+    EXPECT_GT(static_cast<double>(matching) / total, 0.40);
+}
+
+TEST(Vectors, PointsNearTheirComponentCenter)
+{
+    VectorGenerator gen(8, 4, 1.0, 9);
+    std::vector<double> p;
+    std::vector<double> center;
+    for (int i = 0; i < 200; ++i) {
+        gen.next_point(p);
+        ASSERT_EQ(p.size(), 8u);
+        gen.center_of(gen.last_component(), center);
+        double d2 = 0.0;
+        for (int d = 0; d < 8; ++d)
+            d2 += (p[d] - center[d]) * (p[d] - center[d]);
+        // Within ~6 sigma of its own center (sigma = 1, dims = 8).
+        EXPECT_LT(d2, 8.0 * 36.0);
+    }
+}
+
+TEST(Vectors, CentersAreDistinct)
+{
+    VectorGenerator gen(8, 4, 1.0, 10);
+    std::vector<double> a;
+    std::vector<double> b;
+    gen.center_of(0, a);
+    gen.center_of(1, b);
+    double d2 = 0.0;
+    for (int d = 0; d < 8; ++d)
+        d2 += (a[d] - b[d]) * (a[d] - b[d]);
+    EXPECT_GT(d2, 25.0);
+}
+
+TEST(Ratings, FieldsInRange)
+{
+    RatingsGenerator gen(100, 50, 11);
+    for (int i = 0; i < 1000; ++i) {
+        const Rating r = gen.next();
+        EXPECT_LT(r.user, 100u);
+        EXPECT_LT(r.item, 50u);
+        EXPECT_GE(r.score, 1.0f);
+        EXPECT_LE(r.score, 5.0f);
+    }
+}
+
+TEST(Ratings, GenreAffinityIsVisible)
+{
+    RatingsGenerator gen(800, 64, 12);
+    double matched_sum = 0.0;
+    int matched_n = 0;
+    double other_sum = 0.0;
+    int other_n = 0;
+    for (int i = 0; i < 60'000; ++i) {
+        const Rating r = gen.next();
+        if (r.item % 8 == r.user % 8) {
+            matched_sum += r.score;
+            ++matched_n;
+        } else {
+            other_sum += r.score;
+            ++other_n;
+        }
+    }
+    ASSERT_GT(matched_n, 100);
+    EXPECT_GT(matched_sum / matched_n, other_sum / other_n + 0.8);
+}
+
+TEST(Graph, CsrIsWellFormed)
+{
+    const CsrGraph g = make_web_graph(500, 6.0, 0.8, 13);
+    EXPECT_EQ(g.num_nodes, 500u);
+    ASSERT_EQ(g.row_offsets.size(), 501u);
+    EXPECT_EQ(g.row_offsets.back(), g.num_edges());
+    for (std::uint32_t v = 0; v < 500; ++v) {
+        EXPECT_LE(g.row_offsets[v], g.row_offsets[v + 1]);
+        EXPECT_GE(g.out_degree(v), 1u);
+        for (std::uint64_t e = g.row_offsets[v]; e < g.row_offsets[v + 1];
+             ++e) {
+            EXPECT_LT(g.targets[e], 500u);
+            EXPECT_NE(g.targets[e], v);  // no self loops
+        }
+    }
+}
+
+TEST(Graph, InDegreeIsSkewed)
+{
+    const CsrGraph g = make_web_graph(2000, 8.0, 0.9, 14);
+    std::vector<int> in_degree(2000, 0);
+    for (std::uint32_t t : g.targets)
+        ++in_degree[t];
+    int max_in = 0;
+    for (int d : in_degree)
+        max_in = std::max(max_in, d);
+    const double mean_in = static_cast<double>(g.num_edges()) / 2000.0;
+    EXPECT_GT(max_in, mean_in * 10);
+}
+
+TEST(Graph, MeanDegreeApproximatelyRight)
+{
+    const CsrGraph g = make_web_graph(5000, 8.0, 0.8, 15);
+    const double mean = static_cast<double>(g.num_edges()) / 5000.0;
+    EXPECT_GT(mean, 5.0);
+    EXPECT_LT(mean, 12.0);
+}
+
+TEST(Tables, RowsInRange)
+{
+    TableGenerator gen(1000, 500, 16);
+    std::set<std::uint32_t> urls;
+    for (int i = 0; i < 2000; ++i) {
+        const RankingRow r = gen.next_ranking();
+        EXPECT_LT(r.page_url, 1000u);
+        urls.insert(r.page_url);
+        const UserVisitRow v = gen.next_visit();
+        EXPECT_LT(v.source_ip, 500u);
+        EXPECT_LT(v.dest_url, 1000u);
+        EXPECT_GE(v.ad_revenue, 0.1f);
+        EXPECT_LE(v.ad_revenue, 1.0f);
+        EXPECT_GE(v.visit_date, 14000u);
+    }
+    // Rankings enumerate URLs densely.
+    EXPECT_EQ(urls.size(), 1000u);
+}
+
+TEST(Tables, VisitUrlsAreSkewed)
+{
+    TableGenerator gen(1000, 500, 17);
+    std::map<std::uint32_t, int> counts;
+    for (int i = 0; i < 50'000; ++i)
+        ++counts[gen.next_visit().dest_url];
+    EXPECT_GT(counts[0], counts[500] * 3);
+}
+
+}  // namespace
+}  // namespace dcb::datagen

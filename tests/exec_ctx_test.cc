@@ -1,0 +1,201 @@
+/** @file Tests for the ExecCtx narration layer and the CodeLayout. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/code_layout.h"
+#include "trace/exec_ctx.h"
+
+namespace dcb::trace {
+namespace {
+
+/** Sink that records every op. */
+class RecordingSink final : public OpSink
+{
+  public:
+    void consume(const MicroOp& op) override { ops.push_back(op); }
+
+    std::vector<MicroOp> ops;
+};
+
+CodeLayout
+small_layout(std::uint64_t base)
+{
+    return tight_kernel_layout(base, 7);
+}
+
+ExecCtx
+make_ctx(RecordingSink& sink, const ExecProfile& profile = ExecProfile{})
+{
+    return ExecCtx(sink, small_layout(0x10000), small_layout(0x800000),
+                   profile, 42);
+}
+
+TEST(ExecCtx, CountsOpsByMode)
+{
+    RecordingSink sink;
+    ExecCtx ctx = make_ctx(sink);
+    ctx.alu(5);
+    ctx.set_mode(Mode::kKernel);
+    ctx.alu(3);
+    ctx.set_mode(Mode::kUser);
+    ctx.load(0x100);
+    EXPECT_EQ(ctx.counts().user_ops, 6u);
+    EXPECT_EQ(ctx.counts().kernel_ops, 3u);
+    EXPECT_EQ(ctx.counts().total(), 9u);
+}
+
+TEST(ExecCtx, ModeStampsOps)
+{
+    RecordingSink sink;
+    ExecCtx ctx = make_ctx(sink);
+    ctx.alu(1);
+    ctx.set_mode(Mode::kKernel);
+    ctx.alu(1);
+    ASSERT_EQ(sink.ops.size(), 2u);
+    EXPECT_EQ(sink.ops[0].mode, Mode::kUser);
+    EXPECT_EQ(sink.ops[1].mode, Mode::kKernel);
+}
+
+TEST(ExecCtx, KernelOpsFetchFromKernelLayout)
+{
+    RecordingSink sink;
+    ExecCtx ctx = make_ctx(sink);
+    ctx.alu(1);
+    ctx.set_mode(Mode::kKernel);
+    ctx.alu(1);
+    EXPECT_LT(sink.ops[0].fetch_addr, 0x800000u);
+    EXPECT_GE(sink.ops[1].fetch_addr, 0x800000u);
+}
+
+TEST(ExecCtx, LoadCarriesAddress)
+{
+    RecordingSink sink;
+    ExecCtx ctx = make_ctx(sink);
+    ctx.load(0xABCD, 5);
+    ASSERT_EQ(sink.ops.size(), 1u);
+    EXPECT_EQ(sink.ops[0].cls, OpClass::kLoad);
+    EXPECT_EQ(sink.ops[0].addr, 0xABCDu);
+    EXPECT_EQ(sink.ops[0].dep_dist, 5);
+}
+
+TEST(ExecCtx, ChaseLoadDependsOnPreviousLoad)
+{
+    RecordingSink sink;
+    ExecCtx ctx = make_ctx(sink);
+    ctx.load(0x100);
+    ctx.alu(2);
+    ctx.chase_load(0x200);
+    ASSERT_EQ(sink.ops.size(), 4u);
+    // The chase depends on the op 3 positions back (the first load).
+    EXPECT_EQ(sink.ops[3].dep_dist, 3);
+}
+
+TEST(ExecCtx, SerialAluChains)
+{
+    RecordingSink sink;
+    ExecCtx ctx = make_ctx(sink);
+    ctx.alu(3, true);
+    for (const auto& op : sink.ops)
+        EXPECT_EQ(op.dep_dist, 1);
+}
+
+TEST(ExecCtx, ExplicitDepDistance)
+{
+    RecordingSink sink;
+    ExecCtx ctx = make_ctx(sink);
+    ctx.fpu(2, false, 7);
+    EXPECT_EQ(sink.ops[0].dep_dist, 7);
+    EXPECT_EQ(sink.ops[1].dep_dist, 7);
+}
+
+TEST(ExecCtx, BranchFields)
+{
+    RecordingSink sink;
+    ExecCtx ctx = make_ctx(sink);
+    ctx.branch(0x55, true);
+    ctx.indirect_branch(0x66, 0x77);
+    ASSERT_EQ(sink.ops.size(), 2u);
+    EXPECT_EQ(sink.ops[0].cls, OpClass::kBranch);
+    EXPECT_TRUE(sink.ops[0].taken);
+    EXPECT_FALSE(sink.ops[0].indirect);
+    EXPECT_TRUE(sink.ops[1].indirect);
+    EXPECT_EQ(sink.ops[1].target_key, 0x77u);
+}
+
+TEST(ExecCtx, PartialRegisterProbability)
+{
+    RecordingSink sink;
+    ExecProfile profile;
+    profile.partial_reg_prob = 0.25;
+    ExecCtx ctx(sink, small_layout(0x10000), small_layout(0x800000),
+                profile, 9);
+    ctx.alu(40'000);
+    int partial = 0;
+    for (const auto& op : sink.ops)
+        partial += op.partial_reg;
+    EXPECT_NEAR(partial / 40'000.0, 0.25, 0.02);
+}
+
+TEST(CodeLayout, AddressesStayInBounds)
+{
+    CodeLayout layout({{"a", 10, 256, 1.0, 0.8, 16.0}}, 0x4000, 3);
+    EXPECT_EQ(layout.total_bytes(), 2560u);
+    for (int i = 0; i < 10'000; ++i) {
+        const std::uint64_t a = layout.next_fetch();
+        EXPECT_GE(a, 0x4000u);
+        EXPECT_LT(a, 0x4000u + 2560u);
+    }
+}
+
+TEST(CodeLayout, MostlySequentialWithinRuns)
+{
+    CodeLayout layout({{"a", 50, 512, 1.0, 0.8, 40.0}}, 0, 4);
+    std::uint64_t prev = layout.next_fetch();
+    int sequential = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t a = layout.next_fetch();
+        sequential += a == prev + CodeLayout::kInsnBytes;
+        prev = a;
+    }
+    // Mean run 40 insns: the vast majority of fetches are sequential.
+    EXPECT_GT(sequential, n * 8 / 10);
+}
+
+TEST(CodeLayout, PopularFunctionsDominate)
+{
+    CodeLayout layout({{"a", 1000, 256, 1.0, 1.0, 2.0}}, 0, 5);
+    std::vector<int> func_hits(1000, 0);
+    for (int i = 0; i < 100'000; ++i)
+        ++func_hits[layout.next_fetch() / 256];
+    EXPECT_GT(func_hits[0], func_hits[500] * 4);
+}
+
+TEST(CodeLayout, DeterministicPerSeed)
+{
+    auto make = [] {
+        return CodeLayout({{"a", 64, 256, 1.0, 0.8, 12.0}}, 0, 11);
+    };
+    CodeLayout a = make();
+    CodeLayout b = make();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next_fetch(), b.next_fetch());
+}
+
+TEST(CodeLayout, MultiRegionWeighting)
+{
+    CodeLayout layout({{"hot", 4, 256, 0.9, 0.6, 16.0},
+                       {"cold", 1000, 256, 0.1, 0.8, 16.0}},
+                      0, 6);
+    const std::uint64_t hot_end = 4 * 256;
+    int hot = 0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        hot += layout.next_fetch() < hot_end;
+    EXPECT_GT(hot, n * 7 / 10);
+}
+
+}  // namespace
+}  // namespace dcb::trace

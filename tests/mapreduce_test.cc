@@ -1,0 +1,226 @@
+/** @file Tests for the MapReduce engine and TaskIo. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mapreduce/engine.h"
+#include "mapreduce/task_io.h"
+#include "os/syscalls.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace dcb::mapreduce {
+namespace {
+
+/** Full engine environment with an OS model. */
+struct EngineEnv
+{
+    test::NullSink sink;
+    mem::AddressSpace space;
+    os::Disk disk;
+    os::Network net;
+    trace::ExecCtx ctx;
+    os::OsModel os;
+
+    EngineEnv()
+        : ctx(sink, trace::tight_kernel_layout(0x10000, 1),
+              os::kernel_code_layout(0x7000'0000'0000ULL, 2),
+              trace::ExecProfile{}, 3),
+          os(ctx, space, disk, net)
+    {
+    }
+};
+
+std::vector<Record>
+word_stream(std::size_t n, std::uint32_t vocab, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<Record> input(n);
+    for (auto& r : input) {
+        r.key = rng.next_below(vocab);
+        r.value = 1;
+    }
+    return input;
+}
+
+TEST(Engine, WordCountSemanticsMatchSequentialReference)
+{
+    EngineEnv env;
+    EngineConfig cfg;
+    cfg.num_map_tasks = 3;
+    cfg.num_reduce_tasks = 2;
+    cfg.spill_records = 64;
+    SimpleMapReduce engine(env.ctx, env.space, env.os, cfg);
+
+    const auto input = word_stream(5000, 40, 4);
+    std::map<std::uint64_t, std::uint64_t> oracle;
+    for (const auto& r : input)
+        oracle[r.key] += r.value;
+
+    std::vector<Record> output;
+    const JobCounters counters = engine.run(
+        input,
+        [](const Record& r, Emitter& out) { out.emit(r.key, r.value); },
+        [](std::uint64_t key, std::span<const std::uint64_t> values,
+           Emitter& out) {
+            std::uint64_t sum = 0;
+            for (std::uint64_t v : values)
+                sum += v;
+            out.emit(key, sum);
+        },
+        &output);
+
+    EXPECT_EQ(counters.input_records, 5000u);
+    EXPECT_EQ(counters.map_output_records, 5000u);
+    EXPECT_EQ(counters.reduce_input_groups, oracle.size());
+    ASSERT_EQ(output.size(), oracle.size());
+    std::map<std::uint64_t, std::uint64_t> got;
+    for (const auto& r : output)
+        got[r.key] = r.value;
+    EXPECT_EQ(got, oracle);
+}
+
+TEST(Engine, IdentityJobSortsWithinPartitions)
+{
+    EngineEnv env;
+    EngineConfig cfg;
+    cfg.num_map_tasks = 2;
+    cfg.num_reduce_tasks = 1;
+    cfg.spill_records = 128;
+    SimpleMapReduce engine(env.ctx, env.space, env.os, cfg);
+
+    const auto input = word_stream(2000, 1 << 30, 5);
+    std::vector<Record> output;
+    engine.run(
+        input,
+        [](const Record& r, Emitter& out) { out.emit(r.key, r.value); },
+        [](std::uint64_t key, std::span<const std::uint64_t> values,
+           Emitter& out) {
+            for (std::uint64_t v : values)
+                out.emit(key, v);
+        },
+        &output);
+    ASSERT_EQ(output.size(), input.size());
+    for (std::size_t i = 1; i < output.size(); ++i)
+        EXPECT_LE(output[i - 1].key, output[i].key);
+}
+
+TEST(Engine, SpillsWhenBufferOverflows)
+{
+    EngineEnv env;
+    EngineConfig cfg;
+    cfg.num_map_tasks = 1;
+    cfg.num_reduce_tasks = 1;
+    cfg.spill_records = 50;
+    SimpleMapReduce engine(env.ctx, env.space, env.os, cfg);
+    const auto input = word_stream(1000, 8, 6);
+    const JobCounters counters = engine.run(
+        input,
+        [](const Record& r, Emitter& out) { out.emit(r.key, r.value); },
+        [](std::uint64_t key, std::span<const std::uint64_t> values,
+           Emitter& out) { out.emit(key, values.size()); },
+        nullptr);
+    EXPECT_GE(counters.spills, 1000u / 50 / 2);
+    EXPECT_GT(counters.io.spill_bytes, 0u);
+    EXPECT_GT(counters.io.shuffle_bytes, 0u);
+    EXPECT_GT(counters.io.input_bytes, 0u);
+}
+
+TEST(Engine, IoFlowsThroughOsModel)
+{
+    EngineEnv env;
+    EngineConfig cfg;
+    cfg.spill_records = 256;
+    SimpleMapReduce engine(env.ctx, env.space, env.os, cfg);
+    engine.run(
+        word_stream(20'000, 100, 7),
+        [](const Record& r, Emitter& out) { out.emit(r.key, r.value); },
+        [](std::uint64_t key, std::span<const std::uint64_t> values,
+           Emitter& out) { out.emit(key, values.size()); },
+        nullptr);
+    EXPECT_GT(env.disk.bytes_written(), 0u);
+    EXPECT_GT(env.net.bytes_sent(), 0u);
+    EXPECT_GT(env.ctx.counts().kernel_ops, 0u);
+}
+
+TEST(Engine, EmptyInput)
+{
+    EngineEnv env;
+    SimpleMapReduce engine(env.ctx, env.space, env.os, EngineConfig{});
+    std::vector<Record> output;
+    const JobCounters counters = engine.run(
+        {},
+        [](const Record& r, Emitter& out) { out.emit(r.key, r.value); },
+        [](std::uint64_t key, std::span<const std::uint64_t> values,
+           Emitter& out) { out.emit(key, values.size()); },
+        &output);
+    EXPECT_EQ(counters.output_records, 0u);
+    EXPECT_TRUE(output.empty());
+}
+
+TEST(Engine, MapCanFilterAndExplode)
+{
+    EngineEnv env;
+    EngineConfig cfg;
+    cfg.spill_records = 64;
+    SimpleMapReduce engine(env.ctx, env.space, env.os, cfg);
+    const auto input = word_stream(500, 10, 8);
+    std::vector<Record> output;
+    const JobCounters counters = engine.run(
+        input,
+        [](const Record& r, Emitter& out) {
+            if (r.key % 2 == 0) {  // drop odd keys, duplicate even
+                out.emit(r.key, r.value);
+                out.emit(r.key, r.value);
+            }
+        },
+        [](std::uint64_t key, std::span<const std::uint64_t> values,
+           Emitter& out) { out.emit(key, values.size()); },
+        &output);
+    std::uint64_t evens = 0;
+    for (const auto& r : input)
+        evens += r.key % 2 == 0;
+    EXPECT_EQ(counters.map_output_records, evens * 2);
+    for (const auto& r : output)
+        EXPECT_EQ(r.key % 2, 0u);
+}
+
+TEST(TaskIo, BuffersSmallReadsIntoLargeSyscalls)
+{
+    EngineEnv env;
+    TaskIo io(env.os, env.space);
+    const std::uint64_t kernel_before = env.ctx.counts().kernel_ops;
+    // 64 reads of 64 bytes: only accumulates (no syscall until 64KB).
+    for (int i = 0; i < 64; ++i)
+        io.read_input(64);
+    EXPECT_EQ(env.ctx.counts().kernel_ops, kernel_before);
+    // Pushing past the buffer issues exactly one syscall burst.
+    io.read_input(TaskIo::kBufferBytes);
+    EXPECT_GT(env.ctx.counts().kernel_ops, kernel_before);
+    EXPECT_EQ(io.totals().input_bytes, 64u * 64 + TaskIo::kBufferBytes);
+}
+
+TEST(TaskIo, FlushDrainsPendingBytes)
+{
+    EngineEnv env;
+    TaskIo io(env.os, env.space);
+    io.write_spill(100);
+    const std::uint64_t before = env.disk.bytes_written();
+    EXPECT_EQ(before, 0u);
+    io.flush();
+    EXPECT_EQ(env.disk.bytes_written(), 100u);
+}
+
+TEST(TaskIo, OutputReplicationCostsNetwork)
+{
+    EngineEnv env;
+    TaskIo io(env.os, env.space);
+    io.write_output(512 * 1024, 2);
+    io.flush();
+    EXPECT_GE(env.disk.bytes_written(), 512u * 1024);
+    EXPECT_GE(env.net.bytes_sent(), 512u * 1024);
+}
+
+}  // namespace
+}  // namespace dcb::mapreduce

@@ -1,0 +1,155 @@
+/** @file Tests for the OS model (syscalls, disk, network). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/address_space.h"
+#include "os/disk.h"
+#include "os/network.h"
+#include "os/syscalls.h"
+#include "trace/exec_ctx.h"
+
+namespace dcb::os {
+namespace {
+
+class CountingSink final : public trace::OpSink
+{
+  public:
+    void
+    consume(const trace::MicroOp& op) override
+    {
+        ++total;
+        if (op.mode == trace::Mode::kKernel)
+            ++kernel;
+        if (op.cls == trace::OpClass::kLoad)
+            ++loads;
+        if (op.cls == trace::OpClass::kStore)
+            ++stores;
+    }
+
+    std::uint64_t total = 0;
+    std::uint64_t kernel = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+};
+
+class OsFixture : public ::testing::Test
+{
+  protected:
+    OsFixture()
+        : ctx_(sink_, trace::tight_kernel_layout(0x10000, 1),
+               kernel_code_layout(0x7000'0000'0000ULL, 2),
+               trace::ExecProfile{}, 3),
+          os_(ctx_, space_, disk_, net_)
+    {
+    }
+
+    CountingSink sink_;
+    mem::AddressSpace space_;
+    Disk disk_;
+    Network net_;
+    trace::ExecCtx ctx_;
+    OsModel os_;
+};
+
+TEST_F(OsFixture, WriteEmitsKernelInstructions)
+{
+    os_.sys_write(0x100000, 4096);
+    EXPECT_GT(sink_.kernel, 500u);
+    EXPECT_EQ(ctx_.mode(), trace::Mode::kUser);  // returns to user
+    EXPECT_EQ(disk_.bytes_written(), 4096u);
+}
+
+TEST_F(OsFixture, CopyCostScalesWithBytes)
+{
+    os_.sys_write(0x100000, 1024);
+    const std::uint64_t small = sink_.kernel;
+    os_.sys_write(0x100000, 64 * 1024);
+    const std::uint64_t big = sink_.kernel - small;
+    EXPECT_GT(big, small * 3);
+}
+
+TEST_F(OsFixture, CopyTouchesUserAndKernelBuffers)
+{
+    os_.sys_read(0x100000, 8192);
+    EXPECT_GT(sink_.loads, 100u);
+    EXPECT_GT(sink_.stores, 100u);
+    EXPECT_EQ(disk_.bytes_read(), 8192u);
+}
+
+TEST_F(OsFixture, SendAccountsNetwork)
+{
+    os_.sys_send(0x100000, 2048);
+    EXPECT_EQ(net_.bytes_sent(), 2048u);
+    EXPECT_EQ(net_.messages(), 1u);
+    EXPECT_EQ(disk_.bytes_written(), 0u);
+}
+
+TEST_F(OsFixture, SchedIsPureKernelCompute)
+{
+    os_.sys_sched();
+    EXPECT_GT(sink_.kernel, 100u);
+    EXPECT_EQ(disk_.bytes_written() + disk_.bytes_read() +
+                  net_.bytes_sent(),
+              0u);
+}
+
+TEST_F(OsFixture, KernelInstructionAccessor)
+{
+    os_.sys_write(0x100000, 512);
+    EXPECT_EQ(os_.kernel_instructions(), sink_.kernel);
+}
+
+TEST(Disk, RequestAccounting)
+{
+    Disk disk;
+    disk.write(512);           // rounds up to one request
+    disk.write(3 << 20);       // three 1 MB requests
+    EXPECT_EQ(disk.write_requests(), 4u);
+    EXPECT_EQ(disk.bytes_written(), 512u + (3u << 20));
+    disk.read(100);
+    EXPECT_EQ(disk.read_requests(), 1u);
+    EXPECT_GT(disk.busy_seconds(), 0.0);
+    disk.reset();
+    EXPECT_EQ(disk.write_requests(), 0u);
+}
+
+TEST(Disk, ServiceTimeHasSeekAndBandwidthParts)
+{
+    DiskParams params;
+    params.bandwidth_mb_s = 100.0;
+    params.request_latency_s = 0.004;
+    Disk disk(params);
+    const double small = disk.write(1);
+    EXPECT_NEAR(small, 0.004, 1e-6);
+    const double big = disk.write(100 << 20);
+    EXPECT_NEAR(big, 0.004 + 1.0, 0.01);
+}
+
+TEST(Network, TransferTime)
+{
+    NetworkParams params;
+    params.bandwidth_mb_s = 117.0;
+    params.message_latency_s = 0.0002;
+    Network net(params);
+    const double t1 = net.transfer_seconds(117 << 20, 1);
+    EXPECT_NEAR(t1, 1.0002, 0.01);
+    // Four concurrent flows quarter the effective bandwidth.
+    const double t4 = net.transfer_seconds(117 << 20, 4);
+    EXPECT_NEAR(t4, 4.0002, 0.05);
+}
+
+TEST(Network, SendAccumulates)
+{
+    Network net;
+    net.send(100);
+    net.send(200);
+    EXPECT_EQ(net.bytes_sent(), 300u);
+    EXPECT_EQ(net.messages(), 2u);
+    net.reset();
+    EXPECT_EQ(net.bytes_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace dcb::os

@@ -1,0 +1,136 @@
+/** @file Consistency tests for the embedded paper reference data. */
+
+#include <gtest/gtest.h>
+
+#include "core/domain_catalog.h"
+#include "core/paper_data.h"
+#include "workloads/registry.h"
+
+namespace dcb::core {
+namespace {
+
+TEST(PaperData, EveryWorkloadHasReferenceMetrics)
+{
+    for (const auto& name : workloads::figure_order()) {
+        const auto m = paper_metrics(name);
+        ASSERT_TRUE(m.has_value()) << name;
+        EXPECT_EQ(m->name, name);
+        EXPECT_GT(m->ipc, 0.0);
+        EXPECT_LT(m->ipc, 4.0);
+        EXPECT_GE(m->kernel_frac, 0.0);
+        EXPECT_LE(m->kernel_frac, 1.0);
+        EXPECT_GE(m->l3_ratio, 0.0);
+        EXPECT_LE(m->l3_ratio, 1.0);
+        EXPECT_LT(m->br_mispred, 0.1);
+    }
+    EXPECT_FALSE(paper_metrics("bogus").has_value());
+}
+
+TEST(PaperData, StallSharesSumToOne)
+{
+    for (const auto& name : workloads::figure_order()) {
+        const auto m = paper_metrics(name);
+        ASSERT_TRUE(m.has_value());
+        const double sum = m->stall_fetch + m->stall_rat + m->stall_load +
+                           m->stall_store + m->stall_rs + m->stall_rob;
+        EXPECT_NEAR(sum, 1.0, 0.02) << name;
+    }
+}
+
+TEST(PaperData, TextualAveragesHold)
+{
+    // The digitized per-workload values must reproduce the averages the
+    // paper states in its text.
+    const auto da = workloads::names_in_category(
+        workloads::Category::kDataAnalysis);
+    double ipc = 0.0;
+    double l1i = 0.0;
+    double l2 = 0.0;
+    double l3 = 0.0;
+    double ooo = 0.0;
+    for (const auto& name : da) {
+        const auto m = *paper_metrics(name);
+        ipc += m.ipc;
+        l1i += m.l1i_mpki;
+        l2 += m.l2_mpki;
+        l3 += m.l3_ratio;
+        ooo += m.stall_rs + m.stall_rob;
+    }
+    const double n = static_cast<double>(da.size());
+    EXPECT_NEAR(ipc / n, kPaperDaIpcAvg, 0.03);
+    EXPECT_NEAR(l1i / n, kPaperDaL1iMpkiAvg, 3.0);
+    EXPECT_NEAR(l2 / n, kPaperDaL2MpkiAvg, 2.0);
+    EXPECT_NEAR(l3 / n, kPaperDaL3RatioAvg, 0.03);
+    EXPECT_NEAR(ooo / n, kPaperDaOooStallShare, 0.05);
+}
+
+TEST(PaperData, TableOneMatchesWorkloadInfo)
+{
+    ASSERT_EQ(paper_table1().size(), 11u);
+    for (const auto& row : paper_table1()) {
+        const auto w = workloads::make_workload(row.name);
+        ASSERT_NE(w, nullptr) << row.name;
+        EXPECT_EQ(w->info().paper_input_gb, row.input_gb);
+        EXPECT_EQ(w->info().paper_instructions_g, row.instructions_g);
+        EXPECT_EQ(w->info().source, row.source);
+    }
+}
+
+TEST(PaperData, SpeedupsSpanStatedRange)
+{
+    double lo = 100.0;
+    double hi = 0.0;
+    bool bayes_found = false;
+    ASSERT_EQ(paper_speedups().size(), 11u);
+    for (const auto& s : paper_speedups()) {
+        EXPECT_EQ(s.slaves1, 1.0);
+        EXPECT_GT(s.slaves4, 1.0);
+        EXPECT_GT(s.slaves8, s.slaves4 * 0.9);
+        lo = std::min(lo, s.slaves8);
+        hi = std::max(hi, s.slaves8);
+        if (s.name == "Naive Bayes") {
+            bayes_found = true;
+            EXPECT_NEAR(s.slaves8, 6.6, 1e-9);  // stated in the text
+        }
+    }
+    EXPECT_NEAR(lo, 3.3, 1e-9);
+    EXPECT_NEAR(hi, 8.2, 1e-9);
+    EXPECT_TRUE(bayes_found);
+}
+
+TEST(PaperData, DiskWritesSortIsMaximum)
+{
+    const double sort = paper_disk_writes_per_second("Sort");
+    for (const auto& name : workloads::names_in_category(
+             workloads::Category::kDataAnalysis)) {
+        EXPECT_GT(paper_disk_writes_per_second(name), 0.0) << name;
+        EXPECT_LE(paper_disk_writes_per_second(name), sort) << name;
+    }
+    EXPECT_EQ(paper_disk_writes_per_second("bogus"), 0.0);
+}
+
+TEST(DomainCatalog, SharesSumToOne)
+{
+    double sum = 0.0;
+    for (const auto& share : domain_shares()) {
+        EXPECT_GT(share.share, 0.0);
+        sum += share.share;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_EQ(domain_shares().front().domain, "Search Engine");
+    EXPECT_NEAR(domain_shares().front().share, 0.40, 1e-9);
+}
+
+TEST(DomainCatalog, EveryDataAnalysisWorkloadHasScenarios)
+{
+    for (const auto& name : workloads::names_in_category(
+             workloads::Category::kDataAnalysis)) {
+        EXPECT_FALSE(scenarios_for(name).empty()) << name;
+    }
+    EXPECT_TRUE(scenarios_for("nothing").empty());
+    // Grep spans all three domains (Table II).
+    EXPECT_EQ(scenarios_for("Grep").size(), 3u);
+}
+
+}  // namespace
+}  // namespace dcb::core

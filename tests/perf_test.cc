@@ -1,0 +1,132 @@
+/** @file Tests for the perf derivation layer (CounterReport). */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include "cpu/perf.h"
+#include "util/rng.h"
+
+namespace dcb::cpu {
+namespace {
+
+using trace::MicroOp;
+using trace::Mode;
+using trace::OpClass;
+
+/** Drive a mixed op stream into a core. */
+void
+drive(Core& core, int n, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        MicroOp op;
+        const auto kind = rng.next_below(10);
+        if (kind < 3) {
+            op.cls = OpClass::kLoad;
+            op.addr = rng.next_below(8 << 20);
+        } else if (kind < 4) {
+            op.cls = OpClass::kStore;
+            op.addr = rng.next_below(8 << 20);
+        } else if (kind < 6) {
+            op.cls = OpClass::kBranch;
+            op.branch_key = rng.next_below(32);
+            op.taken = rng.next_bool(0.7);
+        } else {
+            op.cls = OpClass::kAlu;
+        }
+        op.mode = rng.next_bool(0.2) ? Mode::kKernel : Mode::kUser;
+        op.fetch_addr = 0x1000 + rng.next_below(1 << 20);
+        core.consume(op);
+    }
+}
+
+TEST(Perf, NormalizeStallsSumsToOne)
+{
+    const StallBreakdown b = normalize_stalls(1, 2, 3, 4, 5, 6);
+    EXPECT_NEAR(b.sum(), 1.0, 1e-12);
+    EXPECT_NEAR(b.fetch, 1.0 / 21.0, 1e-12);
+    EXPECT_NEAR(b.rob, 6.0 / 21.0, 1e-12);
+    EXPECT_NEAR(b.in_order_part() + b.out_of_order_part() + b.load +
+                    b.store,
+                1.0, 1e-12);
+}
+
+TEST(Perf, NormalizeZeroStallsIsAllZero)
+{
+    const StallBreakdown b = normalize_stalls(0, 0, 0, 0, 0, 0);
+    EXPECT_EQ(b.sum(), 0.0);
+}
+
+TEST(Perf, ReportDerivations)
+{
+    Core core(westmere_core_config(), mem::westmere_memory_config());
+    drive(core, 100'000, 3);
+    const CounterReport r = make_report("mix", core);
+    EXPECT_EQ(r.workload, "mix");
+    EXPECT_NEAR(r.instructions, 100'000.0, 0.1);
+    EXPECT_GT(r.cycles, 0.0);
+    EXPECT_NEAR(r.ipc, r.instructions / r.cycles, 1e-9);
+    EXPECT_NEAR(r.ipc, core.ipc(), 1e-6);
+    EXPECT_GT(r.kernel_instr_fraction, 0.15);
+    EXPECT_LT(r.kernel_instr_fraction, 0.25);
+    EXPECT_GE(r.l1i_mpki, 0.0);
+    EXPECT_GE(r.l2_mpki, 0.0);
+    EXPECT_GE(r.l3_service_ratio, 0.0);
+    EXPECT_LE(r.l3_service_ratio, 1.0);
+    EXPECT_GT(r.branch_misprediction_ratio, 0.0);
+    EXPECT_LT(r.branch_misprediction_ratio, 1.0);
+    EXPECT_NEAR(r.stalls.sum(), 1.0, 1e-9);
+}
+
+TEST(Perf, L3ServiceRatioMatchesEquationOne)
+{
+    Core core(westmere_core_config(), mem::westmere_memory_config());
+    drive(core, 80'000, 4);
+    const CounterReport r = make_report("mix", core);
+    const double l2_miss = core.stats().get(Event::kL2Miss);
+    const double l3_miss = core.stats().get(Event::kL3Miss);
+    ASSERT_GT(l2_miss, 0.0);
+    EXPECT_NEAR(r.l3_service_ratio, (l2_miss - l3_miss) / l2_miss, 1e-9);
+}
+
+TEST(Perf, DefaultEventSetCoversTheFigures)
+{
+    const auto events = default_event_set();
+    EXPECT_GE(events.size(), 20u);  // "about 20 events" (Section III-D)
+    auto has = [&events](Event e) {
+        for (const auto& sel : events)
+            if (sel.event == e)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has(Event::kL1IMiss));
+    EXPECT_TRUE(has(Event::kITlbWalk));
+    EXPECT_TRUE(has(Event::kL2Miss));
+    EXPECT_TRUE(has(Event::kL3Miss));
+    EXPECT_TRUE(has(Event::kDTlbWalk));
+    EXPECT_TRUE(has(Event::kBrMispred));
+    EXPECT_TRUE(has(Event::kRobFullStallCycles));
+}
+
+TEST(Perf, PmuPathAgreesWithDirectPath)
+{
+    Core direct(westmere_core_config(), mem::westmere_memory_config());
+    Core pmu_core(westmere_core_config(), mem::westmere_memory_config());
+    pmu_core.pmu().configure_events(default_event_set(), 20'000);
+    drive(direct, 400'000, 5);
+    drive(pmu_core, 400'000, 5);
+
+    const CounterReport a = make_report("w", direct);
+    const CounterReport b = make_report_from_pmu("w", pmu_core);
+    EXPECT_NEAR(a.ipc, b.ipc, a.ipc * 0.02);
+    EXPECT_NEAR(a.l1i_mpki, b.l1i_mpki, a.l1i_mpki * 0.30 + 0.5);
+    EXPECT_NEAR(a.l2_mpki, b.l2_mpki, a.l2_mpki * 0.30 + 0.5);
+    EXPECT_NEAR(a.kernel_instr_fraction, b.kernel_instr_fraction, 0.05);
+    EXPECT_NEAR(a.branch_misprediction_ratio,
+                b.branch_misprediction_ratio, 0.05);
+    EXPECT_NEAR(a.stalls.fetch, b.stalls.fetch, 0.12);
+    EXPECT_NEAR(a.stalls.rs, b.stalls.rs, 0.12);
+}
+
+}  // namespace
+}  // namespace dcb::cpu

@@ -1,0 +1,126 @@
+/** @file Tests for the PMU (event selects, mode filters, multiplexing). */
+
+#include <gtest/gtest.h>
+
+#include "cpu/pmu.h"
+
+namespace dcb::cpu {
+namespace {
+
+using trace::Mode;
+
+TEST(Pmu, DisabledByDefault)
+{
+    Pmu pmu;
+    EXPECT_FALSE(pmu.enabled());
+    pmu.record(Event::kInstRetired, 1.0, Mode::kUser);
+    EXPECT_EQ(pmu.fixed_instructions(), 0.0);
+}
+
+TEST(Pmu, SingleGroupCountsEverything)
+{
+    Pmu pmu;
+    pmu.configure_groups({{{Event::kL1IMiss, true, true}}}, 1000);
+    for (int i = 0; i < 500; ++i) {
+        pmu.record(Event::kL1IMiss, 1.0, Mode::kUser);
+        pmu.record(Event::kInstRetired, 1.0, Mode::kUser);
+    }
+    const auto readings = pmu.readings();
+    ASSERT_EQ(readings.size(), 1u);
+    EXPECT_EQ(readings[0].raw, 500.0);
+    EXPECT_EQ(readings[0].scaled, 500.0);
+}
+
+TEST(Pmu, ModeFiltersApply)
+{
+    Pmu pmu;
+    pmu.configure_groups({{{Event::kInstRetired, false, true},
+                           {Event::kInstRetired, true, false}}},
+                         1'000'000);
+    for (int i = 0; i < 300; ++i)
+        pmu.record(Event::kInstRetired, 1.0,
+                   i < 100 ? Mode::kKernel : Mode::kUser);
+    const auto readings = pmu.readings();
+    ASSERT_EQ(readings.size(), 2u);
+    EXPECT_EQ(readings[0].raw, 100.0);  // kernel-only
+    EXPECT_EQ(readings[1].raw, 200.0);  // user-only
+}
+
+TEST(Pmu, FixedCountersAlwaysRun)
+{
+    Pmu pmu;
+    pmu.configure_groups({{{Event::kL2Miss, true, true}},
+                          {{Event::kL3Miss, true, true}}},
+                         100);
+    for (int i = 0; i < 1000; ++i) {
+        pmu.record(Event::kInstRetired, 1.0, Mode::kUser);
+        pmu.record(Event::kCycles, 2.0, Mode::kUser);
+    }
+    EXPECT_EQ(pmu.fixed_instructions(), 1000.0);
+    EXPECT_EQ(pmu.fixed_cycles(), 2000.0);
+}
+
+TEST(Pmu, MultiplexedScalingApproximatesTruth)
+{
+    Pmu pmu;
+    // Two groups rotating every 1000 instructions.
+    pmu.configure_groups({{{Event::kL1DMiss, true, true}},
+                          {{Event::kBrRetired, true, true}}},
+                         1000);
+    // Steady stream: 1 L1D miss per 10 instr, 1 branch per 5 instr.
+    for (int i = 0; i < 100'000; ++i) {
+        pmu.record(Event::kInstRetired, 1.0, Mode::kUser);
+        if (i % 10 == 0)
+            pmu.record(Event::kL1DMiss, 1.0, Mode::kUser);
+        if (i % 5 == 0)
+            pmu.record(Event::kBrRetired, 1.0, Mode::kUser);
+    }
+    const auto readings = pmu.readings();
+    ASSERT_EQ(readings.size(), 2u);
+    // Each group saw about half the run but scales back to the total.
+    EXPECT_NEAR(readings[0].scaled, 10'000.0, 500.0);
+    EXPECT_NEAR(readings[1].scaled, 20'000.0, 1000.0);
+    EXPECT_NEAR(readings[0].enabled_instr, 50'000.0, 2000.0);
+}
+
+TEST(Pmu, ConfigureEventsPacksGroups)
+{
+    Pmu pmu;
+    std::vector<EventSelect> events;
+    for (int i = 0; i < 10; ++i)
+        events.push_back({Event::kL2Miss, true, true});
+    pmu.configure_events(events, 1000);
+    EXPECT_EQ(pmu.readings().size(), 10u);
+}
+
+TEST(Pmu, DisableStopsCounting)
+{
+    Pmu pmu;
+    pmu.configure_groups({{{Event::kL2Miss, true, true}}}, 1000);
+    pmu.record(Event::kL2Miss, 1.0, Mode::kUser);
+    pmu.disable();
+    pmu.record(Event::kL2Miss, 1.0, Mode::kUser);
+    EXPECT_EQ(pmu.readings()[0].raw, 1.0);
+}
+
+TEST(Pmu, ReconfigureClearsCounts)
+{
+    Pmu pmu;
+    pmu.configure_groups({{{Event::kL2Miss, true, true}}}, 1000);
+    pmu.record(Event::kL2Miss, 5.0, Mode::kUser);
+    pmu.configure_groups({{{Event::kL2Miss, true, true}}}, 1000);
+    EXPECT_EQ(pmu.readings()[0].raw, 0.0);
+}
+
+TEST(Pmu, EventNamesAreUnique)
+{
+    for (std::size_t i = 0; i < kEventCount; ++i) {
+        for (std::size_t j = i + 1; j < kEventCount; ++j) {
+            EXPECT_STRNE(event_name(static_cast<Event>(i)),
+                         event_name(static_cast<Event>(j)));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dcb::cpu

@@ -1,0 +1,68 @@
+/** @file Tests for the per-class calibration profiles. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/profiles.h"
+
+namespace dcb::workloads {
+namespace {
+
+std::uint64_t
+footprint_of(FootprintClass cls)
+{
+    return make_code_layout(cls, kUserCodeBase, 7).total_bytes();
+}
+
+TEST(Profiles, FootprintOrderingMatchesThePaperStory)
+{
+    // Tight kernels < SPEC binaries < JIT-compact < JVM framework; the
+    // media stack has the largest *active* footprint but overall size
+    // ordering is the structural claim here.
+    EXPECT_LT(footprint_of(FootprintClass::kTightKernel),
+              footprint_of(FootprintClass::kStaticCompute));
+    EXPECT_LT(footprint_of(FootprintClass::kStaticCompute),
+              footprint_of(FootprintClass::kJvmCompact));
+    EXPECT_LT(footprint_of(FootprintClass::kJvmCompact),
+              footprint_of(FootprintClass::kJvmFramework));
+}
+
+TEST(Profiles, LayoutsProduceAddressesInTheirRange)
+{
+    for (FootprintClass cls :
+         {FootprintClass::kJvmFramework, FootprintClass::kJvmCompact,
+          FootprintClass::kServiceStack, FootprintClass::kMediaStack,
+          FootprintClass::kStaticCompute, FootprintClass::kTightKernel}) {
+        trace::CodeLayout layout = make_code_layout(cls, kUserCodeBase, 3);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t a = layout.next_fetch();
+            EXPECT_GE(a, kUserCodeBase);
+            EXPECT_LT(a, layout.end_address());
+        }
+    }
+}
+
+TEST(Profiles, ExecProfilesEncodeTheClassContrast)
+{
+    // The services' partial-register density is the RAT-stall source
+    // (Figure 6); JITed analytics code barely uses the idiom.
+    EXPECT_GT(service_exec_profile().partial_reg_prob,
+              5 * data_analysis_exec_profile().partial_reg_prob);
+    EXPECT_GT(data_analysis_exec_profile().partial_reg_prob,
+              hpcc_exec_profile().partial_reg_prob);
+    for (const auto& p :
+         {data_analysis_exec_profile(), service_exec_profile(),
+          spec_exec_profile(), hpcc_exec_profile()}) {
+        EXPECT_GE(p.partial_reg_prob, 0.0);
+        EXPECT_LE(p.partial_reg_prob, 1.0);
+    }
+}
+
+TEST(Profiles, KernelAndUserCodeRegionsDoNotOverlap)
+{
+    trace::CodeLayout user =
+        make_code_layout(FootprintClass::kJvmFramework, kUserCodeBase, 5);
+    EXPECT_LT(user.end_address(), kKernelCodeBase);
+}
+
+}  // namespace
+}  // namespace dcb::workloads

@@ -1,0 +1,89 @@
+/** @file Tests for the report-rendering helpers and harness presets. */
+
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "core/report.h"
+
+namespace dcb::core {
+namespace {
+
+cpu::CounterReport
+fake_report(const std::string& name, double ipc, double l2)
+{
+    cpu::CounterReport r;
+    r.workload = name;
+    r.ipc = ipc;
+    r.l2_mpki = l2;
+    r.instructions = 1000;
+    r.cycles = 1000 / ipc;
+    return r;
+}
+
+TEST(Report, ClassAverageSelectsNamedSubset)
+{
+    const std::vector<cpu::CounterReport> reports = {
+        fake_report("a", 1.0, 10),
+        fake_report("b", 2.0, 20),
+        fake_report("c", 3.0, 30),
+    };
+    const double avg = class_average(
+        reports, {"a", "c"},
+        [](const cpu::CounterReport& r) { return r.ipc; });
+    EXPECT_NEAR(avg, 2.0, 1e-12);
+}
+
+TEST(Report, ClassAverageEmptySubsetIsZero)
+{
+    const std::vector<cpu::CounterReport> reports = {
+        fake_report("a", 1.0, 10)};
+    EXPECT_EQ(class_average(reports, {"nope"},
+                            [](const cpu::CounterReport& r) {
+                                return r.ipc;
+                            }),
+              0.0);
+}
+
+TEST(Report, ShapeCheckReturnsItsVerdict)
+{
+    EXPECT_TRUE(shape_check("always true", true));
+    EXPECT_FALSE(shape_check("always false", false));
+}
+
+TEST(Report, PrintFigureTableHandlesMissingPaperValues)
+{
+    // Smoke test: must not crash with a paper getter returning "absent".
+    const std::vector<cpu::CounterReport> reports = {
+        fake_report("a", 1.0, 10)};
+    print_figure_table(
+        "test", reports, "ipc",
+        [](const cpu::CounterReport& r) { return r.ipc; },
+        [](const std::string&) { return -1.0; }, 2);
+}
+
+TEST(Harness, BenchConfigIsPaperMethodology)
+{
+    const HarnessConfig config = bench_config();
+    EXPECT_GT(config.run.warmup_ops, 0u);  // ramp-up discard
+    EXPECT_LT(config.run.warmup_ops, config.run.op_budget);
+    // Table III machine.
+    EXPECT_EQ(config.memory_config.l3.size_bytes, 12u << 20);
+    EXPECT_EQ(config.core_config.rob_entries, 128u);
+    EXPECT_FALSE(config.use_pmu);
+}
+
+TEST(Harness, PmuPathProducesComparableReport)
+{
+    HarnessConfig direct;
+    direct.run.op_budget = 300'000;
+    direct.run.warmup_ops = 0;
+    HarnessConfig pmu = direct;
+    pmu.use_pmu = true;
+    const auto a = run_workload("K-means", direct);
+    const auto b = run_workload("K-means", pmu);
+    EXPECT_NEAR(a.ipc, b.ipc, a.ipc * 0.05);
+    EXPECT_NEAR(a.l1i_mpki, b.l1i_mpki, a.l1i_mpki * 0.5 + 1.0);
+}
+
+}  // namespace
+}  // namespace dcb::core

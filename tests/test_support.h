@@ -1,0 +1,40 @@
+#ifndef DCBENCH_TESTS_TEST_SUPPORT_H_
+#define DCBENCH_TESTS_TEST_SUPPORT_H_
+
+/** @file Shared fixtures for kernel-level tests: a discarding op sink and
+ *  a ready-made execution environment (the algorithm tests only care
+ *  about functional results, not timing). */
+
+#include "mem/address_space.h"
+#include "trace/code_layout.h"
+#include "trace/exec_ctx.h"
+
+namespace dcb::test {
+
+/** Swallows the narration; algorithm tests check outputs only. */
+class NullSink final : public trace::OpSink
+{
+  public:
+    void consume(const trace::MicroOp&) override { ++ops; }
+
+    std::uint64_t ops = 0;
+};
+
+/** Minimal environment for running analytics kernels. */
+struct KernelEnv
+{
+    NullSink sink;
+    mem::AddressSpace space;
+    trace::ExecCtx ctx;
+
+    explicit KernelEnv(std::uint64_t seed = 42)
+        : ctx(sink, trace::tight_kernel_layout(0x10000, seed),
+              trace::tight_kernel_layout(0x7000'0000'0000ULL, seed ^ 1),
+              trace::ExecProfile{}, seed)
+    {
+    }
+};
+
+}  // namespace dcb::test
+
+#endif  // DCBENCH_TESTS_TEST_SUPPORT_H_

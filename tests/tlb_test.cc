@@ -1,0 +1,136 @@
+/** @file Tests for the TLB hierarchy and the synthetic page table. */
+
+#include <gtest/gtest.h>
+
+#include "mem/config.h"
+#include "mem/page_table.h"
+#include "mem/tlb.h"
+
+namespace dcb::mem {
+namespace {
+
+TEST(Tlb, SamePageHitsAfterFirstAccess)
+{
+    Tlb tlb(TlbGeometry{64, 4}, 4096);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1FFF));   // same page
+    EXPECT_FALSE(tlb.access(0x2000));  // next page
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb tlb(TlbGeometry{8, 2}, 4096);
+    // Touch 32 distinct pages (4x capacity), then re-touch the first.
+    for (std::uint64_t p = 0; p < 32; ++p)
+        tlb.access(p * 4096);
+    EXPECT_FALSE(tlb.access(0));
+}
+
+TEST(PageTable, WalkAddressesDeterministic)
+{
+    PageTable pt(4, 12);
+    std::array<std::uint64_t, PageTable::kMaxLevels> a{};
+    std::array<std::uint64_t, PageTable::kMaxLevels> b{};
+    pt.walk_addresses(0x12345678, a);
+    pt.walk_addresses(0x12345678, b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(PageTable, AdjacentPagesShareUpperLevels)
+{
+    PageTable pt(4, 12);
+    std::array<std::uint64_t, PageTable::kMaxLevels> a{};
+    std::array<std::uint64_t, PageTable::kMaxLevels> b{};
+    pt.walk_addresses(0x400000, a);
+    pt.walk_addresses(0x400000 + 4096, b);
+    // Root through level 2 identical tables; leaf PTEs adjacent.
+    EXPECT_EQ(a[0], b[0]);
+    EXPECT_EQ(a[1], b[1]);
+    EXPECT_EQ(a[2], b[2]);
+    EXPECT_EQ(b[3], a[3] + 8);
+}
+
+TEST(PageTable, DistantPagesUseDistinctLeafTables)
+{
+    PageTable pt(4, 12);
+    std::array<std::uint64_t, PageTable::kMaxLevels> a{};
+    std::array<std::uint64_t, PageTable::kMaxLevels> b{};
+    pt.walk_addresses(0x0000'1000'0000ULL, a);
+    pt.walk_addresses(0x0000'9000'0000ULL, b);
+    EXPECT_NE(a[3], b[3]);
+    // All PTE addresses live in the dedicated region.
+    for (int l = 0; l < 4; ++l) {
+        EXPECT_GE(a[l], PageTable::kPteRegionBase);
+        EXPECT_GE(b[l], PageTable::kPteRegionBase);
+    }
+}
+
+class TwoLevelFixture : public ::testing::Test
+{
+  protected:
+    TwoLevelFixture()
+        : config_(westmere_memory_config()),
+          shared_(config_.l2_tlb, config_.page_bytes),
+          page_table_(4, 12),
+          tlb_(config_.itlb, config_, shared_, page_table_,
+               [this](std::uint64_t) {
+                   ++pte_accesses_;
+                   return 10u;
+               })
+    {
+    }
+
+    MemoryConfig config_;
+    Tlb shared_;
+    PageTable page_table_;
+    TwoLevelTlb tlb_;
+    int pte_accesses_ = 0;
+};
+
+TEST_F(TwoLevelFixture, FirstAccessWalks)
+{
+    const TranslationResult r = tlb_.translate(0x5000);
+    EXPECT_FALSE(r.l1_hit);
+    EXPECT_FALSE(r.l2_hit);
+    EXPECT_TRUE(r.walked);
+    EXPECT_EQ(pte_accesses_, 4);  // one PTE load per level
+    EXPECT_EQ(tlb_.completed_walks(), 1u);
+    // walk latency: L2 lookup 6 + base 8 + 4 x 10.
+    EXPECT_EQ(r.latency, 6u + config_.walk_base_latency + 40u);
+}
+
+TEST_F(TwoLevelFixture, SecondAccessHitsL1)
+{
+    tlb_.translate(0x5000);
+    const TranslationResult r = tlb_.translate(0x5800);
+    EXPECT_TRUE(r.l1_hit);
+    EXPECT_EQ(r.latency, 0u);
+    EXPECT_EQ(tlb_.completed_walks(), 1u);
+}
+
+TEST_F(TwoLevelFixture, L2CatchesL1Evictions)
+{
+    // Fill far beyond the 64-entry L1 but within the 512-entry L2.
+    for (std::uint64_t p = 0; p < 256; ++p)
+        tlb_.translate(p * 4096);
+    const std::uint64_t walks_before = tlb_.completed_walks();
+    // Page 0 fell out of the L1 ITLB but is still in the shared L2.
+    const TranslationResult r = tlb_.translate(0);
+    EXPECT_FALSE(r.l1_hit);
+    EXPECT_TRUE(r.l2_hit);
+    EXPECT_EQ(tlb_.completed_walks(), walks_before);
+}
+
+TEST_F(TwoLevelFixture, CounterReset)
+{
+    tlb_.translate(0x5000);
+    tlb_.reset_counters();
+    EXPECT_EQ(tlb_.completed_walks(), 0u);
+    EXPECT_EQ(tlb_.l1_misses(), 0u);
+    // Translation state survives: same page still hits.
+    EXPECT_TRUE(tlb_.translate(0x5000).l1_hit);
+}
+
+}  // namespace
+}  // namespace dcb::mem

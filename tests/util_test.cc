@@ -1,0 +1,319 @@
+/** @file Unit tests for the util module. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/csv.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/zipf.h"
+
+namespace dcb::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    std::array<int, 8> counts{};
+    const int n = 80'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.next_below(8)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 8 * 0.9);
+        EXPECT_LT(c, n / 8 * 1.1);
+    }
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.next_range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    RunningStat s;
+    for (int i = 0; i < 50'000; ++i)
+        s.add(rng.next_gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.03);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(17);
+    RunningStat s;
+    for (int i = 0; i < 50'000; ++i)
+        s.add(rng.next_exponential(2.0));
+    EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(9);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, RanksWithinBounds)
+{
+    Rng rng(1);
+    ZipfSampler zipf(100, 1.0);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf.sample(rng), 100u);
+}
+
+TEST(Zipf, LowRanksMoreFrequent)
+{
+    Rng rng(2);
+    ZipfSampler zipf(1000, 1.0);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 100'000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[9] * 2);
+    EXPECT_GT(counts[0], 5000);
+}
+
+TEST(Zipf, SkewZeroIsNearUniform)
+{
+    Rng rng(3);
+    ZipfSampler zipf(10, 0.0);
+    std::array<int, 10> counts{};
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 10 * 0.85);
+        EXPECT_LT(c, n / 10 * 1.15);
+    }
+}
+
+TEST(Zipf, SingleRankDegenerate)
+{
+    Rng rng(4);
+    ZipfSampler zipf(1, 1.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+/** Property sweep: empirical rank-frequency ratios follow the skew. */
+class ZipfSkewTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewTest, FrequencyRatioMatchesSkew)
+{
+    const double s = GetParam();
+    Rng rng(21);
+    ZipfSampler zipf(10'000, s);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 400'000; ++i)
+        ++counts[zipf.sample(rng)];
+    // P(0)/P(1) should be about 2^s.
+    const double ratio = static_cast<double>(counts[0]) / counts[1];
+    EXPECT_NEAR(ratio, std::pow(2.0, s), std::pow(2.0, s) * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2));
+
+TEST(RunningStat, MatchesDirectComputation)
+{
+    RunningStat s;
+    const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 100};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), 16.0, 1e-12);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 100.0);
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - 16.0) * (x - 16.0);
+    var /= static_cast<double>(xs.size() - 1);
+    EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(RunningStat, MergeEqualsCombined)
+{
+    Rng rng(31);
+    RunningStat a;
+    RunningStat b;
+    RunningStat all;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.next_gaussian() * 3 + 1;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, Percentile)
+{
+    std::vector<double> v = {5, 1, 4, 2, 3};
+    EXPECT_NEAR(percentile(v, 0), 1.0, 1e-12);
+    EXPECT_NEAR(percentile(v, 50), 3.0, 1e-12);
+    EXPECT_NEAR(percentile(v, 100), 5.0, 1e-12);
+    EXPECT_NEAR(percentile(v, 25), 2.0, 1e-12);
+    EXPECT_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean_of({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_EQ(geomean_of({}), 0.0);
+}
+
+TEST(Stats, Summary)
+{
+    const Summary s = summarize({1, 2, 3, 4});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_NEAR(s.mean, 2.5, 1e-12);
+    EXPECT_EQ(s.min, 1.0);
+    EXPECT_EQ(s.max, 4.0);
+}
+
+TEST(Histogram, LinearBuckets)
+{
+    LinearHistogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(5.6);
+    h.add(99.0);  // clamps to last bucket
+    h.add(-5.0);  // clamps to first bucket
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(5), 2u);
+    EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(Histogram, Log2Buckets)
+{
+    Log2Histogram h;
+    h.add(0);   // bucket 0
+    h.add(1);   // bucket 1
+    h.add(2);   // bucket 1 (floor(log2(3)))
+    h.add(7);   // bucket 3
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(StringUtil, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, SplitWhitespace)
+{
+    const auto parts = split_whitespace("  foo \t bar\nbaz  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "foo");
+    EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringUtil, JoinTrimLowerStartsWith)
+{
+    EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(to_lower("AbC"), "abc");
+    EXPECT_TRUE(starts_with("foobar", "foo"));
+    EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(StringUtil, HumanBytesAndCommas)
+{
+    EXPECT_EQ(human_bytes(512), "512 B");
+    EXPECT_EQ(human_bytes(1536), "1.5 KB");
+    EXPECT_EQ(with_commas(1234567), "1,234,567");
+    EXPECT_EQ(with_commas(12), "12");
+}
+
+TEST(Table, RendersAllRows)
+{
+    Table t({"a", "bb"});
+    t.add_row({"1", "2"});
+    t.add_row({"333", "4"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    CsvWriter csv({"x", "y"});
+    csv.add_row({"has,comma", "has\"quote"});
+    const std::string s = csv.to_string();
+    EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcb::util
