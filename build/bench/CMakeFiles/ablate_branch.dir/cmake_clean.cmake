@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_branch.dir/ablate_branch.cpp.o"
+  "CMakeFiles/ablate_branch.dir/ablate_branch.cpp.o.d"
+  "ablate_branch"
+  "ablate_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_codelayout.dir/ablate_codelayout.cpp.o"
+  "CMakeFiles/ablate_codelayout.dir/ablate_codelayout.cpp.o.d"
+  "ablate_codelayout"
+  "ablate_codelayout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_codelayout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

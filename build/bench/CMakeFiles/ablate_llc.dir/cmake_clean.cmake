@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_llc.dir/ablate_llc.cpp.o"
+  "CMakeFiles/ablate_llc.dir/ablate_llc.cpp.o.d"
+  "ablate_llc"
+  "ablate_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

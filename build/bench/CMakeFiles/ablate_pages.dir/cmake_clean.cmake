@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pages.dir/ablate_pages.cpp.o"
+  "CMakeFiles/ablate_pages.dir/ablate_pages.cpp.o.d"
+  "ablate_pages"
+  "ablate_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

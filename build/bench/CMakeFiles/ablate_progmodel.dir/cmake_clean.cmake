@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_progmodel.dir/ablate_progmodel.cpp.o"
+  "CMakeFiles/ablate_progmodel.dir/ablate_progmodel.cpp.o.d"
+  "ablate_progmodel"
+  "ablate_progmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_progmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rob.dir/ablate_rob.cpp.o"
+  "CMakeFiles/ablate_rob.dir/ablate_rob.cpp.o.d"
+  "ablate_rob"
+  "ablate_rob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

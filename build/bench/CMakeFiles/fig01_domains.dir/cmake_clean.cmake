@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_domains.dir/fig01_domains.cpp.o"
+  "CMakeFiles/fig01_domains.dir/fig01_domains.cpp.o.d"
+  "fig01_domains"
+  "fig01_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

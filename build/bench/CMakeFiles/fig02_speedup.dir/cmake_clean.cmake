@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_speedup.dir/fig02_speedup.cpp.o"
+  "CMakeFiles/fig02_speedup.dir/fig02_speedup.cpp.o.d"
+  "fig02_speedup"
+  "fig02_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

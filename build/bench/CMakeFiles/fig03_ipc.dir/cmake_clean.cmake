@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ipc.dir/fig03_ipc.cpp.o"
+  "CMakeFiles/fig03_ipc.dir/fig03_ipc.cpp.o.d"
+  "fig03_ipc"
+  "fig03_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_kernel.dir/fig04_kernel.cpp.o"
+  "CMakeFiles/fig04_kernel.dir/fig04_kernel.cpp.o.d"
+  "fig04_kernel"
+  "fig04_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

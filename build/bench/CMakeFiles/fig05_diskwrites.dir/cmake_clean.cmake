@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_diskwrites.dir/fig05_diskwrites.cpp.o"
+  "CMakeFiles/fig05_diskwrites.dir/fig05_diskwrites.cpp.o.d"
+  "fig05_diskwrites"
+  "fig05_diskwrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_diskwrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_stalls.dir/fig06_stalls.cpp.o"
+  "CMakeFiles/fig06_stalls.dir/fig06_stalls.cpp.o.d"
+  "fig06_stalls"
+  "fig06_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_l1i.dir/fig07_l1i.cpp.o"
+  "CMakeFiles/fig07_l1i.dir/fig07_l1i.cpp.o.d"
+  "fig07_l1i"
+  "fig07_l1i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_l1i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_itlb.dir/fig08_itlb.cpp.o"
+  "CMakeFiles/fig08_itlb.dir/fig08_itlb.cpp.o.d"
+  "fig08_itlb"
+  "fig08_itlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_itlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

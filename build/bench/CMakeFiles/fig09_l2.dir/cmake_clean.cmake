@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_l2.dir/fig09_l2.cpp.o"
+  "CMakeFiles/fig09_l2.dir/fig09_l2.cpp.o.d"
+  "fig09_l2"
+  "fig09_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

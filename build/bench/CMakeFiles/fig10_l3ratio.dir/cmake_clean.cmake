@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_l3ratio.dir/fig10_l3ratio.cpp.o"
+  "CMakeFiles/fig10_l3ratio.dir/fig10_l3ratio.cpp.o.d"
+  "fig10_l3ratio"
+  "fig10_l3ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_l3ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dtlb.dir/fig11_dtlb.cpp.o"
+  "CMakeFiles/fig11_dtlb.dir/fig11_dtlb.cpp.o.d"
+  "fig11_dtlb"
+  "fig11_dtlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dtlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

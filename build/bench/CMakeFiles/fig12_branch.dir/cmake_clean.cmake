@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_branch.dir/fig12_branch.cpp.o"
+  "CMakeFiles/fig12_branch.dir/fig12_branch.cpp.o.d"
+  "fig12_branch"
+  "fig12_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_workloads.dir/tab1_workloads.cpp.o"
+  "CMakeFiles/tab1_workloads.dir/tab1_workloads.cpp.o.d"
+  "tab1_workloads"
+  "tab1_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

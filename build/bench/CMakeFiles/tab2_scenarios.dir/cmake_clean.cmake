@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_scenarios.dir/tab2_scenarios.cpp.o"
+  "CMakeFiles/tab2_scenarios.dir/tab2_scenarios.cpp.o.d"
+  "tab2_scenarios"
+  "tab2_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

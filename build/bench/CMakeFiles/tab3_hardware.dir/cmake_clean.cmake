@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_hardware.dir/tab3_hardware.cpp.o"
+  "CMakeFiles/tab3_hardware.dir/tab3_hardware.cpp.o.d"
+  "tab3_hardware"
+  "tab3_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_substrate.dir/ubench_substrate.cpp.o"
+  "CMakeFiles/ubench_substrate.dir/ubench_substrate.cpp.o.d"
+  "ubench_substrate"
+  "ubench_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_speedup.dir/cluster_speedup.cpp.o"
+  "CMakeFiles/cluster_speedup.dir/cluster_speedup.cpp.o.d"
+  "cluster_speedup"
+  "cluster_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

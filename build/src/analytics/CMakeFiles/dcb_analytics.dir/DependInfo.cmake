@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/external_sort.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/external_sort.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/external_sort.cc.o.d"
+  "/root/repo/src/analytics/fuzzy_kmeans.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/fuzzy_kmeans.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/fuzzy_kmeans.cc.o.d"
+  "/root/repo/src/analytics/grep.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/grep.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/grep.cc.o.d"
+  "/root/repo/src/analytics/hive.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/hive.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/hive.cc.o.d"
+  "/root/repo/src/analytics/hmm.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/hmm.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/hmm.cc.o.d"
+  "/root/repo/src/analytics/ibcf.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/ibcf.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/ibcf.cc.o.d"
+  "/root/repo/src/analytics/kmeans.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/kmeans.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/kmeans.cc.o.d"
+  "/root/repo/src/analytics/naive_bayes.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/naive_bayes.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/analytics/pagerank.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/pagerank.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/pagerank.cc.o.d"
+  "/root/repo/src/analytics/svm.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/svm.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/svm.cc.o.d"
+  "/root/repo/src/analytics/word_count.cc" "src/analytics/CMakeFiles/dcb_analytics.dir/word_count.cc.o" "gcc" "src/analytics/CMakeFiles/dcb_analytics.dir/word_count.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/dcb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

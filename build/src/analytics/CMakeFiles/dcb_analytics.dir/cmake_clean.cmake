@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_analytics.dir/external_sort.cc.o"
+  "CMakeFiles/dcb_analytics.dir/external_sort.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/fuzzy_kmeans.cc.o"
+  "CMakeFiles/dcb_analytics.dir/fuzzy_kmeans.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/grep.cc.o"
+  "CMakeFiles/dcb_analytics.dir/grep.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/hive.cc.o"
+  "CMakeFiles/dcb_analytics.dir/hive.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/hmm.cc.o"
+  "CMakeFiles/dcb_analytics.dir/hmm.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/ibcf.cc.o"
+  "CMakeFiles/dcb_analytics.dir/ibcf.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/kmeans.cc.o"
+  "CMakeFiles/dcb_analytics.dir/kmeans.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/naive_bayes.cc.o"
+  "CMakeFiles/dcb_analytics.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/pagerank.cc.o"
+  "CMakeFiles/dcb_analytics.dir/pagerank.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/svm.cc.o"
+  "CMakeFiles/dcb_analytics.dir/svm.cc.o.d"
+  "CMakeFiles/dcb_analytics.dir/word_count.cc.o"
+  "CMakeFiles/dcb_analytics.dir/word_count.cc.o.d"
+  "libdcb_analytics.a"
+  "libdcb_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_core.dir/domain_catalog.cc.o"
+  "CMakeFiles/dcb_core.dir/domain_catalog.cc.o.d"
+  "CMakeFiles/dcb_core.dir/harness.cc.o"
+  "CMakeFiles/dcb_core.dir/harness.cc.o.d"
+  "CMakeFiles/dcb_core.dir/paper_data.cc.o"
+  "CMakeFiles/dcb_core.dir/paper_data.cc.o.d"
+  "CMakeFiles/dcb_core.dir/report.cc.o"
+  "CMakeFiles/dcb_core.dir/report.cc.o.d"
+  "libdcb_core.a"
+  "libdcb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch.cc" "src/cpu/CMakeFiles/dcb_cpu.dir/branch.cc.o" "gcc" "src/cpu/CMakeFiles/dcb_cpu.dir/branch.cc.o.d"
+  "/root/repo/src/cpu/config.cc" "src/cpu/CMakeFiles/dcb_cpu.dir/config.cc.o" "gcc" "src/cpu/CMakeFiles/dcb_cpu.dir/config.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/dcb_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/dcb_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/perf.cc" "src/cpu/CMakeFiles/dcb_cpu.dir/perf.cc.o" "gcc" "src/cpu/CMakeFiles/dcb_cpu.dir/perf.cc.o.d"
+  "/root/repo/src/cpu/pmu.cc" "src/cpu/CMakeFiles/dcb_cpu.dir/pmu.cc.o" "gcc" "src/cpu/CMakeFiles/dcb_cpu.dir/pmu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/dcb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

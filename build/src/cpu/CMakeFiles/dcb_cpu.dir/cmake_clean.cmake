@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_cpu.dir/branch.cc.o"
+  "CMakeFiles/dcb_cpu.dir/branch.cc.o.d"
+  "CMakeFiles/dcb_cpu.dir/config.cc.o"
+  "CMakeFiles/dcb_cpu.dir/config.cc.o.d"
+  "CMakeFiles/dcb_cpu.dir/core.cc.o"
+  "CMakeFiles/dcb_cpu.dir/core.cc.o.d"
+  "CMakeFiles/dcb_cpu.dir/perf.cc.o"
+  "CMakeFiles/dcb_cpu.dir/perf.cc.o.d"
+  "CMakeFiles/dcb_cpu.dir/pmu.cc.o"
+  "CMakeFiles/dcb_cpu.dir/pmu.cc.o.d"
+  "libdcb_cpu.a"
+  "libdcb_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

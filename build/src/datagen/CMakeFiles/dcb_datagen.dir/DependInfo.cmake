@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/graph.cc" "src/datagen/CMakeFiles/dcb_datagen.dir/graph.cc.o" "gcc" "src/datagen/CMakeFiles/dcb_datagen.dir/graph.cc.o.d"
+  "/root/repo/src/datagen/ratings.cc" "src/datagen/CMakeFiles/dcb_datagen.dir/ratings.cc.o" "gcc" "src/datagen/CMakeFiles/dcb_datagen.dir/ratings.cc.o.d"
+  "/root/repo/src/datagen/tables.cc" "src/datagen/CMakeFiles/dcb_datagen.dir/tables.cc.o" "gcc" "src/datagen/CMakeFiles/dcb_datagen.dir/tables.cc.o.d"
+  "/root/repo/src/datagen/text.cc" "src/datagen/CMakeFiles/dcb_datagen.dir/text.cc.o" "gcc" "src/datagen/CMakeFiles/dcb_datagen.dir/text.cc.o.d"
+  "/root/repo/src/datagen/vectors.cc" "src/datagen/CMakeFiles/dcb_datagen.dir/vectors.cc.o" "gcc" "src/datagen/CMakeFiles/dcb_datagen.dir/vectors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

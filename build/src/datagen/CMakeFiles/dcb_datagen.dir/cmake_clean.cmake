@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_datagen.dir/graph.cc.o"
+  "CMakeFiles/dcb_datagen.dir/graph.cc.o.d"
+  "CMakeFiles/dcb_datagen.dir/ratings.cc.o"
+  "CMakeFiles/dcb_datagen.dir/ratings.cc.o.d"
+  "CMakeFiles/dcb_datagen.dir/tables.cc.o"
+  "CMakeFiles/dcb_datagen.dir/tables.cc.o.d"
+  "CMakeFiles/dcb_datagen.dir/text.cc.o"
+  "CMakeFiles/dcb_datagen.dir/text.cc.o.d"
+  "CMakeFiles/dcb_datagen.dir/vectors.cc.o"
+  "CMakeFiles/dcb_datagen.dir/vectors.cc.o.d"
+  "libdcb_datagen.a"
+  "libdcb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

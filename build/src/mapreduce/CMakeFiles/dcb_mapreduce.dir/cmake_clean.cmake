@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_mapreduce.dir/cluster.cc.o"
+  "CMakeFiles/dcb_mapreduce.dir/cluster.cc.o.d"
+  "CMakeFiles/dcb_mapreduce.dir/engine.cc.o"
+  "CMakeFiles/dcb_mapreduce.dir/engine.cc.o.d"
+  "CMakeFiles/dcb_mapreduce.dir/task_io.cc.o"
+  "CMakeFiles/dcb_mapreduce.dir/task_io.cc.o.d"
+  "libdcb_mapreduce.a"
+  "libdcb_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/mem/CMakeFiles/dcb_mem.dir/address_space.cc.o" "gcc" "src/mem/CMakeFiles/dcb_mem.dir/address_space.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/dcb_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/dcb_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/config.cc" "src/mem/CMakeFiles/dcb_mem.dir/config.cc.o" "gcc" "src/mem/CMakeFiles/dcb_mem.dir/config.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/dcb_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/dcb_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/dcb_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/dcb_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/mem/CMakeFiles/dcb_mem.dir/prefetcher.cc.o" "gcc" "src/mem/CMakeFiles/dcb_mem.dir/prefetcher.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/dcb_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/dcb_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_mem.dir/address_space.cc.o"
+  "CMakeFiles/dcb_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/dcb_mem.dir/cache.cc.o"
+  "CMakeFiles/dcb_mem.dir/cache.cc.o.d"
+  "CMakeFiles/dcb_mem.dir/config.cc.o"
+  "CMakeFiles/dcb_mem.dir/config.cc.o.d"
+  "CMakeFiles/dcb_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/dcb_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/dcb_mem.dir/page_table.cc.o"
+  "CMakeFiles/dcb_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/dcb_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/dcb_mem.dir/prefetcher.cc.o.d"
+  "CMakeFiles/dcb_mem.dir/tlb.cc.o"
+  "CMakeFiles/dcb_mem.dir/tlb.cc.o.d"
+  "libdcb_mem.a"
+  "libdcb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

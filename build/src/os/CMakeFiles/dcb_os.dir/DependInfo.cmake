@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/disk.cc" "src/os/CMakeFiles/dcb_os.dir/disk.cc.o" "gcc" "src/os/CMakeFiles/dcb_os.dir/disk.cc.o.d"
+  "/root/repo/src/os/network.cc" "src/os/CMakeFiles/dcb_os.dir/network.cc.o" "gcc" "src/os/CMakeFiles/dcb_os.dir/network.cc.o.d"
+  "/root/repo/src/os/syscalls.cc" "src/os/CMakeFiles/dcb_os.dir/syscalls.cc.o" "gcc" "src/os/CMakeFiles/dcb_os.dir/syscalls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/dcb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_os.dir/disk.cc.o"
+  "CMakeFiles/dcb_os.dir/disk.cc.o.d"
+  "CMakeFiles/dcb_os.dir/network.cc.o"
+  "CMakeFiles/dcb_os.dir/network.cc.o.d"
+  "CMakeFiles/dcb_os.dir/syscalls.cc.o"
+  "CMakeFiles/dcb_os.dir/syscalls.cc.o.d"
+  "libdcb_os.a"
+  "libdcb_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

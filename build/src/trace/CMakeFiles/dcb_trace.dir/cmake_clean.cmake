@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_trace.dir/code_layout.cc.o"
+  "CMakeFiles/dcb_trace.dir/code_layout.cc.o.d"
+  "CMakeFiles/dcb_trace.dir/exec_ctx.cc.o"
+  "CMakeFiles/dcb_trace.dir/exec_ctx.cc.o.d"
+  "libdcb_trace.a"
+  "libdcb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

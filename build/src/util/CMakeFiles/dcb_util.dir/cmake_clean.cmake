@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_util.dir/csv.cc.o"
+  "CMakeFiles/dcb_util.dir/csv.cc.o.d"
+  "CMakeFiles/dcb_util.dir/histogram.cc.o"
+  "CMakeFiles/dcb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/dcb_util.dir/log.cc.o"
+  "CMakeFiles/dcb_util.dir/log.cc.o.d"
+  "CMakeFiles/dcb_util.dir/rng.cc.o"
+  "CMakeFiles/dcb_util.dir/rng.cc.o.d"
+  "CMakeFiles/dcb_util.dir/stats.cc.o"
+  "CMakeFiles/dcb_util.dir/stats.cc.o.d"
+  "CMakeFiles/dcb_util.dir/string_util.cc.o"
+  "CMakeFiles/dcb_util.dir/string_util.cc.o.d"
+  "CMakeFiles/dcb_util.dir/table.cc.o"
+  "CMakeFiles/dcb_util.dir/table.cc.o.d"
+  "CMakeFiles/dcb_util.dir/zipf.cc.o"
+  "CMakeFiles/dcb_util.dir/zipf.cc.o.d"
+  "libdcb_util.a"
+  "libdcb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/data_analysis.cc" "src/workloads/CMakeFiles/dcb_workloads.dir/data_analysis.cc.o" "gcc" "src/workloads/CMakeFiles/dcb_workloads.dir/data_analysis.cc.o.d"
+  "/root/repo/src/workloads/hpcc.cc" "src/workloads/CMakeFiles/dcb_workloads.dir/hpcc.cc.o" "gcc" "src/workloads/CMakeFiles/dcb_workloads.dir/hpcc.cc.o.d"
+  "/root/repo/src/workloads/profiles.cc" "src/workloads/CMakeFiles/dcb_workloads.dir/profiles.cc.o" "gcc" "src/workloads/CMakeFiles/dcb_workloads.dir/profiles.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/dcb_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/dcb_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/services.cc" "src/workloads/CMakeFiles/dcb_workloads.dir/services.cc.o" "gcc" "src/workloads/CMakeFiles/dcb_workloads.dir/services.cc.o.d"
+  "/root/repo/src/workloads/spec.cc" "src/workloads/CMakeFiles/dcb_workloads.dir/spec.cc.o" "gcc" "src/workloads/CMakeFiles/dcb_workloads.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/dcb_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/dcb_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dcb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dcb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dcb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcb_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_workloads.dir/data_analysis.cc.o"
+  "CMakeFiles/dcb_workloads.dir/data_analysis.cc.o.d"
+  "CMakeFiles/dcb_workloads.dir/hpcc.cc.o"
+  "CMakeFiles/dcb_workloads.dir/hpcc.cc.o.d"
+  "CMakeFiles/dcb_workloads.dir/profiles.cc.o"
+  "CMakeFiles/dcb_workloads.dir/profiles.cc.o.d"
+  "CMakeFiles/dcb_workloads.dir/registry.cc.o"
+  "CMakeFiles/dcb_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/dcb_workloads.dir/services.cc.o"
+  "CMakeFiles/dcb_workloads.dir/services.cc.o.d"
+  "CMakeFiles/dcb_workloads.dir/spec.cc.o"
+  "CMakeFiles/dcb_workloads.dir/spec.cc.o.d"
+  "libdcb_workloads.a"
+  "libdcb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_counting_test.dir/analytics_counting_test.cc.o"
+  "CMakeFiles/analytics_counting_test.dir/analytics_counting_test.cc.o.d"
+  "analytics_counting_test"
+  "analytics_counting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_hive_test.dir/analytics_hive_test.cc.o"
+  "CMakeFiles/analytics_hive_test.dir/analytics_hive_test.cc.o.d"
+  "analytics_hive_test"
+  "analytics_hive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_hive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

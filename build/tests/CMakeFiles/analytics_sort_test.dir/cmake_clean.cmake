@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_sort_test.dir/analytics_sort_test.cc.o"
+  "CMakeFiles/analytics_sort_test.dir/analytics_sort_test.cc.o.d"
+  "analytics_sort_test"
+  "analytics_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_ctx_test.dir/exec_ctx_test.cc.o"
+  "CMakeFiles/exec_ctx_test.dir/exec_ctx_test.cc.o.d"
+  "exec_ctx_test"
+  "exec_ctx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_ctx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

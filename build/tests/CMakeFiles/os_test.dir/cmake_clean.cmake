@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_test.dir/os_test.cc.o"
+  "CMakeFiles/os_test.dir/os_test.cc.o.d"
+  "os_test"
+  "os_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

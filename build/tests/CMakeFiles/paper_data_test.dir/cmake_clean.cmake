@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_data_test.dir/paper_data_test.cc.o"
+  "CMakeFiles/paper_data_test.dir/paper_data_test.cc.o.d"
+  "paper_data_test"
+  "paper_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmu_test.dir/pmu_test.cc.o"
+  "CMakeFiles/pmu_test.dir/pmu_test.cc.o.d"
+  "pmu_test"
+  "pmu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

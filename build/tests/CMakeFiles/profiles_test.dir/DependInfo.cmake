@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/profiles_test.cc" "tests/CMakeFiles/profiles_test.dir/profiles_test.cc.o" "gcc" "tests/CMakeFiles/profiles_test.dir/profiles_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dcb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/dcb_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/dcb_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dcb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dcb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dcb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
