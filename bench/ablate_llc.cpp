@@ -32,8 +32,9 @@ main(int argc, char** argv)
         config.run.op_budget = budget;
         config.run.warmup_ops = budget / 4;
         config.memory_config.l3.size_bytes = mb << 20;
-        const auto pr = core::run_workload("PageRank", config);
-        const auto web = core::run_workload("Web Serving", config);
+        const auto pr = core::run_workload("PageRank", config).report;
+        const auto web =
+            core::run_workload("Web Serving", config).report;
         table.add_row(
             {std::to_string(mb) + " MB",
              util::format_double(100 * pr.l3_service_ratio, 1) + "%",

@@ -28,7 +28,7 @@ run_with_pages(const std::string& name, std::uint32_t page_bytes,
     config.run.op_budget = budget;
     config.run.warmup_ops = budget / 4;
     config.memory_config.page_bytes = page_bytes;
-    return core::run_workload(name, config);
+    return core::run_workload(name, config).report;
 }
 
 }  // namespace

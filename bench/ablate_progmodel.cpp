@@ -91,7 +91,7 @@ main(int argc, char** argv)
     core::HarnessConfig config = core::bench_config();
     config.run.op_budget = budget;
     config.run.warmup_ops = budget / 4;
-    const auto hadoop = core::run_workload("K-means", config);
+    const auto hadoop = core::run_workload("K-means", config).report;
     const auto mpi = run_mpi_kmeans(budget);
 
     util::Table table({"implementation", "IPC", "kernel%", "L1I MPKI",

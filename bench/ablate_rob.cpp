@@ -24,7 +24,7 @@ run_with_window(const std::string& name, std::uint32_t rob,
     config.run.warmup_ops = budget / 4;
     config.core_config.rob_entries = rob;
     config.core_config.rs_entries = rs;
-    return core::run_workload(name, config);
+    return core::run_workload(name, config).report;
 }
 
 }  // namespace

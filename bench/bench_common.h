@@ -34,6 +34,19 @@ config_from_args(int argc, char** argv)
     return config;
 }
 
+/** Surface per-workload failures without aborting the bench. */
+inline std::vector<cpu::CounterReport>
+reports_or_warn(const core::SuiteResult& suite)
+{
+    for (std::size_t i = 0; i < suite.runs.size(); ++i) {
+        if (!suite.runs[i].status.ok)
+            std::fprintf(stderr, "warning: %s skipped: %s\n",
+                         suite.names[i].c_str(),
+                         suite.runs[i].status.error.c_str());
+    }
+    return suite.reports();
+}
+
 /** Run the full 26-workload suite in figure order. */
 inline std::vector<cpu::CounterReport>
 run_full_suite(const core::HarnessConfig& config)
@@ -43,16 +56,17 @@ run_full_suite(const core::HarnessConfig& config)
                 workloads::figure_order().size(),
                 static_cast<unsigned long long>(config.run.op_budget),
                 static_cast<unsigned long long>(config.run.warmup_ops));
-    return core::run_suite(workloads::figure_order(), config);
+    return reports_or_warn(
+        core::run_suite(workloads::figure_order(), config));
 }
 
 /** Run only the eleven data-analysis workloads (Table I order). */
 inline std::vector<cpu::CounterReport>
 run_data_analysis_suite(const core::HarnessConfig& config)
 {
-    return core::run_suite(
+    return reports_or_warn(core::run_suite(
         workloads::names_in_category(workloads::Category::kDataAnalysis),
-        config);
+        config));
 }
 
 /** Paper lookup for a metric field (negative if unavailable). */

@@ -54,7 +54,13 @@ main(int argc, char** argv)
                     " ops/workload)");
     std::vector<dcb::cpu::CounterReport> reports;
     for (const auto& name : names) {
-        const auto r = dcb::core::run_workload(name, config);
+        const auto result = dcb::core::run_workload(name, config);
+        if (!result.status.ok) {
+            std::fprintf(stderr, "warning: %s\n",
+                         result.status.error.c_str());
+            continue;
+        }
+        const auto& r = result.report;
         reports.push_back(r);
         table.add_row({r.workload, format_double(r.ipc, 2),
                        format_double(100 * r.kernel_instr_fraction, 1),

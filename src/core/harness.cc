@@ -1,8 +1,31 @@
 #include "core/harness.h"
 
+#include <exception>
+
 #include "util/assert.h"
 
 namespace dcb::core {
+
+std::vector<cpu::CounterReport>
+SuiteResult::reports() const
+{
+    std::vector<cpu::CounterReport> out;
+    out.reserve(runs.size());
+    for (const RunResult& run : runs)
+        if (run.status.ok)
+            out.push_back(run.report);
+    return out;
+}
+
+std::size_t
+SuiteResult::failure_count() const
+{
+    std::size_t n = 0;
+    for (const RunResult& run : runs)
+        if (!run.status.ok)
+            ++n;
+    return n;
+}
 
 cpu::CounterReport
 run_workload(workloads::Workload& workload, const HarnessConfig& config)
@@ -23,22 +46,38 @@ run_workload(workloads::Workload& workload, const HarnessConfig& config)
                : cpu::make_report(workload.info().name, core);
 }
 
-cpu::CounterReport
+RunResult
 run_workload(const std::string& name, const HarnessConfig& config)
 {
+    RunResult result;
     auto workload = workloads::make_workload(name);
-    DCB_CONFIG_CHECK(workload != nullptr, "unknown workload name");
-    return run_workload(*workload, config);
+    if (workload == nullptr) {
+        result.status.ok = false;
+        result.status.error = "unknown workload '" + name +
+                              "'; valid names:";
+        for (const std::string& valid : workloads::figure_order())
+            result.status.error += " '" + valid + "'";
+        return result;
+    }
+    try {
+        result.report = run_workload(*workload, config);
+    } catch (const std::exception& e) {
+        result.status.ok = false;
+        result.status.error = "workload '" + name +
+                              "' failed mid-run: " + e.what();
+    }
+    return result;
 }
 
-std::vector<cpu::CounterReport>
+SuiteResult
 run_suite(const std::vector<std::string>& names,
           const HarnessConfig& config)
 {
-    std::vector<cpu::CounterReport> out;
-    out.reserve(names.size());
+    SuiteResult out;
+    out.names = names;
+    out.runs.reserve(names.size());
     for (const auto& name : names)
-        out.push_back(run_workload(name, config));
+        out.runs.push_back(run_workload(name, config));
     return out;
 }
 

@@ -6,6 +6,10 @@
  * The DCBench-Repro run harness: instantiates the Table III machine,
  * applies the paper's methodology (ramp-up discard, ~20-event perf-style
  * collection) and produces a CounterReport per workload.
+ *
+ * Runs are isolated: an unknown workload name or a workload that throws
+ * mid-run is reported as a per-run RunStatus instead of aborting the
+ * process, so a suite always returns the results it did collect.
  */
 
 #include <string>
@@ -33,17 +37,50 @@ struct HarnessConfig
     std::uint64_t pmu_rotate_instr = 50'000;
 };
 
+/** Why a run produced no report. */
+struct RunStatus
+{
+    bool ok = true;
+    std::string error;  ///< empty when ok
+};
+
+/** One workload run: a report when ok, a diagnostic when not. */
+struct RunResult
+{
+    cpu::CounterReport report;  ///< meaningful only when status.ok
+    RunStatus status;
+};
+
+/** Results of a suite run, failures isolated per workload. */
+struct SuiteResult
+{
+    std::vector<RunResult> runs;      ///< one per requested name
+    std::vector<std::string> names;   ///< the requested names
+
+    /** Reports of the successful runs, in request order. */
+    std::vector<cpu::CounterReport> reports() const;
+    std::size_t failure_count() const;
+    bool all_ok() const { return failure_count() == 0; }
+};
+
 /** Run one workload instance on a fresh core. */
 cpu::CounterReport run_workload(workloads::Workload& workload,
                                 const HarnessConfig& config);
 
-/** Construct by name and run; fatal() on unknown names. */
-cpu::CounterReport run_workload(const std::string& name,
-                                const HarnessConfig& config);
+/**
+ * Construct by name and run. Unknown names are a recoverable error: the
+ * result's status lists the valid registry names instead of aborting.
+ */
+RunResult run_workload(const std::string& name,
+                       const HarnessConfig& config);
 
-/** Run a list of workloads, one fresh core each. */
-std::vector<cpu::CounterReport> run_suite(
-    const std::vector<std::string>& names, const HarnessConfig& config);
+/**
+ * Run a list of workloads, one fresh core each. A workload that fails
+ * does not abort the suite; its RunStatus carries the diagnostic and
+ * the remaining workloads still run.
+ */
+SuiteResult run_suite(const std::vector<std::string>& names,
+                      const HarnessConfig& config);
 
 /** Default op budget used by the bench binaries. */
 inline constexpr std::uint64_t kBenchOpBudget = 6'000'000;

@@ -1,0 +1,157 @@
+#ifndef DCBENCH_FAULT_FAULT_H_
+#define DCBENCH_FAULT_FAULT_H_
+
+/**
+ * @file
+ * Seeded, deterministic fault injection.
+ *
+ * The paper measures workloads on a real Hadoop 1.0.2 cluster whose
+ * defining runtime property is fault tolerance: tasks crash and are
+ * retried, slow nodes trigger speculative execution, and node failures
+ * lose completed map output that must be re-executed. A FaultPlan
+ * describes the non-ideal behaviour of one simulated run (per-resource
+ * fault rates plus one optionally scheduled node crash); a FaultInjector
+ * turns the plan into a reproducible stream of fault decisions and keeps
+ * an event log for post-run inspection. Identical seeds yield identical
+ * decision streams, so every faulty experiment is replayable.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dcb::fault {
+
+/** Everything that can go wrong, for logging and accounting. */
+enum class FaultKind : std::uint8_t {
+    kTaskCrash,       ///< a map/reduce task attempt dies mid-run
+    kNodeCrash,       ///< a slave node leaves the cluster for good
+    kDiskReadError,   ///< read(2) fails with EIO
+    kDiskWriteError,  ///< write(2) fails with EIO
+    kNetTimeout,      ///< send(2) times out (TCP retransmit exhausted)
+    kNetDrop,         ///< recv(2) loses the payload (connection reset)
+    kSlowNode,        ///< a node runs every task slower (degraded disk)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/**
+ * Declarative description of the faults injected into one run.
+ * All-default means fault-free: the injector never fires and costs
+ * nothing on the hot path.
+ */
+struct FaultPlan
+{
+    /** Seed for every fault decision; same seed, same faults. */
+    std::uint64_t seed = 0xFA17ED5EEDULL;
+    /** Probability that a task attempt crashes before completing. */
+    double task_crash_prob = 0.0;
+    /** Per-syscall disk error probabilities (EIO on read/write). */
+    double disk_read_error_prob = 0.0;
+    double disk_write_error_prob = 0.0;
+    /** Per-syscall network fault probabilities. */
+    double net_timeout_prob = 0.0;
+    double net_drop_prob = 0.0;
+    /** Fraction of nodes that run tasks `slow_multiplier` slower. */
+    double slow_node_fraction = 0.0;
+    double slow_multiplier = 1.0;
+    /**
+     * Scheduled whole-node failure: at `node_crash_time_s` on the task
+     * execution timeline, node `crash_node` dies and never returns.
+     * Negative disables the crash.
+     */
+    double node_crash_time_s = -1.0;
+    std::uint32_t crash_node = 0;
+
+    /** True when any fault can fire under this plan. */
+    bool any_faults() const;
+};
+
+/** Empty string when the plan is sane, else a clear error message. */
+std::string validate(const FaultPlan& plan);
+
+/** One injected fault, for the post-run log. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::kTaskCrash;
+    /** Simulated time, when known; negative for OS-layer faults that
+        have no cluster clock. */
+    double time_s = -1.0;
+    std::uint32_t node = 0;
+    std::uint32_t task = 0;
+    std::uint32_t attempt = 0;
+};
+
+/** Append-only record of every fault the injector fired. */
+class FaultLog
+{
+  public:
+    void record(const FaultEvent& event) { events_.push_back(event); }
+    const std::vector<FaultEvent>& events() const { return events_; }
+    std::size_t count(FaultKind kind) const;
+    /** Human-readable per-kind tally, e.g. "task-crash:12 net-timeout:3". */
+    std::string summary() const;
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+/**
+ * Turns a FaultPlan into a deterministic decision stream.
+ *
+ * Each `should_*` call consumes one RNG draw, so the decision sequence
+ * is a pure function of (seed, call order); the discrete-event scheduler
+ * processes events in a deterministic order, which makes whole runs
+ * reproducible. Slow-node status is stateless (hashed from the seed and
+ * node id) so it does not depend on call order at all.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan& plan = FaultPlan{});
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /**
+     * Does this task attempt crash? When true, `*crash_fraction` is the
+     * fraction of the attempt's runtime completed before the crash.
+     */
+    bool task_crashes(std::uint32_t task, std::uint32_t attempt,
+                      double* crash_fraction);
+
+    /** Task-time multiplier of `node` (1.0, or slow_multiplier). */
+    double node_speed_multiplier(std::uint32_t node);
+
+    /** OS-layer per-operation faults (logged with no cluster clock). */
+    bool disk_read_fails();
+    bool disk_write_fails();
+    bool net_send_times_out();
+    bool net_recv_drops();
+
+    /** Record a fault decided outside the injector (e.g. node crash). */
+    void record(const FaultEvent& event) { log_.record(event); }
+
+    /** Current simulated time stamped onto logged events. */
+    void set_now(double now_s) { now_s_ = now_s; }
+
+    FaultLog& log() { return log_; }
+    const FaultLog& log() const { return log_; }
+
+    /** Re-seed to the plan's seed and clear the log (fresh replay). */
+    void reset();
+
+  private:
+    bool draw(double prob, FaultKind kind);
+
+    FaultPlan plan_;
+    util::Rng rng_;
+    FaultLog log_;
+    double now_s_ = -1.0;
+};
+
+}  // namespace dcb::fault
+
+#endif  // DCBENCH_FAULT_FAULT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mapreduce/scheduler.h"
 #include "util/assert.h"
 
 namespace dcb::mapreduce {
@@ -11,7 +12,8 @@ namespace {
 
 constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
 
-/** Expected straggler slack for a population of `tasks` parallel tasks. */
+}  // namespace
+
 double
 straggler_factor(double sigma, double tasks)
 {
@@ -21,13 +23,62 @@ straggler_factor(double sigma, double tasks)
     return std::exp(sigma * std::sqrt(2.0 * std::log(tasks)));
 }
 
-}  // namespace
+std::string
+validate(const ClusterConfig& c)
+{
+    if (c.slaves < 1)
+        return "ClusterConfig.slaves must be >= 1 (the cluster needs at "
+               "least one slave)";
+    if (c.cores_per_node < 1)
+        return "ClusterConfig.cores_per_node must be >= 1";
+    if (c.map_slots < 1 || c.reduce_slots < 1)
+        return "ClusterConfig.map_slots and reduce_slots must be >= 1 "
+               "(zero slots can never run a task)";
+    if (c.split_mb < 1)
+        return "ClusterConfig.split_mb must be >= 1 (a zero-byte split "
+               "yields infinitely many tasks)";
+    if (c.effective_ipc <= 0.0 || c.frequency_ghz <= 0.0)
+        return "ClusterConfig.effective_ipc and frequency_ghz must be "
+               "positive (node compute capacity would be zero)";
+    if (c.task_overhead_s < 0.0 || c.job_overhead_s < 0.0)
+        return "ClusterConfig overheads must be >= 0";
+    if (c.straggler_sigma < 0.0)
+        return "ClusterConfig.straggler_sigma must be >= 0";
+    if (c.disk.bandwidth_mb_s <= 0.0)
+        return "ClusterConfig.disk.bandwidth_mb_s must be positive";
+    if (c.disk.request_bytes == 0)
+        return "ClusterConfig.disk.request_bytes must be nonzero";
+    if (c.network.bandwidth_mb_s <= 0.0)
+        return "ClusterConfig.network.bandwidth_mb_s must be positive";
+    return fault::validate(c.fault);
+}
+
+std::string
+validate(const JobSpec& job)
+{
+    if (!(job.input_gb > 0.0))
+        return "JobSpec.input_gb must be positive (no input, no job)";
+    if (!(job.total_instructions_g > 0.0))
+        return "JobSpec.total_instructions_g must be positive";
+    if (job.map_output_ratio < 0.0 || job.output_ratio < 0.0)
+        return "JobSpec byte ratios must be >= 0";
+    if (job.reduce_fraction < 0.0 || job.reduce_fraction > 1.0)
+        return "JobSpec.reduce_fraction must be in [0, 1]";
+    if (job.iterations < 1)
+        return "JobSpec.iterations must be >= 1 (jobs run at least once)";
+    if (job.serial_fraction < 0.0 || job.serial_fraction >= 1.0)
+        return "JobSpec.serial_fraction must be in [0, 1)";
+    return "";
+}
 
 JobTimings
-ClusterSimulator::run(const JobSpec& job, const ClusterConfig& c) const
+ClusterSimulator::analytic_run(const JobSpec& job,
+                               const ClusterConfig& c) const
 {
-    DCB_CONFIG_CHECK(c.slaves >= 1, "cluster needs at least one slave");
-    DCB_CONFIG_CHECK(job.iterations >= 1, "jobs run at least once");
+    const std::string err_cluster = validate(c);
+    DCB_CONFIG_CHECK(err_cluster.empty(), err_cluster.c_str());
+    const std::string err_job = validate(job);
+    DCB_CONFIG_CHECK(err_job.empty(), err_job.c_str());
 
     const double n = c.slaves;
     const double input_bytes = job.input_gb * kGiB;
@@ -116,6 +167,22 @@ ClusterSimulator::run(const JobSpec& job, const ClusterConfig& c) const
         ? t.disk_write_requests / t.total_s
         : 0.0;
     return t;
+}
+
+JobTimings
+ClusterSimulator::run(const JobSpec& job, const ClusterConfig& c) const
+{
+    ClusterScheduler scheduler;
+    JobRun result;
+    if (c.fault.any_faults()) {
+        fault::FaultInjector injector(c.fault);
+        result = scheduler.run(job, c, &injector);
+    } else {
+        result = scheduler.run(job, c, nullptr);
+    }
+    DCB_CONFIG_CHECK(result.error.empty() || result.completed,
+                     result.error.c_str());
+    return result.timings;
 }
 
 double

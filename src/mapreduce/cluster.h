@@ -3,21 +3,34 @@
 
 /**
  * @file
- * Cluster-level job-time simulator for the Figure 2 speedup experiment.
+ * Cluster-level job-time simulation for the Figure 2 speedup experiment.
  *
  * The paper runs the eleven workloads on 1/4/8 Hadoop slaves and reports
- * speedups ranging 3.3-8.2 at eight slaves. This model reproduces the
- * mechanisms that bend those curves: fixed job and per-task overheads,
- * disk-bound vs CPU-bound phases, the all-to-all shuffle over shared
- * 1 GbE, HDFS output replication (which only costs network traffic once
- * there *are* remote nodes), and straggler slack that grows with the
- * task population. Per-workload compute intensity comes straight from
- * Table I (retired instructions / input bytes).
+ * speedups ranging 3.3-8.2 at eight slaves. Two models live here:
+ *
+ *  - ClusterSimulator::analytic_run() is the closed-form discrete-phase
+ *    model: fixed job and per-task overheads, disk-bound vs CPU-bound
+ *    phases, the all-to-all shuffle over shared 1 GbE, HDFS output
+ *    replication, and straggler slack that grows with the task
+ *    population. It has no failure path and serves as the fault-free
+ *    reference.
+ *
+ *  - ClusterSimulator::run() delegates to the discrete-event, task-level
+ *    ClusterScheduler (scheduler.h), which reproduces Hadoop 1.x
+ *    recovery semantics: per-task retry with bounded attempts,
+ *    exponential re-scheduling backoff, speculative execution of
+ *    stragglers, node blacklisting, and re-execution of map output lost
+ *    to node failures. At zero fault rate it matches the analytic model
+ *    to within task-wave quantization.
+ *
+ * Per-workload compute intensity comes straight from Table I (retired
+ * instructions / input bytes).
  */
 
 #include <cstdint>
 #include <string>
 
+#include "fault/fault.h"
 #include "os/disk.h"
 #include "os/network.h"
 
@@ -59,7 +72,13 @@ struct ClusterConfig
     double straggler_sigma = 0.12;
     os::DiskParams disk;
     os::NetworkParams network;
+    /** Faults injected into every job run; all-zero means fault-free. */
+    fault::FaultPlan fault;
 };
+
+/** Empty string when the config is runnable, else a clear error. */
+std::string validate(const ClusterConfig& cluster);
+std::string validate(const JobSpec& job);
 
 /** Phase breakdown of one simulated job. */
 struct JobTimings
@@ -75,12 +94,24 @@ struct JobTimings
     double disk_writes_per_second = 0.0;
 };
 
-/** Analytic discrete-phase cluster simulator. */
+/** Expected straggler slack for a population of `tasks` parallel tasks. */
+double straggler_factor(double sigma, double tasks);
+
+/**
+ * Cluster simulator facade. run() executes the discrete-event scheduler
+ * under the config's FaultPlan; analytic_run() is the closed-form
+ * fault-free reference the scheduler is regression-checked against.
+ */
 class ClusterSimulator
 {
   public:
-    /** Simulate one job on the given cluster. */
+    /** Simulate one job on the given cluster (fatal on bad configs;
+        use mapreduce::validate() first for recoverable checking). */
     JobTimings run(const JobSpec& job, const ClusterConfig& cluster) const;
+
+    /** Closed-form fault-free reference model. */
+    JobTimings analytic_run(const JobSpec& job,
+                            const ClusterConfig& cluster) const;
 
     /** T(1 slave) / T(n slaves) for the same job. */
     double speedup(const JobSpec& job, const ClusterConfig& cluster,

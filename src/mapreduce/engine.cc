@@ -77,6 +77,25 @@ class OutputEmitter final : public Emitter
 
 }  // namespace
 
+std::string
+validate(const EngineConfig& config)
+{
+    if (config.num_map_tasks < 1 || config.num_reduce_tasks < 1)
+        return "EngineConfig needs at least one map and one reduce task";
+    if (config.spill_records < 2)
+        return "EngineConfig.spill_records must be >= 2 (the spill "
+               "buffer must hold at least two records)";
+    if (config.record_bytes < 1)
+        return "EngineConfig.record_bytes must be >= 1 (zero-byte "
+               "records would charge no I/O)";
+    if (config.max_partition_records < 1)
+        return "EngineConfig.max_partition_records must be >= 1";
+    if (config.output_replicas < 1)
+        return "EngineConfig.output_replicas must be >= 1 (HDFS keeps "
+               "at least the local copy)";
+    return "";
+}
+
 SimpleMapReduce::SimpleMapReduce(trace::ExecCtx& ctx,
                                  mem::AddressSpace& space, os::OsModel& os,
                                  const EngineConfig& config)
@@ -87,11 +106,8 @@ SimpleMapReduce::SimpleMapReduce(trace::ExecCtx& ctx,
       merger_(ctx, space, config.max_partition_records,
               config.spill_records)
 {
-    DCB_CONFIG_CHECK(config.num_map_tasks >= 1 &&
-                     config.num_reduce_tasks >= 1,
-                     "a job needs at least one map and one reduce task");
-    DCB_CONFIG_CHECK(config.spill_records >= 2,
-                     "spill buffer must hold at least two records");
+    const std::string err = validate(config);
+    DCB_CONFIG_CHECK(err.empty(), err.c_str());
 }
 
 JobCounters

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "analytics/external_sort.h"
@@ -58,6 +59,9 @@ struct EngineConfig
     /** HDFS replication of job output. */
     std::uint32_t output_replicas = 2;
 };
+
+/** Empty string when the config is runnable, else a clear error. */
+std::string validate(const EngineConfig& config);
 
 /** Per-job execution statistics. */
 struct JobCounters

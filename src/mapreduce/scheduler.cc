@@ -1,0 +1,692 @@
+#include "mapreduce/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace dcb::mapreduce {
+
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+
+/** One slave's scheduler-visible state, shared across phases. */
+struct Node
+{
+    bool alive = true;
+    bool blacklisted = false;
+    std::uint32_t free_slots = 0;
+    std::uint32_t failures = 0;  ///< failed attempts hosted, for blacklist
+    double speed = 1.0;          ///< task-time multiplier (slow nodes > 1)
+};
+
+/** Cluster-wide mutable state threaded through map and reduce phases. */
+struct ClusterState
+{
+    std::vector<Node> nodes;
+    double crash_time = -1.0;  ///< scheduled node crash, task timeline
+    std::uint32_t crash_node = 0;
+    bool crash_fired = false;
+
+    std::uint32_t
+    alive_slots(std::uint32_t per_node) const
+    {
+        std::uint32_t total = 0;
+        for (const Node& node : nodes)
+            if (node.alive && !node.blacklisted)
+                total += per_node;
+        return total;
+    }
+};
+
+/** One task attempt in flight (or finished). */
+struct Attempt
+{
+    std::uint32_t task = 0;
+    std::uint32_t node = 0;
+    double start = 0.0;
+    double finish = 0.0;  ///< completion -- or crash -- time
+    bool crashes = false;
+    bool live = false;
+    bool speculative = false;
+};
+
+struct TaskState
+{
+    bool done = false;
+    std::uint32_t failed = 0;   ///< failed attempts, counts to max_attempts
+    std::uint32_t started = 0;  ///< attempts launched, incl. speculative
+    std::vector<std::uint32_t> live_attempts;
+    std::uint32_t completion_node = 0;
+};
+
+enum class EventKind : std::uint8_t {
+    kFinish,     ///< attempt completes
+    kCrash,      ///< attempt dies (injected task crash)
+    kReady,      ///< task leaves retry backoff, may be launched
+    kNodeCrash,  ///< scheduled whole-node failure
+    kSpecCheck,  ///< is this attempt a straggler yet?
+};
+
+struct Event
+{
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break keeps runs deterministic
+    EventKind kind = EventKind::kFinish;
+    std::uint32_t id = 0;  ///< attempt id, or task id for kReady
+};
+
+struct EventAfter
+{
+    bool
+    operator()(const Event& a, const Event& b) const
+    {
+        if (a.time != b.time)
+            return a.time > b.time;
+        return a.seq > b.seq;
+    }
+};
+
+struct PhaseResult
+{
+    double end_time = 0.0;
+    bool failed = false;
+    std::string error;
+};
+
+/**
+ * Discrete-event simulation of one slot-scheduled task phase (map or
+ * reduce wave) with Hadoop 1.x recovery behaviour.
+ */
+class PhaseSim
+{
+  public:
+    PhaseSim(const SchedulerConfig& cfg, ClusterState& cluster,
+             fault::FaultInjector* injector, JobRun& stats,
+             std::uint32_t task_count, double nominal_task_s,
+             std::uint32_t slots_per_node, bool lose_outputs_on_crash)
+        : cfg_(cfg), cluster_(cluster), injector_(injector), stats_(stats),
+          nominal_task_s_(nominal_task_s), slots_per_node_(slots_per_node),
+          lose_outputs_(lose_outputs_on_crash), tasks_(task_count)
+    {
+    }
+
+    PhaseResult run(double start_time);
+
+    const std::vector<TaskState>& tasks() const { return tasks_; }
+
+  private:
+    void push_event(double time, EventKind kind, std::uint32_t id);
+    /** Pick the launch target: alive, not blacklisted, most free slots. */
+    int pick_node(int exclude = -1) const;
+    void launch(std::uint32_t task, std::uint32_t node, double now,
+                bool speculative);
+    void release_slot(std::uint32_t node);
+    void kill_attempt(std::uint32_t id, double now);
+    void try_launch(double now);
+    void on_finish(const Event& e);
+    void on_crash(const Event& e);
+    void on_spec_check(const Event& e);
+    void on_node_crash(const Event& e);
+
+    const SchedulerConfig& cfg_;
+    ClusterState& cluster_;
+    fault::FaultInjector* injector_;
+    JobRun& stats_;
+    double nominal_task_s_;
+    std::uint32_t slots_per_node_;
+    bool lose_outputs_;
+
+    std::vector<TaskState> tasks_;
+    std::vector<Attempt> attempts_;
+    std::deque<std::uint32_t> ready_;
+    std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+    std::uint64_t seq_ = 0;
+    std::uint32_t completed_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+void
+PhaseSim::push_event(double time, EventKind kind, std::uint32_t id)
+{
+    events_.push(Event{time, seq_++, kind, id});
+}
+
+int
+PhaseSim::pick_node(int exclude) const
+{
+    int best = -1;
+    std::uint32_t best_free = 0;
+    for (std::uint32_t i = 0; i < cluster_.nodes.size(); ++i) {
+        const Node& node = cluster_.nodes[i];
+        if (!node.alive || node.blacklisted || node.free_slots == 0)
+            continue;
+        if (static_cast<int>(i) == exclude)
+            continue;
+        if (node.free_slots > best_free) {
+            best = static_cast<int>(i);
+            best_free = node.free_slots;
+        }
+    }
+    return best;
+}
+
+void
+PhaseSim::release_slot(std::uint32_t node_idx)
+{
+    Node& node = cluster_.nodes[node_idx];
+    if (node.alive)
+        ++node.free_slots;
+}
+
+void
+PhaseSim::launch(std::uint32_t task, std::uint32_t node_idx, double now,
+                 bool speculative)
+{
+    Node& node = cluster_.nodes[node_idx];
+    DCB_EXPECTS(node.alive && node.free_slots > 0);
+    --node.free_slots;
+
+    TaskState& t = tasks_[task];
+    ++t.started;
+    // Attempt number in the retry chain (speculative copies share their
+    // original's number, as Hadoop counts tracker retries, not backups).
+    if (!speculative)
+        stats_.max_task_attempts =
+            std::max(stats_.max_task_attempts, t.failed + 1);
+
+    Attempt a;
+    a.task = task;
+    a.node = node_idx;
+    a.start = now;
+    a.live = true;
+    a.speculative = speculative;
+
+    double duration = nominal_task_s_ * node.speed;
+    double crash_fraction = 1.0;
+    if (injector_ != nullptr) {
+        injector_->set_now(now);
+        if (injector_->task_crashes(task, t.started, &crash_fraction)) {
+            a.crashes = true;
+            duration *= crash_fraction;
+        }
+    }
+    a.finish = now + duration;
+
+    const auto id = static_cast<std::uint32_t>(attempts_.size());
+    attempts_.push_back(a);
+    t.live_attempts.push_back(id);
+    push_event(a.finish, a.crashes ? EventKind::kCrash : EventKind::kFinish,
+               id);
+    if (cfg_.speculation && !speculative)
+        push_event(now + cfg_.speculative_slowdown * nominal_task_s_,
+                   EventKind::kSpecCheck, id);
+    if (speculative)
+        ++stats_.speculative_launched;
+}
+
+void
+PhaseSim::kill_attempt(std::uint32_t id, double now)
+{
+    Attempt& a = attempts_[id];
+    if (!a.live)
+        return;
+    a.live = false;
+    release_slot(a.node);
+    stats_.wasted_task_s += now - a.start;
+    auto& live = tasks_[a.task].live_attempts;
+    live.erase(std::remove(live.begin(), live.end(), id), live.end());
+}
+
+void
+PhaseSim::try_launch(double now)
+{
+    while (!ready_.empty()) {
+        const int node = pick_node();
+        if (node < 0)
+            break;
+        const std::uint32_t task = ready_.front();
+        ready_.pop_front();
+        if (tasks_[task].done)
+            continue;
+        launch(task, static_cast<std::uint32_t>(node), now, false);
+    }
+}
+
+void
+PhaseSim::on_finish(const Event& e)
+{
+    Attempt& a = attempts_[e.id];
+    if (!a.live)
+        return;  // killed earlier; stale event
+    TaskState& t = tasks_[a.task];
+    a.live = false;
+    release_slot(a.node);
+    auto& live = t.live_attempts;
+    live.erase(std::remove(live.begin(), live.end(), e.id), live.end());
+    if (t.done)
+        return;
+    t.done = true;
+    t.completion_node = a.node;
+    ++completed_;
+    // First finisher wins; kill the losing copies.
+    for (const std::uint32_t other : std::vector<std::uint32_t>(live)) {
+        kill_attempt(other, e.time);
+        ++stats_.speculative_wasted;
+    }
+}
+
+void
+PhaseSim::on_crash(const Event& e)
+{
+    Attempt& a = attempts_[e.id];
+    if (!a.live)
+        return;
+    TaskState& t = tasks_[a.task];
+    a.live = false;
+    release_slot(a.node);
+    stats_.wasted_task_s += e.time - a.start;
+    auto& live = t.live_attempts;
+    live.erase(std::remove(live.begin(), live.end(), e.id), live.end());
+
+    ++t.failed;
+    ++stats_.task_failures;
+
+    // Blacklist chronically failing nodes, but never more than 25% of
+    // the cluster (Hadoop's mapred.cluster.*.blacklist.percent): a
+    // cluster-wide fault burst must not take every tracker out of
+    // service and deadlock the job.
+    Node& node = cluster_.nodes[a.node];
+    ++node.failures;
+    std::uint32_t blacklisted = 0;
+    for (const Node& n : cluster_.nodes)
+        if (n.blacklisted)
+            ++blacklisted;
+    if (!node.blacklisted &&
+        node.failures >= cfg_.blacklist_task_failures &&
+        4 * (blacklisted + 1) <= cluster_.nodes.size()) {
+        node.blacklisted = true;
+        ++stats_.nodes_blacklisted;
+    }
+
+    if (t.failed >= cfg_.max_attempts) {
+        failed_ = true;
+        error_ = "task " + std::to_string(a.task) + " failed " +
+                 std::to_string(t.failed) + " attempts (max_attempts=" +
+                 std::to_string(cfg_.max_attempts) + ")";
+        return;
+    }
+    // A surviving speculative copy makes the retry unnecessary.
+    if (!t.live_attempts.empty())
+        return;
+    const double backoff =
+        cfg_.backoff_base_s *
+        std::pow(cfg_.backoff_factor, static_cast<double>(t.failed - 1));
+    push_event(e.time + backoff, EventKind::kReady, a.task);
+}
+
+void
+PhaseSim::on_spec_check(const Event& e)
+{
+    const Attempt& a = attempts_[e.id];
+    if (!a.live || tasks_[a.task].done)
+        return;
+    TaskState& t = tasks_[a.task];
+    if (t.live_attempts.size() >= 2)
+        return;  // already has a backup copy
+    const int node = pick_node(static_cast<int>(a.node));
+    if (node >= 0) {
+        launch(a.task, static_cast<std::uint32_t>(node), e.time, true);
+        return;
+    }
+    // Cluster saturated: re-check once slots may have freed up.
+    push_event(e.time + 0.5 * nominal_task_s_, EventKind::kSpecCheck,
+               e.id);
+}
+
+void
+PhaseSim::on_node_crash(const Event& e)
+{
+    if (cluster_.crash_fired)
+        return;
+    cluster_.crash_fired = true;
+    const std::uint32_t idx = cluster_.crash_node;
+    Node& node = cluster_.nodes[idx];
+    if (!node.alive)
+        return;
+    node.alive = false;
+    node.free_slots = 0;
+    ++stats_.nodes_lost;
+    if (injector_ != nullptr)
+        injector_->record(
+            {fault::FaultKind::kNodeCrash, e.time, idx, 0, 0});
+
+    // Running attempts on the node are KILLED, not FAILED: they are
+    // re-queued immediately and do not count against max_attempts.
+    for (std::uint32_t id = 0; id < attempts_.size(); ++id) {
+        Attempt& a = attempts_[id];
+        if (!a.live || a.node != idx)
+            continue;
+        a.live = false;
+        stats_.wasted_task_s += e.time - a.start;
+        TaskState& t = tasks_[a.task];
+        auto& live = t.live_attempts;
+        live.erase(std::remove(live.begin(), live.end(), id), live.end());
+        if (!t.done && t.live_attempts.empty())
+            push_event(e.time, EventKind::kReady, a.task);
+    }
+
+    // Completed map output stored on the node is gone; those tasks must
+    // re-execute on the survivors before reducers can fetch them.
+    if (lose_outputs_) {
+        for (std::uint32_t task = 0; task < tasks_.size(); ++task) {
+            TaskState& t = tasks_[task];
+            if (!t.done || t.completion_node != idx)
+                continue;
+            t.done = false;
+            --completed_;
+            ++stats_.maps_reexecuted;
+            stats_.wasted_task_s += nominal_task_s_;
+            push_event(e.time, EventKind::kReady, task);
+        }
+    }
+}
+
+PhaseResult
+PhaseSim::run(double start_time)
+{
+    PhaseResult result;
+    result.end_time = start_time;
+    if (tasks_.empty())
+        return result;
+
+    for (std::uint32_t node = 0; node < cluster_.nodes.size(); ++node) {
+        Node& n = cluster_.nodes[node];
+        n.free_slots = n.alive ? slots_per_node_ : 0;
+    }
+    for (std::uint32_t task = 0; task < tasks_.size(); ++task)
+        ready_.push_back(task);
+    if (!cluster_.crash_fired && cluster_.crash_time >= 0.0 &&
+        cluster_.crash_node < cluster_.nodes.size())
+        push_event(std::max(cluster_.crash_time, start_time),
+                   EventKind::kNodeCrash, cluster_.crash_node);
+
+    double now = start_time;
+    try_launch(now);
+    while (completed_ < tasks_.size() && !failed_) {
+        if (events_.empty()) {
+            failed_ = true;
+            error_ = "no schedulable nodes left (dead or blacklisted) "
+                     "with tasks still pending";
+            break;
+        }
+        const Event e = events_.top();
+        events_.pop();
+        now = std::max(now, e.time);
+        if (injector_ != nullptr)
+            injector_->set_now(now);
+        switch (e.kind) {
+          case EventKind::kFinish: on_finish(e); break;
+          case EventKind::kCrash: on_crash(e); break;
+          case EventKind::kReady: ready_.push_back(e.id); break;
+          case EventKind::kSpecCheck: on_spec_check(e); break;
+          case EventKind::kNodeCrash: on_node_crash(e); break;
+        }
+        try_launch(now);
+    }
+    result.end_time = now;
+    result.failed = failed_;
+    result.error = error_;
+    return result;
+}
+
+}  // namespace
+
+std::string
+validate(const SchedulerConfig& config)
+{
+    if (config.max_attempts < 1)
+        return "SchedulerConfig.max_attempts must be >= 1";
+    if (config.backoff_base_s < 0.0)
+        return "SchedulerConfig.backoff_base_s must be >= 0";
+    if (config.backoff_factor < 1.0)
+        return "SchedulerConfig.backoff_factor must be >= 1";
+    if (config.speculative_slowdown <= 1.0)
+        return "SchedulerConfig.speculative_slowdown must be > 1 (a copy "
+               "of every on-time task would double the cluster load)";
+    if (config.blacklist_task_failures < 1)
+        return "SchedulerConfig.blacklist_task_failures must be >= 1";
+    return "";
+}
+
+ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
+    : config_(config)
+{
+}
+
+JobRun
+ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
+                      fault::FaultInjector* injector) const
+{
+    JobRun r;
+    for (const std::string& err :
+         {validate(c), validate(job), validate(config_),
+          injector != nullptr ? fault::validate(injector->plan())
+                              : std::string()}) {
+        if (!err.empty()) {
+            r.completed = false;
+            r.error = err;
+            return r;
+        }
+    }
+
+    const double n = c.slaves;
+    const double input_bytes = job.input_gb * kGiB;
+    const double inter_bytes = input_bytes * job.map_output_ratio;
+    const double output_bytes = input_bytes * job.output_ratio;
+    const double total_ops = job.total_instructions_g * 1e9;
+    const double node_ops_s =
+        c.cores_per_node * c.effective_ipc * c.frequency_ghz * 1e9;
+    const double disk_bw = c.disk.bandwidth_mb_s * kMiB;
+    const double net_bw = c.network.bandwidth_mb_s * kMiB;
+
+    // Same task population the analytic model uses (real-valued for the
+    // rate math, integral for the event simulation).
+    const double tasks = std::max(
+        1.0, input_bytes / (static_cast<double>(c.split_mb) * kMiB));
+    const auto map_count = static_cast<std::uint32_t>(std::ceil(tasks));
+    const double map_slot_total = n * c.map_slots;
+    const double waves = std::ceil(tasks / map_slot_total);
+
+    // ---- Per-iteration rates, mirroring the analytic model. ------------
+    const double map_ops = total_ops * (1.0 - job.reduce_fraction) /
+                           job.iterations;
+    const double map_work_one_node =
+        std::max(map_ops / node_ops_s,
+                 (input_bytes + inter_bytes) / disk_bw / job.iterations);
+    const double sf_map = straggler_factor(
+        c.straggler_sigma, std::min(tasks, map_slot_total));
+    // Nominal per-task map time: spreads the one-node aggregate work
+    // over the task population so that `tasks / (n * map_slots)` full
+    // waves reproduce the analytic phase time exactly.
+    const double map_task_s =
+        map_work_one_node * c.map_slots / tasks * sf_map;
+
+    const double cross_fraction = n > 1.0 ? (n - 1.0) / n : 0.0;
+    const double shuffle_bytes = inter_bytes * cross_fraction /
+                                 job.iterations;
+    const double incast = 1.0 + 0.05 * (n - 1.0);
+    const double shuffle_raw_s = shuffle_bytes / (n * net_bw / incast);
+
+    const double reduce_ops = total_ops * job.reduce_fraction /
+                              job.iterations;
+    const double reduce_cpu_s = reduce_ops / (n * node_ops_s);
+    const double replicas_remote = n > 1.0 ? 1.0 : 0.0;
+    const double out_disk_s = output_bytes * (1.0 + replicas_remote) /
+                              (n * disk_bw) / job.iterations;
+    const double out_net_s = output_bytes * replicas_remote /
+                             (n * net_bw) / job.iterations;
+    const double reduce_tasks = std::min(n * c.reduce_slots, tasks);
+    const double sf_reduce =
+        straggler_factor(c.straggler_sigma, reduce_tasks);
+    // Reducers span the whole phase: one wave of `reduce_tasks` tasks.
+    const double reduce_task_s =
+        std::max({reduce_cpu_s, out_disk_s, out_net_s}) * sf_reduce;
+    const auto reduce_count =
+        static_cast<std::uint32_t>(std::ceil(reduce_tasks));
+
+    const double work_one_node =
+        (map_work_one_node +
+         std::max(reduce_ops / node_ops_s,
+                  output_bytes / disk_bw / job.iterations));
+    const double serial_s = job.serial_fraction * work_one_node;
+    const double task_overhead = waves * c.task_overhead_s +
+                                 c.job_overhead_s;
+    const double par = 1.0 - job.serial_fraction;
+
+    // ---- Cluster state shared across phases and iterations. ------------
+    ClusterState state;
+    state.nodes.resize(c.slaves);
+    if (injector != nullptr) {
+        const fault::FaultPlan& plan = injector->plan();
+        for (std::uint32_t i = 0; i < c.slaves; ++i) {
+            state.nodes[i].speed = injector->node_speed_multiplier(i);
+            if (state.nodes[i].speed > 1.0)
+                injector->record({fault::FaultKind::kSlowNode, 0.0, i, 0,
+                                  0});
+        }
+        if (plan.node_crash_time_s >= 0.0 && plan.crash_node < c.slaves) {
+            state.crash_time = plan.node_crash_time_s;
+            state.crash_node = plan.crash_node;
+        }
+    }
+
+    // The event clock tracks task execution only; fixed overheads and
+    // the Amdahl residue are added per iteration, exactly as the
+    // analytic model does. FaultPlan.node_crash_time_s is interpreted on
+    // this task timeline.
+    double clock = 0.0;
+    double map_wasted_s = 0.0;
+    double reduce_wasted_s = 0.0;
+    JobTimings& t = r.timings;
+    for (std::uint32_t it = 0; it < job.iterations; ++it) {
+        // ---- Map phase --------------------------------------------------
+        double waste_mark = r.wasted_task_s;
+        PhaseSim map_sim(config_, state, injector, r, map_count,
+                         map_task_s, c.map_slots, true);
+        const PhaseResult map_res = map_sim.run(clock);
+        double map_i = map_res.end_time - clock;
+        clock = map_res.end_time;
+        map_wasted_s += r.wasted_task_s - waste_mark;
+        if (map_res.failed) {
+            r.completed = false;
+            r.error = "map phase: " + map_res.error;
+        }
+
+        // ---- Shuffle: receiver-link bound, half overlapped with map. ----
+        double shuffle_i = 0.0;
+        if (!map_res.failed) {
+            shuffle_i = std::max(0.0, shuffle_raw_s - 0.5 * map_i);
+            double shuffle_end = clock + shuffle_i;
+            // A node lost mid-shuffle takes its finished map output with
+            // it: the survivors re-execute those maps and re-serve their
+            // partitions before reducers can finish fetching.
+            if (!state.crash_fired && state.crash_time >= 0.0 &&
+                state.crash_time > clock &&
+                state.crash_time <= shuffle_end) {
+                state.crash_fired = true;
+                Node& dead = state.nodes[state.crash_node];
+                dead.alive = false;
+                dead.free_slots = 0;
+                ++r.nodes_lost;
+                if (injector != nullptr)
+                    injector->record({fault::FaultKind::kNodeCrash,
+                                      state.crash_time, state.crash_node,
+                                      0, 0});
+                std::uint32_t lost = 0;
+                for (const TaskState& task : map_sim.tasks())
+                    if (task.done &&
+                        task.completion_node == state.crash_node)
+                        ++lost;
+                if (lost > 0) {
+                    const double alive_slots =
+                        state.alive_slots(c.map_slots);
+                    if (alive_slots == 0) {
+                        r.completed = false;
+                        r.error = "node crash mid-shuffle left no "
+                                  "schedulable nodes";
+                    } else {
+                        const double reexec_s =
+                            std::ceil(lost / alive_slots) * map_task_s;
+                        const double reshuffle_s =
+                            shuffle_raw_s * lost / tasks;
+                        r.maps_reexecuted += lost;
+                        r.wasted_task_s += lost * map_task_s;
+                        map_wasted_s += lost * map_task_s;
+                        shuffle_i += reexec_s + reshuffle_s;
+                        shuffle_end += reexec_s + reshuffle_s;
+                    }
+                }
+            }
+            clock = shuffle_end;
+        }
+
+        // ---- Reduce phase ----------------------------------------------
+        double reduce_i = 0.0;
+        if (r.completed) {
+            waste_mark = r.wasted_task_s;
+            PhaseSim reduce_sim(config_, state, injector, r, reduce_count,
+                                reduce_task_s, c.reduce_slots, false);
+            const PhaseResult red_res = reduce_sim.run(clock);
+            reduce_i = red_res.end_time - clock;
+            clock = red_res.end_time;
+            reduce_wasted_s += r.wasted_task_s - waste_mark;
+            if (red_res.failed) {
+                r.completed = false;
+                r.error = "reduce phase: " + red_res.error;
+            }
+        }
+
+        t.map_s += par * map_i;
+        t.shuffle_s += par * shuffle_i;
+        t.reduce_s += par * reduce_i;
+        t.overhead_s += task_overhead + serial_s;
+        t.total_s += par * (map_i + shuffle_i + reduce_i) + serial_s +
+                     task_overhead;
+        if (!r.completed)
+            break;
+    }
+
+    // ---- Figure 5 accounting: retried work re-spills and re-merges. ----
+    const double map_nominal_s = map_task_s * map_count * job.iterations;
+    const double reduce_nominal_s =
+        reduce_task_s * reduce_count * job.iterations;
+    const double map_waste_frac =
+        map_nominal_s > 0.0 ? map_wasted_s / map_nominal_s : 0.0;
+    const double reduce_waste_frac =
+        reduce_nominal_s > 0.0 ? reduce_wasted_s / reduce_nominal_s : 0.0;
+    const double write_bytes_per_node =
+        (inter_bytes * (1.0 + map_waste_frac) +   // spill writes
+         inter_bytes * (1.0 + reduce_waste_frac) +  // merge writes
+         output_bytes * (1.0 + replicas_remote)) / n;
+    t.disk_write_requests = write_bytes_per_node /
+                            static_cast<double>(c.disk.request_bytes);
+    t.disk_writes_per_second =
+        t.total_s > 0.0 ? t.disk_write_requests / t.total_s : 0.0;
+
+    // ---- Recovery cost: compare against the same run, fault free. ------
+    if (injector != nullptr && injector->plan().any_faults()) {
+        const JobRun base = run(job, c, nullptr);
+        r.recovery_s = std::max(0.0, t.total_s - base.timings.total_s);
+    }
+    return r;
+}
+
+}  // namespace dcb::mapreduce

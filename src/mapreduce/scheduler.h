@@ -1,0 +1,109 @@
+#ifndef DCBENCH_MAPREDUCE_SCHEDULER_H_
+#define DCBENCH_MAPREDUCE_SCHEDULER_H_
+
+/**
+ * @file
+ * Discrete-event, task-level cluster scheduler with Hadoop 1.x recovery
+ * semantics.
+ *
+ * The analytic model (ClusterSimulator::analytic_run) predicts phase
+ * times in closed form but has no failure path. This scheduler executes
+ * each job attempt by attempt on an event queue: map tasks are assigned
+ * to slot-limited nodes as slots free up, reduce tasks run as one wave
+ * after the shuffle, and everything that can go wrong under the run's
+ * FaultPlan is recovered the way Hadoop 1.0.2 recovers it:
+ *
+ *  - a crashed task attempt is re-queued with exponential backoff until
+ *    `max_attempts` is exhausted (then the whole job fails);
+ *  - a node that accumulates `blacklist_task_failures` failed attempts
+ *    is blacklisted: running work continues, new work avoids it;
+ *  - attempts still running `speculative_slowdown` past the nominal
+ *    task time get a speculative copy on another node (first finisher
+ *    wins, the loser is killed and its runtime counted as waste);
+ *  - a node crash kills the node's running attempts (re-queued without
+ *    counting against max_attempts, as Hadoop distinguishes KILLED from
+ *    FAILED) and, until the shuffle has completed, loses its finished
+ *    map output, which is re-executed on the surviving nodes.
+ *
+ * Per-task service times are derived from the same Table I rates the
+ * analytic model uses, so with a zero fault plan the two agree to within
+ * task-wave quantization (ceil(tasks/slots) vs tasks/slots) -- this is
+ * regression-checked in tests/scheduler_test.cc.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.h"
+#include "mapreduce/cluster.h"
+
+namespace dcb::mapreduce {
+
+/** Recovery-policy knobs (Hadoop 1.x mapred-site defaults). */
+struct SchedulerConfig
+{
+    /** mapred.map/reduce.max.attempts: total tries per task. */
+    std::uint32_t max_attempts = 4;
+    /** First re-scheduling delay after a failed attempt. */
+    double backoff_base_s = 2.0;
+    /** Backoff grows by this factor per subsequent failure. */
+    double backoff_factor = 2.0;
+    /** Launch a speculative copy when an attempt has run this multiple
+        of the nominal task time (mapred.speculative.execution). */
+    double speculative_slowdown = 1.5;
+    bool speculation = true;
+    /** Failed attempts on one node before it is blacklisted for the
+        rest of the job (mapred.max.tracker.failures). */
+    std::uint32_t blacklist_task_failures = 4;
+};
+
+std::string validate(const SchedulerConfig& config);
+
+/** Everything one scheduled job produced. */
+struct JobRun
+{
+    JobTimings timings;
+    /** False when the job could not finish (task out of attempts, or
+        every node dead/blacklisted with work remaining). */
+    bool completed = true;
+    std::string error;
+
+    /** Highest attempt count any single task needed (1 = first try). */
+    std::uint32_t max_task_attempts = 1;
+    /** Failed (crashed) task attempts across the job. */
+    std::uint32_t task_failures = 0;
+    /** Speculative copies launched / killed-after-losing. */
+    std::uint32_t speculative_launched = 0;
+    std::uint32_t speculative_wasted = 0;
+    /** Completed map tasks re-executed because their node died. */
+    std::uint32_t maps_reexecuted = 0;
+    std::uint32_t nodes_lost = 0;
+    std::uint32_t nodes_blacklisted = 0;
+    /** Task-seconds spent on attempts that produced no output. */
+    double wasted_task_s = 0.0;
+    /** Extra wall-clock versus the same run with no faults. */
+    double recovery_s = 0.0;
+};
+
+/** The discrete-event scheduler; stateless across run() calls. */
+class ClusterScheduler
+{
+  public:
+    explicit ClusterScheduler(const SchedulerConfig& config = {});
+
+    /**
+     * Execute one job. Faults come from `injector` (nullptr = fault
+     * free); decisions and the event log stay in the injector so the
+     * caller can inspect them. Config errors are returned in
+     * JobRun::error, not fatal.
+     */
+    JobRun run(const JobSpec& job, const ClusterConfig& cluster,
+               fault::FaultInjector* injector = nullptr) const;
+
+  private:
+    SchedulerConfig config_;
+};
+
+}  // namespace dcb::mapreduce
+
+#endif  // DCBENCH_MAPREDUCE_SCHEDULER_H_

@@ -8,23 +8,39 @@ TaskIo::TaskIo(os::OsModel& os, mem::AddressSpace& space)
 }
 
 void
+TaskIo::issue(std::uint64_t bytes, bool write, bool network)
+{
+    for (int attempt = 0; attempt <= kMaxIoRetries; ++attempt) {
+        if (attempt > 0) {
+            // Exponential backoff: the blocked task thread sleeps in the
+            // scheduler between retries (1, 2, 4 futex/yield rounds).
+            for (int spin = 0; spin < (1 << (attempt - 1)); ++spin)
+                os_.sys_sched();
+            ++totals_.io_retries;
+        }
+        bool ok;
+        if (network)
+            ok = write ? os_.sys_send(user_buf_.base, bytes)
+                       : os_.sys_recv(user_buf_.base, bytes);
+        else
+            ok = write ? os_.sys_write(user_buf_.base, bytes)
+                       : os_.sys_read(user_buf_.base, bytes);
+        if (ok)
+            return;
+    }
+    // Out of retries: Hadoop would fail over to another replica or fail
+    // the task attempt; account the permanent error and move on.
+    ++totals_.io_errors;
+}
+
+void
 TaskIo::chunked(std::uint64_t bytes, bool write, bool network)
 {
     std::uint64_t& pending =
         pending_[(write ? 1 : 0) * 2 + (network ? 1 : 0)];
     pending += bytes;
     while (pending >= kBufferBytes) {
-        if (network) {
-            if (write)
-                os_.sys_send(user_buf_.base, kBufferBytes);
-            else
-                os_.sys_recv(user_buf_.base, kBufferBytes);
-        } else {
-            if (write)
-                os_.sys_write(user_buf_.base, kBufferBytes);
-            else
-                os_.sys_read(user_buf_.base, kBufferBytes);
-        }
+        issue(kBufferBytes, write, network);
         pending -= kBufferBytes;
     }
 }
@@ -38,17 +54,7 @@ TaskIo::flush()
             continue;
         const bool write = channel >= 2;
         const bool network = (channel & 1) != 0;
-        if (network) {
-            if (write)
-                os_.sys_send(user_buf_.base, pending);
-            else
-                os_.sys_recv(user_buf_.base, pending);
-        } else {
-            if (write)
-                os_.sys_write(user_buf_.base, pending);
-            else
-                os_.sys_read(user_buf_.base, pending);
-        }
+        issue(pending, write, network);
         pending = 0;
     }
 }

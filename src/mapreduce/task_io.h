@@ -24,6 +24,11 @@ struct IoTotals
     std::uint64_t spill_bytes = 0;
     std::uint64_t shuffle_bytes = 0;
     std::uint64_t output_bytes = 0;
+    /** Syscalls retried after an injected I/O fault. */
+    std::uint64_t io_retries = 0;
+    /** Operations abandoned after kMaxIoRetries (served from a replica
+        / surfaced to the task runner as a task failure). */
+    std::uint64_t io_errors = 0;
 };
 
 /** Chunked syscall-backed I/O for one task. */
@@ -31,6 +36,8 @@ class TaskIo
 {
   public:
     static constexpr std::uint64_t kBufferBytes = 64 * 1024;
+    /** Bounded retries per buffer-sized operation (dfs.client style). */
+    static constexpr int kMaxIoRetries = 3;
 
     TaskIo(os::OsModel& os, mem::AddressSpace& space);
 
@@ -68,6 +75,15 @@ class TaskIo
      * one syscall per record).
      */
     void chunked(std::uint64_t bytes, bool write, bool network);
+
+    /**
+     * One buffer-sized syscall with bounded retry-with-backoff: a failed
+     * operation (injected disk/network fault) is retried up to
+     * kMaxIoRetries times, each retry preceded by exponentially more
+     * scheduler syscalls (the waiting thread), so recovery cost lands in
+     * the kernel-instruction and disk-request accounting of Figures 4/5.
+     */
+    void issue(std::uint64_t bytes, bool write, bool network);
 
     os::OsModel& os_;
     mem::Region user_buf_;

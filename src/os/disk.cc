@@ -46,6 +46,22 @@ Disk::read(std::uint64_t bytes)
     return t;
 }
 
+double
+Disk::write_error()
+{
+    ++write_errors_;
+    busy_seconds_ += params_.request_latency_s;
+    return params_.request_latency_s;
+}
+
+double
+Disk::read_error()
+{
+    ++read_errors_;
+    busy_seconds_ += params_.request_latency_s;
+    return params_.request_latency_s;
+}
+
 void
 Disk::reset()
 {
@@ -53,6 +69,8 @@ Disk::reset()
     bytes_read_ = 0;
     write_requests_ = 0;
     read_requests_ = 0;
+    write_errors_ = 0;
+    read_errors_ = 0;
     busy_seconds_ = 0.0;
 }
 

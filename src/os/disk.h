@@ -36,11 +36,22 @@ class Disk
     /** Account a read of `bytes`; returns service time in seconds. */
     double read(std::uint64_t bytes);
 
+    /**
+     * Account a failed write/read request (injected EIO): the device
+     * still seeks and stays busy for one request latency, but no bytes
+     * move. The caller decides whether (and when) to retry.
+     */
+    double write_error();
+    double read_error();
+
     std::uint64_t bytes_written() const { return bytes_written_; }
     std::uint64_t bytes_read() const { return bytes_read_; }
     /** Device-level write requests (Figure 5 numerator). */
     std::uint64_t write_requests() const { return write_requests_; }
     std::uint64_t read_requests() const { return read_requests_; }
+    /** Injected I/O errors observed (fault-injection accounting). */
+    std::uint64_t write_errors() const { return write_errors_; }
+    std::uint64_t read_errors() const { return read_errors_; }
 
     /** Total busy time accumulated (seconds). */
     double busy_seconds() const { return busy_seconds_; }
@@ -56,6 +67,8 @@ class Disk
     std::uint64_t bytes_read_ = 0;
     std::uint64_t write_requests_ = 0;
     std::uint64_t read_requests_ = 0;
+    std::uint64_t write_errors_ = 0;
+    std::uint64_t read_errors_ = 0;
     double busy_seconds_ = 0.0;
 };
 

@@ -30,11 +30,23 @@ Network::send(std::uint64_t bytes, std::uint32_t concurrent_flows)
     return transfer_seconds(bytes, concurrent_flows);
 }
 
+double
+Network::timeout(std::uint64_t bytes)
+{
+    ++timeouts_;
+    ++messages_;
+    // The payload crossed the wire (perhaps repeatedly) without being
+    // acknowledged; charge one serialization worth of busy time.
+    return transfer_seconds(bytes, 1);
+}
+
 void
 Network::reset()
 {
     bytes_sent_ = 0;
     messages_ = 0;
+    timeouts_ = 0;
+    drops_ = 0;
 }
 
 }  // namespace dcb::os

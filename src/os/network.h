@@ -38,8 +38,19 @@ class Network
     /** Account an outbound transfer; returns service time. */
     double send(std::uint64_t bytes, std::uint32_t concurrent_flows = 1);
 
+    /**
+     * Account a send that timed out (TCP retransmits exhausted) or a
+     * receive whose payload was lost: the wire time is wasted and the
+     * caller decides whether to retry.
+     */
+    double timeout(std::uint64_t bytes);
+    void drop() { ++drops_; }
+
     std::uint64_t bytes_sent() const { return bytes_sent_; }
     std::uint64_t messages() const { return messages_; }
+    /** Injected network faults observed (fault-injection accounting). */
+    std::uint64_t timeouts() const { return timeouts_; }
+    std::uint64_t drops() const { return drops_; }
 
     void reset();
 
@@ -47,6 +58,8 @@ class Network
     NetworkParams params_;
     std::uint64_t bytes_sent_ = 0;
     std::uint64_t messages_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t drops_ = 0;
 };
 
 }  // namespace dcb::os

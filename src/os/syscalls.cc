@@ -96,6 +96,12 @@ pages_of(std::uint64_t bytes)
 }  // namespace
 
 void
+OsModel::set_fault_injector(fault::FaultInjector* injector)
+{
+    fault_injector_ = injector;
+}
+
+bool
 OsModel::sys_write(std::uint64_t user_buf, std::uint64_t bytes)
 {
     ctx_.set_mode(trace::Mode::kKernel);
@@ -104,23 +110,41 @@ OsModel::sys_write(std::uint64_t user_buf, std::uint64_t bytes)
     kernel_path(costs_.file_path_instrs +
                 pages_of(bytes) * costs_.file_page_write_instrs);
     copy_user(user_buf, bytes);
+    // The error surfaces at the device, after the kernel has already
+    // done the copy and block-layer work -- which is why retried writes
+    // show up in the Figure 4 kernel-instruction accounting.
+    if (fault_injector_ != nullptr &&
+        fault_injector_->disk_write_fails()) {
+        kernel_path(costs_.file_path_instrs);  // error unwind path
+        ctx_.set_mode(trace::Mode::kUser);
+        disk_.write_error();
+        return false;
+    }
     ctx_.set_mode(trace::Mode::kUser);
     disk_.write(bytes);
+    return true;
 }
 
-void
+bool
 OsModel::sys_read(std::uint64_t user_buf, std::uint64_t bytes)
 {
     ctx_.set_mode(trace::Mode::kKernel);
     kernel_path(costs_.trap_instrs);
     kernel_path(costs_.file_path_instrs +
                 pages_of(bytes) * costs_.file_page_read_instrs);
+    if (fault_injector_ != nullptr && fault_injector_->disk_read_fails()) {
+        kernel_path(costs_.file_path_instrs);  // error unwind path
+        ctx_.set_mode(trace::Mode::kUser);
+        disk_.read_error();
+        return false;
+    }
     copy_user(user_buf, bytes);
     ctx_.set_mode(trace::Mode::kUser);
     disk_.read(bytes);
+    return true;
 }
 
-void
+bool
 OsModel::sys_send(std::uint64_t user_buf, std::uint64_t bytes)
 {
     ctx_.set_mode(trace::Mode::kKernel);
@@ -128,19 +152,34 @@ OsModel::sys_send(std::uint64_t user_buf, std::uint64_t bytes)
     kernel_path(costs_.socket_path_instrs +
                 pages_of(bytes) * costs_.socket_page_instrs);
     copy_user(user_buf, bytes);
+    if (fault_injector_ != nullptr &&
+        fault_injector_->net_send_times_out()) {
+        kernel_path(costs_.socket_path_instrs);  // retransmit/teardown
+        ctx_.set_mode(trace::Mode::kUser);
+        net_.timeout(bytes);
+        return false;
+    }
     ctx_.set_mode(trace::Mode::kUser);
     net_.send(bytes);
+    return true;
 }
 
-void
+bool
 OsModel::sys_recv(std::uint64_t user_buf, std::uint64_t bytes)
 {
     ctx_.set_mode(trace::Mode::kKernel);
     kernel_path(costs_.trap_instrs);
     kernel_path(costs_.socket_path_instrs +
                 pages_of(bytes) * costs_.socket_page_instrs);
+    if (fault_injector_ != nullptr && fault_injector_->net_recv_drops()) {
+        kernel_path(costs_.socket_path_instrs);  // connection reset path
+        ctx_.set_mode(trace::Mode::kUser);
+        net_.drop();
+        return false;
+    }
     copy_user(user_buf, bytes);
     ctx_.set_mode(trace::Mode::kUser);
+    return true;
 }
 
 void

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.h"
 #include "mem/address_space.h"
 #include "os/disk.h"
 #include "os/network.h"
@@ -70,17 +71,30 @@ class OsModel
     OsModel(trace::ExecCtx& ctx, mem::AddressSpace& space, Disk& disk,
             Network& net, const SyscallCosts& costs = SyscallCosts{});
 
-    /** write(2) of `bytes` from a user buffer to a file. */
-    void sys_write(std::uint64_t user_buf, std::uint64_t bytes);
+    /**
+     * Install a fault injector: data-moving syscalls then fail per its
+     * plan (EIO, timeouts, drops), returning false. nullptr (the
+     * default) restores the infallible behaviour. The injector must
+     * outlive the OsModel.
+     */
+    void set_fault_injector(fault::FaultInjector* injector);
+
+    /**
+     * write(2) of `bytes` from a user buffer to a file. Returns false
+     * when the operation failed under fault injection; the kernel entry,
+     * subsystem path and copy work are charged either way (the error is
+     * only detected at the device).
+     */
+    bool sys_write(std::uint64_t user_buf, std::uint64_t bytes);
 
     /** read(2) of `bytes` into a user buffer. */
-    void sys_read(std::uint64_t user_buf, std::uint64_t bytes);
+    bool sys_read(std::uint64_t user_buf, std::uint64_t bytes);
 
     /** send(2)/sendto(2) over a socket. */
-    void sys_send(std::uint64_t user_buf, std::uint64_t bytes);
+    bool sys_send(std::uint64_t user_buf, std::uint64_t bytes);
 
     /** recv(2) from a socket. */
-    void sys_recv(std::uint64_t user_buf, std::uint64_t bytes);
+    bool sys_recv(std::uint64_t user_buf, std::uint64_t bytes);
 
     /** Scheduling-class syscall (futex wait/wake, poll, yield). */
     void sys_sched();
@@ -99,6 +113,7 @@ class OsModel
     trace::ExecCtx& ctx_;
     Disk& disk_;
     Network& net_;
+    fault::FaultInjector* fault_injector_ = nullptr;
     SyscallCosts costs_;
     mem::Region bounce_;
     std::uint64_t bounce_cursor_ = 0;

@@ -1,0 +1,202 @@
+/** @file Tests for the seeded fault-injection subsystem. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace dcb::fault {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsFaultFreeAndValid)
+{
+    const FaultPlan plan;
+    EXPECT_FALSE(plan.any_faults());
+    EXPECT_EQ(validate(plan), "");
+}
+
+TEST(FaultPlan, AnyFaultsDetectsEachKnob)
+{
+    FaultPlan plan;
+    plan.task_crash_prob = 0.01;
+    EXPECT_TRUE(plan.any_faults());
+
+    plan = FaultPlan{};
+    plan.disk_write_error_prob = 0.01;
+    EXPECT_TRUE(plan.any_faults());
+
+    plan = FaultPlan{};
+    plan.node_crash_time_s = 10.0;
+    EXPECT_TRUE(plan.any_faults());
+
+    plan = FaultPlan{};
+    plan.slow_node_fraction = 0.5;
+    plan.slow_multiplier = 2.0;
+    EXPECT_TRUE(plan.any_faults());
+}
+
+TEST(FaultPlan, ValidationRejectsBadProbabilities)
+{
+    FaultPlan plan;
+    plan.task_crash_prob = -0.1;
+    EXPECT_NE(validate(plan), "");
+
+    plan = FaultPlan{};
+    plan.net_drop_prob = 1.5;
+    EXPECT_NE(validate(plan), "");
+
+    plan = FaultPlan{};
+    plan.slow_multiplier = 0.5;  // faster-than-nominal is not a fault
+    EXPECT_NE(validate(plan), "");
+}
+
+TEST(FaultInjector, SameSeedSameDecisionStream)
+{
+    FaultPlan plan;
+    plan.task_crash_prob = 0.3;
+    plan.disk_write_error_prob = 0.2;
+
+    auto decisions = [&plan] {
+        FaultInjector injector(plan);
+        std::vector<bool> out;
+        double fraction = 0.0;
+        for (std::uint32_t i = 0; i < 200; ++i) {
+            out.push_back(injector.task_crashes(i, 1, &fraction));
+            out.push_back(injector.disk_write_fails());
+        }
+        return out;
+    };
+    EXPECT_EQ(decisions(), decisions());
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultPlan a;
+    a.task_crash_prob = 0.5;
+    FaultPlan b = a;
+    b.seed = a.seed + 1;
+
+    FaultInjector ia(a);
+    FaultInjector ib(b);
+    double fraction = 0.0;
+    bool differed = false;
+    for (std::uint32_t i = 0; i < 256 && !differed; ++i)
+        differed = ia.task_crashes(i, 1, &fraction) !=
+                   ib.task_crashes(i, 1, &fraction);
+    EXPECT_TRUE(differed);
+}
+
+TEST(FaultInjector, ResetReplaysTheSameRun)
+{
+    FaultPlan plan;
+    plan.task_crash_prob = 0.4;
+    FaultInjector injector(plan);
+    double fraction = 0.0;
+
+    std::vector<bool> first;
+    for (std::uint32_t i = 0; i < 64; ++i)
+        first.push_back(injector.task_crashes(i, 1, &fraction));
+    const std::size_t logged = injector.log().events().size();
+    EXPECT_GT(logged, 0u);
+
+    injector.reset();
+    EXPECT_TRUE(injector.log().events().empty());
+    std::vector<bool> second;
+    for (std::uint32_t i = 0; i < 64; ++i)
+        second.push_back(injector.task_crashes(i, 1, &fraction));
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(injector.log().events().size(), logged);
+}
+
+TEST(FaultInjector, CrashFractionIsAPartialRun)
+{
+    FaultPlan plan;
+    plan.task_crash_prob = 1.0;
+    FaultInjector injector(plan);
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        double fraction = -1.0;
+        ASSERT_TRUE(injector.task_crashes(i, 1, &fraction));
+        EXPECT_GT(fraction, 0.0);
+        EXPECT_LT(fraction, 1.0);  // dies strictly before finishing
+    }
+}
+
+TEST(FaultInjector, SlowNodesAreStatelessAndRespectTheFraction)
+{
+    FaultPlan plan;
+    plan.slow_node_fraction = 0.5;
+    plan.slow_multiplier = 3.0;
+    FaultInjector injector(plan);
+
+    std::uint32_t slow = 0;
+    for (std::uint32_t node = 0; node < 64; ++node) {
+        const double speed = injector.node_speed_multiplier(node);
+        EXPECT_TRUE(speed == 1.0 || speed == 3.0);
+        if (speed > 1.0)
+            ++slow;
+        // Stateless: asking again (any call order) gives the same answer.
+        EXPECT_EQ(speed, injector.node_speed_multiplier(node));
+    }
+    EXPECT_GT(slow, 16u);  // roughly half of 64, generous bounds
+    EXPECT_LT(slow, 48u);
+
+    FaultPlan none;
+    FaultInjector clean(none);
+    for (std::uint32_t node = 0; node < 8; ++node)
+        EXPECT_EQ(clean.node_speed_multiplier(node), 1.0);
+}
+
+TEST(FaultInjector, ZeroProbabilityNeverFires)
+{
+    FaultInjector injector{FaultPlan{}};
+    double fraction = 0.0;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        EXPECT_FALSE(injector.task_crashes(i, 1, &fraction));
+        EXPECT_FALSE(injector.disk_read_fails());
+        EXPECT_FALSE(injector.disk_write_fails());
+        EXPECT_FALSE(injector.net_send_times_out());
+        EXPECT_FALSE(injector.net_recv_drops());
+    }
+    EXPECT_TRUE(injector.log().events().empty());
+}
+
+TEST(FaultLog, CountsAndSummarizesPerKind)
+{
+    FaultPlan plan;
+    plan.disk_read_error_prob = 1.0;
+    plan.net_timeout_prob = 1.0;
+    FaultInjector injector(plan);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(injector.disk_read_fails());
+    ASSERT_TRUE(injector.net_send_times_out());
+
+    const FaultLog& log = injector.log();
+    EXPECT_EQ(log.count(FaultKind::kDiskReadError), 3u);
+    EXPECT_EQ(log.count(FaultKind::kNetTimeout), 1u);
+    EXPECT_EQ(log.count(FaultKind::kTaskCrash), 0u);
+    const std::string summary = log.summary();
+    EXPECT_NE(summary.find(fault_kind_name(FaultKind::kDiskReadError)),
+              std::string::npos);
+    EXPECT_NE(summary.find(fault_kind_name(FaultKind::kNetTimeout)),
+              std::string::npos);
+}
+
+TEST(FaultLog, EventsCarryTimestampsFromSetNow)
+{
+    FaultPlan plan;
+    plan.task_crash_prob = 1.0;
+    FaultInjector injector(plan);
+    injector.set_now(42.5);
+    double fraction = 0.0;
+    ASSERT_TRUE(injector.task_crashes(7, 2, &fraction));
+    ASSERT_EQ(injector.log().events().size(), 1u);
+    const FaultEvent& e = injector.log().events().front();
+    EXPECT_EQ(e.kind, FaultKind::kTaskCrash);
+    EXPECT_DOUBLE_EQ(e.time_s, 42.5);
+    EXPECT_EQ(e.task, 7u);
+    EXPECT_EQ(e.attempt, 2u);
+}
+
+}  // namespace
+}  // namespace dcb::fault

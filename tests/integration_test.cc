@@ -28,7 +28,7 @@ class ShapeTest : public ::testing::Test
         config.run.warmup_ops = 400'000;
         reports_ = new std::map<std::string, cpu::CounterReport>();
         for (const auto& name : workloads::figure_order())
-            (*reports_)[name] = run_workload(name, config);
+            (*reports_)[name] = run_workload(name, config).report;
     }
 
     static void

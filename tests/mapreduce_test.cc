@@ -4,6 +4,7 @@
 
 #include <map>
 
+#include "fault/fault.h"
 #include "mapreduce/engine.h"
 #include "mapreduce/task_io.h"
 #include "os/syscalls.h"
@@ -220,6 +221,81 @@ TEST(TaskIo, OutputReplicationCostsNetwork)
     io.flush();
     EXPECT_GE(env.disk.bytes_written(), 512u * 1024);
     EXPECT_GE(env.net.bytes_sent(), 512u * 1024);
+}
+
+TEST(TaskIo, ExhaustsBoundedRetriesOnPermanentFault)
+{
+    EngineEnv env;
+    fault::FaultPlan plan;
+    plan.disk_write_error_prob = 1.0;  // every write attempt fails
+    fault::FaultInjector injector(plan);
+    env.os.set_fault_injector(&injector);
+
+    TaskIo io(env.os, env.space);
+    const std::uint64_t kernel_before = env.ctx.counts().kernel_ops;
+    io.write_spill(TaskIo::kBufferBytes);  // one full buffer: one issue
+    EXPECT_EQ(io.totals().io_retries,
+              static_cast<std::uint64_t>(TaskIo::kMaxIoRetries));
+    EXPECT_EQ(io.totals().io_errors, 1u);
+    EXPECT_EQ(env.disk.write_errors(),
+              static_cast<std::uint64_t>(TaskIo::kMaxIoRetries) + 1);
+    // Retry backoff burns scheduler time in the kernel (Figure 4 path).
+    EXPECT_GT(env.ctx.counts().kernel_ops, kernel_before);
+    EXPECT_EQ(env.disk.bytes_written(), 0u);
+}
+
+TEST(TaskIo, TransientFaultsAreAbsorbedByRetries)
+{
+    EngineEnv env;
+    fault::FaultPlan plan;
+    plan.disk_write_error_prob = 0.5;
+    fault::FaultInjector injector(plan);
+    env.os.set_fault_injector(&injector);
+
+    TaskIo io(env.os, env.space);
+    for (int i = 0; i < 64; ++i)
+        io.write_spill(TaskIo::kBufferBytes);
+    EXPECT_GT(io.totals().io_retries, 0u);
+    // Permanent failures need four coin-flips in a row; nearly all of
+    // the 64 operations must land eventually.
+    EXPECT_LT(io.totals().io_errors, 32u);
+    EXPECT_GT(env.disk.bytes_written(), 0u);
+}
+
+TEST(TaskIo, FaultFreeRunsReportNoRetries)
+{
+    EngineEnv env;
+    TaskIo io(env.os, env.space);
+    io.write_spill(TaskIo::kBufferBytes * 4);
+    io.read_input(TaskIo::kBufferBytes * 4);
+    io.flush();
+    EXPECT_EQ(io.totals().io_retries, 0u);
+    EXPECT_EQ(io.totals().io_errors, 0u);
+}
+
+TEST(Engine, ConfigValidation)
+{
+    EXPECT_EQ(validate(EngineConfig{}), "");
+
+    EngineConfig c;
+    c.num_map_tasks = 0;
+    EXPECT_NE(validate(c), "");
+
+    c = EngineConfig{};
+    c.spill_records = 1;
+    EXPECT_NE(validate(c), "");
+
+    c = EngineConfig{};
+    c.record_bytes = 0;
+    EXPECT_NE(validate(c), "");
+
+    c = EngineConfig{};
+    c.max_partition_records = 0;
+    EXPECT_NE(validate(c), "");
+
+    c = EngineConfig{};
+    c.output_replicas = 0;
+    EXPECT_NE(validate(c), "");
 }
 
 }  // namespace

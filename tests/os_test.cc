@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "fault/fault.h"
 #include "mem/address_space.h"
 #include "os/disk.h"
 #include "os/network.h"
@@ -149,6 +150,80 @@ TEST(Network, SendAccumulates)
     EXPECT_EQ(net.messages(), 2u);
     net.reset();
     EXPECT_EQ(net.bytes_sent(), 0u);
+}
+
+TEST(Disk, ErrorAccounting)
+{
+    Disk disk;
+    // A failed request still seeks: the head moved before EIO came back.
+    EXPECT_GT(disk.write_error(), 0.0);
+    EXPECT_GT(disk.read_error(), 0.0);
+    EXPECT_EQ(disk.write_errors(), 1u);
+    EXPECT_EQ(disk.read_errors(), 1u);
+    EXPECT_GT(disk.busy_seconds(), 0.0);
+    EXPECT_EQ(disk.bytes_written(), 0u);  // no payload landed
+    disk.reset();
+    EXPECT_EQ(disk.write_errors(), 0u);
+    EXPECT_EQ(disk.read_errors(), 0u);
+}
+
+TEST(Network, TimeoutAndDropAccounting)
+{
+    Network net;
+    // A timed-out send occupied the wire for the whole transfer.
+    EXPECT_GT(net.timeout(1 << 20), 0.0);
+    EXPECT_EQ(net.timeouts(), 1u);
+    net.drop();
+    EXPECT_EQ(net.drops(), 1u);
+    net.reset();
+    EXPECT_EQ(net.timeouts(), 0u);
+    EXPECT_EQ(net.drops(), 0u);
+}
+
+TEST_F(OsFixture, SyscallsSucceedWithoutInjector)
+{
+    EXPECT_TRUE(os_.sys_write(0x100000, 4096));
+    EXPECT_TRUE(os_.sys_read(0x100000, 4096));
+    EXPECT_TRUE(os_.sys_send(0x100000, 4096));
+    EXPECT_TRUE(os_.sys_recv(0x100000, 4096));
+}
+
+TEST_F(OsFixture, InjectedDiskFaultsFailTheSyscall)
+{
+    fault::FaultPlan plan;
+    plan.disk_write_error_prob = 1.0;
+    plan.disk_read_error_prob = 1.0;
+    fault::FaultInjector injector(plan);
+    os_.set_fault_injector(&injector);
+
+    const std::uint64_t kernel_before = sink_.kernel;
+    EXPECT_FALSE(os_.sys_write(0x100000, 4096));
+    EXPECT_FALSE(os_.sys_read(0x100000, 4096));
+    EXPECT_EQ(disk_.write_errors(), 1u);
+    EXPECT_EQ(disk_.read_errors(), 1u);
+    // The failed path still runs kernel code (trap + error unwind).
+    EXPECT_GT(sink_.kernel, kernel_before);
+    EXPECT_EQ(injector.log().count(fault::FaultKind::kDiskWriteError),
+              1u);
+
+    os_.set_fault_injector(nullptr);
+    EXPECT_TRUE(os_.sys_write(0x100000, 4096));
+}
+
+TEST_F(OsFixture, InjectedNetworkFaultsFailTheSyscall)
+{
+    fault::FaultPlan plan;
+    plan.net_timeout_prob = 1.0;
+    plan.net_drop_prob = 1.0;
+    fault::FaultInjector injector(plan);
+    os_.set_fault_injector(&injector);
+
+    EXPECT_FALSE(os_.sys_send(0x100000, 4096));
+    EXPECT_FALSE(os_.sys_recv(0x100000, 4096));
+    EXPECT_EQ(net_.timeouts(), 1u);
+    EXPECT_EQ(net_.drops(), 1u);
+    EXPECT_EQ(injector.log().count(fault::FaultKind::kNetTimeout), 1u);
+    EXPECT_EQ(injector.log().count(fault::FaultKind::kNetDrop), 1u);
 }
 
 }  // namespace

@@ -79,10 +79,50 @@ TEST(Harness, PmuPathProducesComparableReport)
     direct.run.warmup_ops = 0;
     HarnessConfig pmu = direct;
     pmu.use_pmu = true;
-    const auto a = run_workload("K-means", direct);
-    const auto b = run_workload("K-means", pmu);
+    const auto a = run_workload("K-means", direct).report;
+    const auto b = run_workload("K-means", pmu).report;
     EXPECT_NEAR(a.ipc, b.ipc, a.ipc * 0.05);
     EXPECT_NEAR(a.l1i_mpki, b.l1i_mpki, a.l1i_mpki * 0.5 + 1.0);
+}
+
+TEST(Harness, UnknownWorkloadIsARecoverableError)
+{
+    HarnessConfig config;
+    config.run.op_budget = 10'000;
+    config.run.warmup_ops = 0;
+    const RunResult result = run_workload("No Such Workload", config);
+    EXPECT_FALSE(result.status.ok);
+    EXPECT_NE(result.status.error.find("unknown workload"),
+              std::string::npos);
+    // The diagnostic lists what *would* have worked.
+    EXPECT_NE(result.status.error.find("K-means"), std::string::npos);
+}
+
+TEST(Harness, SuiteIsolatesPerWorkloadFailures)
+{
+    HarnessConfig config;
+    config.run.op_budget = 60'000;
+    config.run.warmup_ops = 0;
+    const SuiteResult suite =
+        run_suite({"K-means", "No Such Workload", "Sort"}, config);
+    ASSERT_EQ(suite.runs.size(), 3u);
+    EXPECT_TRUE(suite.runs[0].status.ok);
+    EXPECT_FALSE(suite.runs[1].status.ok);
+    EXPECT_TRUE(suite.runs[2].status.ok);  // later runs still happen
+    EXPECT_EQ(suite.failure_count(), 1u);
+    EXPECT_FALSE(suite.all_ok());
+    EXPECT_EQ(suite.reports().size(), 2u);
+    EXPECT_EQ(suite.names.size(), 3u);
+}
+
+TEST(Harness, AllOkSuiteKeepsEveryReport)
+{
+    HarnessConfig config;
+    config.run.op_budget = 60'000;
+    config.run.warmup_ops = 0;
+    const SuiteResult suite = run_suite({"Sort", "Grep"}, config);
+    EXPECT_TRUE(suite.all_ok());
+    EXPECT_EQ(suite.reports().size(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,315 @@
+/** @file Tests for the discrete-event fault-tolerant cluster scheduler. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/scheduler.h"
+#include "workloads/data_analysis.h"
+#include "workloads/registry.h"
+
+namespace dcb::mapreduce {
+namespace {
+
+JobSpec
+spec_of(const std::string& name)
+{
+    return workloads::make_workload(name)->info().cluster_spec;
+}
+
+ClusterConfig
+eight_slaves()
+{
+    ClusterConfig cluster;
+    cluster.slaves = 8;
+    return cluster;
+}
+
+/**
+ * The DES scheduler derives per-task times from the analytic aggregates,
+ * so with no faults the two models must agree to within map-wave
+ * quantization (ceil(tasks/slots) vs tasks/slots).
+ */
+TEST(Scheduler, ZeroFaultMatchesAnalyticModel)
+{
+    const ClusterScheduler scheduler;
+    const ClusterSimulator sim;
+    for (const std::string& name : workloads::data_analysis_names()) {
+        const JobSpec spec = spec_of(name);
+        for (const std::uint32_t slaves : {1u, 4u, 8u}) {
+            ClusterConfig cluster;
+            cluster.slaves = slaves;
+            const JobRun des = scheduler.run(spec, cluster, nullptr);
+            const JobTimings ref = sim.analytic_run(spec, cluster);
+            ASSERT_TRUE(des.completed) << name << " @" << slaves;
+            EXPECT_NEAR(des.timings.total_s, ref.total_s,
+                        0.10 * ref.total_s)
+                << name << " @" << slaves << " slaves";
+            EXPECT_EQ(des.task_failures, 0u);
+            EXPECT_EQ(des.max_task_attempts, 1u);
+            EXPECT_EQ(des.wasted_task_s, 0.0);
+        }
+    }
+}
+
+TEST(Scheduler, ZeroFaultSpeedupsMatchAnalyticModel)
+{
+    const ClusterScheduler scheduler;
+    const ClusterSimulator sim;
+    ClusterConfig one;
+    one.slaves = 1;
+    const ClusterConfig eight = eight_slaves();
+    for (const std::string& name : workloads::data_analysis_names()) {
+        const JobSpec spec = spec_of(name);
+        const double des_speedup =
+            scheduler.run(spec, one).timings.total_s /
+            scheduler.run(spec, eight).timings.total_s;
+        const double ref_speedup =
+            sim.analytic_run(spec, one).total_s /
+            sim.analytic_run(spec, eight).total_s;
+        EXPECT_NEAR(des_speedup, ref_speedup, 0.10 * ref_speedup)
+            << name;
+    }
+}
+
+TEST(Scheduler, SimulatorFacadeDelegatesToScheduler)
+{
+    const ClusterSimulator sim;
+    const ClusterScheduler scheduler;
+    const JobSpec spec = spec_of("Sort");
+    const ClusterConfig cluster = eight_slaves();
+    const JobTimings facade = sim.run(spec, cluster);
+    const JobRun direct = scheduler.run(spec, cluster, nullptr);
+    EXPECT_DOUBLE_EQ(facade.total_s, direct.timings.total_s);
+    EXPECT_DOUBLE_EQ(facade.map_s, direct.timings.map_s);
+    EXPECT_DOUBLE_EQ(facade.disk_write_requests,
+                     direct.timings.disk_write_requests);
+}
+
+TEST(Scheduler, SameSeedGivesIdenticalRunsAndLogs)
+{
+    fault::FaultPlan plan;
+    plan.task_crash_prob = 0.02;
+    const ClusterScheduler scheduler;
+    const JobSpec spec = spec_of("WordCount");
+    const ClusterConfig cluster = eight_slaves();
+
+    fault::FaultInjector a(plan);
+    fault::FaultInjector b(plan);
+    const JobRun ra = scheduler.run(spec, cluster, &a);
+    const JobRun rb = scheduler.run(spec, cluster, &b);
+
+    EXPECT_EQ(ra.timings.total_s, rb.timings.total_s);
+    EXPECT_EQ(ra.timings.map_s, rb.timings.map_s);
+    EXPECT_EQ(ra.timings.shuffle_s, rb.timings.shuffle_s);
+    EXPECT_EQ(ra.timings.reduce_s, rb.timings.reduce_s);
+    EXPECT_EQ(ra.task_failures, rb.task_failures);
+    EXPECT_EQ(ra.max_task_attempts, rb.max_task_attempts);
+    EXPECT_EQ(ra.wasted_task_s, rb.wasted_task_s);
+    EXPECT_EQ(a.log().events().size(), b.log().events().size());
+    EXPECT_EQ(a.log().summary(), b.log().summary());
+}
+
+TEST(Scheduler, TaskCrashesAreRetriedToCompletion)
+{
+    fault::FaultPlan plan;
+    plan.task_crash_prob = 0.02;
+    const ClusterScheduler scheduler;
+    const SchedulerConfig policy;
+    const ClusterConfig cluster = eight_slaves();
+
+    std::uint32_t total_failures = 0;
+    for (const std::string& name : workloads::data_analysis_names()) {
+        fault::FaultInjector injector(plan);
+        const JobRun run = scheduler.run(spec_of(name), cluster,
+                                         &injector);
+        ASSERT_TRUE(run.completed) << name << ": " << run.error;
+        EXPECT_LE(run.max_task_attempts, policy.max_attempts) << name;
+        total_failures += run.task_failures;
+
+        const JobRun clean = scheduler.run(spec_of(name), cluster);
+        EXPECT_GE(run.timings.total_s, clean.timings.total_s) << name;
+        EXPECT_NEAR(run.recovery_s,
+                    run.timings.total_s - clean.timings.total_s, 1e-9)
+            << name;
+    }
+    // 2% of thousands of task attempts: crashes certainly happened.
+    EXPECT_GT(total_failures, 0u);
+}
+
+TEST(Scheduler, NodeCrashMidJobIsRecovered)
+{
+    fault::FaultPlan plan;
+    plan.node_crash_time_s = 60.0;
+    plan.crash_node = 2;
+    const ClusterScheduler scheduler;
+    const ClusterConfig cluster = eight_slaves();
+
+    for (const std::string& name : workloads::data_analysis_names()) {
+        fault::FaultInjector injector(plan);
+        const JobRun run = scheduler.run(spec_of(name), cluster,
+                                         &injector);
+        ASSERT_TRUE(run.completed) << name << ": " << run.error;
+        EXPECT_EQ(run.nodes_lost, 1u) << name;
+        EXPECT_EQ(injector.log().count(fault::FaultKind::kNodeCrash), 1u);
+        const JobRun clean = scheduler.run(spec_of(name), cluster);
+        // Losing 1/8 of the slots can only slow the job down.
+        EXPECT_GE(run.timings.total_s, clean.timings.total_s) << name;
+    }
+}
+
+/**
+ * A single realization need not be monotone (a lucky crash pattern can
+ * repack the last wave), but the suite mean across the eleven jobs is.
+ */
+TEST(Scheduler, MeanJobTimeMonotoneInCrashRate)
+{
+    const ClusterScheduler scheduler;
+    const ClusterConfig cluster = eight_slaves();
+    double prev = 0.0;
+    for (const double rate : {0.0, 0.01, 0.05}) {
+        fault::FaultPlan plan;
+        plan.task_crash_prob = rate;
+        double mean = 0.0;
+        for (const std::string& name :
+             workloads::data_analysis_names()) {
+            fault::FaultInjector injector(plan);
+            const JobRun run = scheduler.run(spec_of(name), cluster,
+                                             &injector);
+            ASSERT_TRUE(run.completed) << name << ": " << run.error;
+            mean += run.timings.total_s;
+        }
+        mean /= workloads::data_analysis_names().size();
+        EXPECT_GE(mean, prev) << "rate " << rate;
+        prev = mean;
+    }
+}
+
+TEST(Scheduler, SpeculationRescuesSlowNodes)
+{
+    fault::FaultPlan plan;
+    plan.slow_node_fraction = 0.5;
+    plan.slow_multiplier = 3.0;
+    // Make sure the hashed slow-node assignment actually marks at least
+    // one of the eight slaves slow (and not all of them).
+    for (std::uint64_t seed = plan.seed;; ++seed) {
+        plan.seed = seed;
+        fault::FaultInjector probe(plan);
+        std::uint32_t slow = 0;
+        for (std::uint32_t node = 0; node < 8; ++node)
+            if (probe.node_speed_multiplier(node) > 1.0)
+                ++slow;
+        if (slow >= 1 && slow <= 6)
+            break;
+    }
+
+    SchedulerConfig with_spec;
+    SchedulerConfig no_spec;
+    no_spec.speculation = false;
+    const JobSpec spec = spec_of("K-means");
+    const ClusterConfig cluster = eight_slaves();
+
+    fault::FaultInjector ia(plan);
+    const JobRun speculated =
+        ClusterScheduler(with_spec).run(spec, cluster, &ia);
+    fault::FaultInjector ib(plan);
+    const JobRun plain = ClusterScheduler(no_spec).run(spec, cluster,
+                                                       &ib);
+    ASSERT_TRUE(speculated.completed);
+    ASSERT_TRUE(plain.completed);
+    EXPECT_GT(speculated.speculative_launched, 0u);
+    EXPECT_EQ(plain.speculative_launched, 0u);
+    // Backup copies on healthy nodes beat waiting out the stragglers.
+    EXPECT_LT(speculated.timings.total_s, plain.timings.total_s);
+}
+
+TEST(Scheduler, BlacklistNeverExceedsQuarterOfTheCluster)
+{
+    fault::FaultPlan plan;
+    plan.task_crash_prob = 0.05;
+    const ClusterScheduler scheduler;
+    const ClusterConfig cluster = eight_slaves();
+    for (const std::string& name : workloads::data_analysis_names()) {
+        fault::FaultInjector injector(plan);
+        const JobRun run = scheduler.run(spec_of(name), cluster,
+                                         &injector);
+        ASSERT_TRUE(run.completed) << name << ": " << run.error;
+        EXPECT_LE(run.nodes_blacklisted, cluster.slaves / 4) << name;
+    }
+}
+
+TEST(Scheduler, OutOfAttemptsFailsWithDiagnosticNotAbort)
+{
+    fault::FaultPlan plan;
+    plan.task_crash_prob = 1.0;  // every attempt dies
+    const SchedulerConfig policy;
+    fault::FaultInjector injector(plan);
+    const JobRun run = ClusterScheduler().run(spec_of("Grep"),
+                                              eight_slaves(), &injector);
+    EXPECT_FALSE(run.completed);
+    EXPECT_NE(run.error.find("max_attempts"), std::string::npos)
+        << run.error;
+    EXPECT_LE(run.max_task_attempts, policy.max_attempts);
+    EXPECT_GT(run.task_failures, 0u);
+}
+
+TEST(Scheduler, BadConfigsAreRecoverableErrors)
+{
+    const ClusterScheduler scheduler;
+    const JobSpec spec = spec_of("Sort");
+
+    ClusterConfig no_slaves;
+    no_slaves.slaves = 0;
+    const JobRun r1 = scheduler.run(spec, no_slaves);
+    EXPECT_FALSE(r1.completed);
+    EXPECT_NE(r1.error.find("slaves"), std::string::npos) << r1.error;
+
+    SchedulerConfig no_attempts;
+    no_attempts.max_attempts = 0;
+    const JobRun r2 =
+        ClusterScheduler(no_attempts).run(spec, eight_slaves());
+    EXPECT_FALSE(r2.completed);
+    EXPECT_NE(r2.error.find("max_attempts"), std::string::npos)
+        << r2.error;
+
+    JobSpec no_input = spec;
+    no_input.input_gb = 0.0;
+    const JobRun r3 = scheduler.run(no_input, eight_slaves());
+    EXPECT_FALSE(r3.completed);
+    EXPECT_NE(r3.error.find("input_gb"), std::string::npos) << r3.error;
+
+    // An invalid fault plan embedded in the cluster config is caught by
+    // the same recoverable path.
+    ClusterConfig bad_fault = eight_slaves();
+    bad_fault.fault.task_crash_prob = 2.0;
+    EXPECT_NE(validate(bad_fault), "");
+}
+
+TEST(SchedulerConfig, ValidationCoversEveryKnob)
+{
+    EXPECT_EQ(validate(SchedulerConfig{}), "");
+
+    SchedulerConfig c;
+    c.max_attempts = 0;
+    EXPECT_NE(validate(c), "");
+
+    c = SchedulerConfig{};
+    c.backoff_base_s = -1.0;
+    EXPECT_NE(validate(c), "");
+
+    c = SchedulerConfig{};
+    c.backoff_factor = 0.5;
+    EXPECT_NE(validate(c), "");
+
+    c = SchedulerConfig{};
+    c.speculative_slowdown = 1.0;
+    EXPECT_NE(validate(c), "");
+
+    c = SchedulerConfig{};
+    c.blacklist_task_failures = 0;
+    EXPECT_NE(validate(c), "");
+}
+
+}  // namespace
+}  // namespace dcb::mapreduce

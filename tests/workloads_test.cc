@@ -83,7 +83,8 @@ TEST_P(EveryWorkload, RunsAndReportsSanely)
     core::HarnessConfig config;
     config.run.op_budget = 150'000;
     config.run.warmup_ops = 0;
-    const cpu::CounterReport r = core::run_workload(GetParam(), config);
+    const cpu::CounterReport r =
+        core::run_workload(GetParam(), config).report;
     EXPECT_GE(r.instructions, 150'000.0) << "budget undershoot";
     EXPECT_LT(r.instructions, 150'000.0 * 30) << "budget overshoot";
     EXPECT_GT(r.ipc, 0.02);
@@ -102,8 +103,8 @@ TEST_P(EveryWorkload, DeterministicForSameSeed)
     config.run.op_budget = 60'000;
     config.run.warmup_ops = 0;
     config.run.seed = 123;
-    const auto a = core::run_workload(GetParam(), config);
-    const auto b = core::run_workload(GetParam(), config);
+    const auto a = core::run_workload(GetParam(), config).report;
+    const auto b = core::run_workload(GetParam(), config).report;
     EXPECT_EQ(a.instructions, b.instructions);
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.l2_mpki, b.l2_mpki);
