@@ -7,11 +7,12 @@
  * with the paper's methodology (Table III machine, ramp-up discard,
  * whole-runtime collection) and helpers to print paper-vs-measured rows.
  *
- * Usage of every figure bench:  ./figNN_xxx [ops-per-workload]
+ * Usage of every figure bench:  ./figNN_xxx [ops-per-workload] [--jobs N]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -22,14 +23,29 @@ namespace dcb::bench {
 /** Default per-workload op budget for figure benches. */
 inline constexpr std::uint64_t kDefaultBudget = 2'000'000;
 
-/** Parse the optional op-budget argument. */
+/**
+ * Parse the optional op-budget argument and a `--jobs N` flag
+ * (N = 0 means one worker per hardware thread). Workloads are
+ * independent simulations, so results do not depend on N.
+ */
 inline core::HarnessConfig
 config_from_args(int argc, char** argv)
 {
     core::HarnessConfig config = core::bench_config();
-    config.run.op_budget = argc > 1
-                               ? std::strtoull(argv[1], nullptr, 10)
-                               : kDefaultBudget;
+    config.run.op_budget = kDefaultBudget;
+    bool budget_seen = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            config.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            config.jobs = static_cast<unsigned>(
+                std::strtoul(argv[i] + 7, nullptr, 10));
+        } else if (!budget_seen) {
+            config.run.op_budget = std::strtoull(argv[i], nullptr, 10);
+            budget_seen = true;
+        }
+    }
     config.run.warmup_ops = config.run.op_budget / 4;
     return config;
 }

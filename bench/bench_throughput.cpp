@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Simulator throughput tracker: measures how many micro-ops per second
+ * the substrate itself retires for every workload, plus full-suite wall
+ * time serial vs parallel, and writes the numbers to
+ * BENCH_throughput.json so throughput regressions show up in review.
+ *
+ * Usage: ./bench_throughput [ops-per-workload] [--jobs N]
+ *   N = 0 picks one worker per hardware thread; default compares
+ *   --jobs 1 against that auto value.
+ *
+ * The parallel suite must be bit-identical to the serial one; this
+ * bench verifies that on every run and fails loudly if it is not.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace dcb;
+using Clock = std::chrono::steady_clock;
+
+double
+seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool
+reports_equal(const cpu::CounterReport& a, const cpu::CounterReport& b)
+{
+    return a.workload == b.workload && a.instructions == b.instructions &&
+           a.cycles == b.cycles && a.ipc == b.ipc &&
+           a.kernel_instr_fraction == b.kernel_instr_fraction &&
+           a.stalls.fetch == b.stalls.fetch &&
+           a.stalls.rat == b.stalls.rat &&
+           a.stalls.load == b.stalls.load &&
+           a.stalls.store == b.stalls.store &&
+           a.stalls.rs == b.stalls.rs && a.stalls.rob == b.stalls.rob &&
+           a.l1i_mpki == b.l1i_mpki && a.itlb_walk_pki == b.itlb_walk_pki &&
+           a.l2_mpki == b.l2_mpki &&
+           a.l3_service_ratio == b.l3_service_ratio &&
+           a.dtlb_walk_pki == b.dtlb_walk_pki &&
+           a.branch_misprediction_ratio == b.branch_misprediction_ratio;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    core::HarnessConfig config = bench::config_from_args(argc, argv);
+    // Count every retired op toward throughput: no warmup discard here.
+    config.run.warmup_ops = 0;
+    const unsigned parallel_jobs =
+        util::effective_thread_count(config.jobs == 1 ? 0 : config.jobs);
+    const std::vector<std::string> names = workloads::figure_order();
+
+    std::printf("simulator throughput, %llu ops per workload, "
+                "%zu workloads, parallel at %u jobs\n\n",
+                static_cast<unsigned long long>(config.run.op_budget),
+                names.size(), parallel_jobs);
+
+    // --- Per-workload ops/sec (serial, one timed run each) --------------
+    struct WorkloadRate
+    {
+        std::string name;
+        double ops = 0.0;
+        double seconds = 0.0;
+    };
+    std::vector<WorkloadRate> rates;
+    rates.reserve(names.size());
+    std::printf("%-24s %14s %10s %14s\n", "workload", "retired ops",
+                "seconds", "ops/sec");
+    core::HarnessConfig serial = config;
+    serial.jobs = 1;
+    double total_ops = 0.0;
+    double total_seconds = 0.0;
+    for (const std::string& name : names) {
+        const auto start = Clock::now();
+        const core::RunResult run = core::run_workload(name, serial);
+        const double elapsed = seconds_since(start);
+        if (!run.status.ok) {
+            std::fprintf(stderr, "warning: %s skipped: %s\n", name.c_str(),
+                         run.status.error.c_str());
+            continue;
+        }
+        rates.push_back({name, run.report.instructions, elapsed});
+        total_ops += run.report.instructions;
+        total_seconds += elapsed;
+        std::printf("%-24s %14.0f %10.3f %14.0f\n", name.c_str(),
+                    run.report.instructions, elapsed,
+                    run.report.instructions / elapsed);
+    }
+    std::printf("%-24s %14.0f %10.3f %14.0f\n\n", "TOTAL", total_ops,
+                total_seconds, total_ops / total_seconds);
+
+    // --- Suite wall time: serial vs parallel ----------------------------
+    const auto serial_start = Clock::now();
+    const core::SuiteResult serial_suite = core::run_suite(names, serial);
+    const double serial_seconds = seconds_since(serial_start);
+
+    core::HarnessConfig parallel = config;
+    parallel.jobs = parallel_jobs;
+    const auto parallel_start = Clock::now();
+    const core::SuiteResult parallel_suite =
+        core::run_suite(names, parallel);
+    const double parallel_seconds = seconds_since(parallel_start);
+
+    bool identical = serial_suite.runs.size() == parallel_suite.runs.size();
+    for (std::size_t i = 0; identical && i < serial_suite.runs.size(); ++i) {
+        identical = serial_suite.runs[i].status.ok ==
+                        parallel_suite.runs[i].status.ok &&
+                    reports_equal(serial_suite.runs[i].report,
+                                  parallel_suite.runs[i].report);
+    }
+    const double speedup = parallel_seconds > 0.0
+                               ? serial_seconds / parallel_seconds
+                               : 0.0;
+    std::printf("suite wall time: %.3f s at --jobs 1, %.3f s at --jobs %u "
+                "(speedup %.2fx)\n",
+                serial_seconds, parallel_seconds, parallel_jobs, speedup);
+    std::printf("parallel results bit-identical to serial: %s\n",
+                identical ? "yes" : "NO -- BUG");
+
+    // --- JSON dump ------------------------------------------------------
+    const char* json_path = "BENCH_throughput.json";
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"op_budget\": %llu,\n",
+                     static_cast<unsigned long long>(config.run.op_budget));
+        std::fprintf(f, "  \"parallel_jobs\": %u,\n", parallel_jobs);
+        std::fprintf(f, "  \"workloads\": [\n");
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", \"ops\": %.0f, "
+                         "\"seconds\": %.6f, \"ops_per_sec\": %.0f}%s\n",
+                         rates[i].name.c_str(), rates[i].ops,
+                         rates[i].seconds, rates[i].ops / rates[i].seconds,
+                         i + 1 < rates.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"total_ops_per_sec\": %.0f,\n",
+                     total_ops / total_seconds);
+        std::fprintf(f, "  \"suite_seconds_jobs1\": %.6f,\n",
+                     serial_seconds);
+        std::fprintf(f, "  \"suite_seconds_jobsN\": %.6f,\n",
+                     parallel_seconds);
+        std::fprintf(f, "  \"suite_speedup\": %.4f,\n", speedup);
+        std::fprintf(f, "  \"parallel_bit_identical\": %s\n",
+                     identical ? "true" : "false");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+    } else {
+        std::fprintf(stderr, "error: cannot write %s\n", json_path);
+        return 1;
+    }
+    return identical ? 0 : 1;
+}

@@ -6,13 +6,17 @@
  * regressions in the simulator.
  */
 
+#include <memory>
+
 #include <benchmark/benchmark.h>
 
+#include "cpu/branch.h"
 #include "cpu/core.h"
 #include "cpu/perf.h"
 #include "mem/cache.h"
 #include "mem/hierarchy.h"
 #include "trace/code_layout.h"
+#include "trace/exec_ctx.h"
 #include "util/rng.h"
 #include "util/zipf.h"
 
@@ -106,6 +110,61 @@ BM_CoreConsumeLoadMix(benchmark::State& state)
     }
 }
 BENCHMARK(BM_CoreConsumeLoadMix);
+
+// --- Op-delivery path (single vs batched consume) -----------------------
+
+void
+BM_CoreConsumeAluBatched(benchmark::State& state)
+{
+    cpu::Core core(cpu::westmere_core_config(),
+                   mem::westmere_memory_config());
+    constexpr std::size_t kBatch = 64;
+    trace::MicroOp batch[kBatch];
+    std::uint64_t fetch = 0x1000;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        batch[i].cls = trace::OpClass::kAlu;
+        batch[i].fetch_addr = 0x1000 + (fetch & 0xFFF);
+        fetch += 4;
+    }
+    for (auto _ : state)
+        core.consume_batch(batch, kBatch);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kBatch);
+}
+BENCHMARK(BM_CoreConsumeAluBatched);
+
+void
+BM_ExecCtxEmitAlu(benchmark::State& state)
+{
+    // The full per-op producer path: emit -> fetch-address stream ->
+    // batch buffer -> batched virtual delivery into the core.
+    cpu::Core core(cpu::westmere_core_config(),
+                   mem::westmere_memory_config());
+    trace::CodeLayout user({{"hot", 64, 320, 0.6, 0.6, 30.0}}, 0x400000, 4);
+    trace::CodeLayout kernel = trace::tight_kernel_layout(
+        0xffffffff81000000ull, 9);
+    trace::ExecCtx ctx(core, std::move(user), std::move(kernel),
+                       trace::ExecProfile{}, 1234);
+    for (auto _ : state)
+        ctx.alu(1);
+}
+BENCHMARK(BM_ExecCtxEmitAlu);
+
+void
+BM_BranchResolveConditional(benchmark::State& state)
+{
+    const cpu::CoreConfig cfg = cpu::westmere_core_config();
+    cpu::BranchUnit unit(
+        std::make_unique<cpu::GsharePredictor>(cfg.gshare_history_bits),
+        cfg.btb_entries, cfg.btb_ways);
+    util::Rng rng(7);
+    for (auto _ : state) {
+        const std::uint64_t key = rng.next_below(4096);
+        benchmark::DoNotOptimize(
+            unit.resolve_conditional(key, (key & 3) != 0));
+    }
+}
+BENCHMARK(BM_BranchResolveConditional);
 
 void
 BM_CoreConsumeWithPmu(benchmark::State& state)

@@ -1,8 +1,10 @@
 #include "core/harness.h"
 
+#include <algorithm>
 #include <exception>
 
 #include "util/assert.h"
+#include "util/thread_pool.h"
 
 namespace dcb::core {
 
@@ -75,9 +77,32 @@ run_suite(const std::vector<std::string>& names,
 {
     SuiteResult out;
     out.names = names;
-    out.runs.reserve(names.size());
-    for (const auto& name : names)
-        out.runs.push_back(run_workload(name, config));
+    const unsigned jobs =
+        std::min<std::size_t>(util::effective_thread_count(config.jobs),
+                              std::max<std::size_t>(names.size(), 1));
+    if (jobs <= 1 || names.size() <= 1) {
+        out.runs.reserve(names.size());
+        for (const auto& name : names)
+            out.runs.push_back(run_workload(name, config));
+        return out;
+    }
+    // Each task simulates a fully private machine and writes only its
+    // own result slot, so the parallel suite is bit-identical to the
+    // serial one and already in request order.
+    out.runs.resize(names.size());
+    util::ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        pool.submit([&out, &names, &config, i] {
+            try {
+                out.runs[i] = run_workload(names[i], config);
+            } catch (const std::exception& e) {
+                // Pool tasks must not throw; report like a failed run.
+                out.runs[i].status.ok = false;
+                out.runs[i].status.error = e.what();
+            }
+        });
+    }
+    pool.wait_idle();
     return out;
 }
 

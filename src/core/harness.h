@@ -35,6 +35,13 @@ struct HarnessConfig
      */
     bool use_pmu = false;
     std::uint64_t pmu_rotate_instr = 50'000;
+    /**
+     * Worker threads for run_suite (0 = one per hardware thread). Each
+     * workload runs on its own fully private simulated machine, so a
+     * parallel suite is bit-identical to a serial one; results are
+     * returned in request order either way.
+     */
+    unsigned jobs = 1;
 };
 
 /** Why a run produced no report. */
@@ -77,7 +84,9 @@ RunResult run_workload(const std::string& name,
 /**
  * Run a list of workloads, one fresh core each. A workload that fails
  * does not abort the suite; its RunStatus carries the diagnostic and
- * the remaining workloads still run.
+ * the remaining workloads still run. With config.jobs != 1 the
+ * workloads run on a thread pool; the result is bit-identical to the
+ * serial run and ordered by request position.
  */
 SuiteResult run_suite(const std::vector<std::string>& names,
                       const HarnessConfig& config);

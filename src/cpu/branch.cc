@@ -7,6 +7,25 @@
 
 namespace dcb::cpu {
 
+namespace {
+
+/** Advance a 2-bit saturating counter and return its old prediction. */
+inline bool
+train_counter(std::uint8_t& ctr, bool taken)
+{
+    const bool predicted = ctr >= 2;
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    return predicted;
+}
+
+}  // namespace
+
 bool
 StaticTakenPredictor::predict(std::uint64_t /*key*/) const
 {
@@ -40,14 +59,13 @@ BimodalPredictor::predict(std::uint64_t key) const
 void
 BimodalPredictor::update(std::uint64_t key, bool taken)
 {
-    std::uint8_t& ctr = table_[index(key)];
-    if (taken) {
-        if (ctr < 3)
-            ++ctr;
-    } else {
-        if (ctr > 0)
-            --ctr;
-    }
+    train_counter(table_[index(key)], taken);
+}
+
+bool
+BimodalPredictor::resolve(std::uint64_t key, bool taken)
+{
+    return train_counter(table_[index(key)], taken);
 }
 
 GsharePredictor::GsharePredictor(std::uint32_t history_bits)
@@ -81,6 +99,14 @@ GsharePredictor::update(std::uint64_t key, bool taken)
             --ctr;
     }
     history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+}
+
+bool
+GsharePredictor::resolve(std::uint64_t key, bool taken)
+{
+    const bool predicted = train_counter(table_[index(key)], taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+    return predicted;
 }
 
 LocalHistoryPredictor::LocalHistoryPredictor(std::uint32_t history_bits,
@@ -126,6 +152,17 @@ LocalHistoryPredictor::update(std::uint64_t key, bool taken)
     std::uint16_t& h = histories_[site_index(key)];
     h = static_cast<std::uint16_t>(((h << 1) | (taken ? 1 : 0)) &
                                    history_mask_);
+}
+
+bool
+LocalHistoryPredictor::resolve(std::uint64_t key, bool taken)
+{
+    std::uint16_t& h = histories_[site_index(key)];
+    const bool predicted =
+        train_counter(patterns_[h & history_mask_], taken);
+    h = static_cast<std::uint16_t>(((h << 1) | (taken ? 1 : 0)) &
+                                   history_mask_);
+    return predicted;
 }
 
 BranchTargetBuffer::BranchTargetBuffer(std::uint32_t entries,
@@ -175,8 +212,7 @@ bool
 BranchUnit::resolve_conditional(std::uint64_t key, bool taken)
 {
     ++branches_;
-    const bool predicted = direction_->predict(key);
-    direction_->update(key, taken);
+    const bool predicted = direction_->resolve(key, taken);
     const bool miss = predicted != taken;
     if (miss)
         ++mispredicts_;

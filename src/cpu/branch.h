@@ -30,6 +30,19 @@ class DirectionPredictor
 
     /** Train with the resolved direction. */
     virtual void update(std::uint64_t key, bool taken) = 0;
+
+    /**
+     * Predict and train in one call, returning the prediction. Exactly
+     * equivalent to predict() followed by update(); table-based
+     * predictors override it to compute their index hash once and pay a
+     * single virtual dispatch on the per-branch hot path.
+     */
+    virtual bool resolve(std::uint64_t key, bool taken)
+    {
+        const bool predicted = predict(key);
+        update(key, taken);
+        return predicted;
+    }
 };
 
 /** Static always-taken (the simplest possible scheme). */
@@ -49,6 +62,7 @@ class BimodalPredictor final : public DirectionPredictor
 
     bool predict(std::uint64_t key) const override;
     void update(std::uint64_t key, bool taken) override;
+    bool resolve(std::uint64_t key, bool taken) override;
 
   private:
     std::uint64_t index(std::uint64_t key) const;
@@ -65,6 +79,7 @@ class GsharePredictor final : public DirectionPredictor
 
     bool predict(std::uint64_t key) const override;
     void update(std::uint64_t key, bool taken) override;
+    bool resolve(std::uint64_t key, bool taken) override;
 
   private:
     std::uint64_t index(std::uint64_t key) const;
@@ -91,6 +106,7 @@ class LocalHistoryPredictor final : public DirectionPredictor
 
     bool predict(std::uint64_t key) const override;
     void update(std::uint64_t key, bool taken) override;
+    bool resolve(std::uint64_t key, bool taken) override;
 
   private:
     std::uint64_t site_index(std::uint64_t key) const;

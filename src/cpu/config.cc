@@ -27,9 +27,11 @@ CoreConfig::validate() const
                      "bypass fraction must be in [0,1]");
     DCB_CONFIG_CHECK(gshare_history_bits >= 1 && gshare_history_bits <= 24,
                      "gshare history must be 1..24 bits");
-    DCB_CONFIG_CHECK(std::has_single_bit(btb_entries) &&
-                     btb_entries % btb_ways == 0,
-                     "BTB entries must be a power of two multiple of ways");
+    DCB_CONFIG_CHECK(btb_ways >= 1 && btb_entries % btb_ways == 0,
+                     "BTB entries must be a multiple of ways");
+    DCB_CONFIG_CHECK(std::has_single_bit(btb_entries / btb_ways),
+                     "BTB set count must be a power of two (the BTB "
+                     "indexes with shift+mask, no modulo fallback)");
     DCB_CONFIG_CHECK(frequency_ghz > 0.0, "frequency must be positive");
     DCB_CONFIG_CHECK(memory_bandwidth_cycles_per_line >= 0.0,
                      "bus occupancy cannot be negative");

@@ -81,6 +81,19 @@ Core::set_direction_predictor(std::unique_ptr<DirectionPredictor> predictor)
 void
 Core::consume(const trace::MicroOp& op)
 {
+    consume_one(op);
+}
+
+void
+Core::consume_batch(const trace::MicroOp* ops, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        consume_one(ops[i]);
+}
+
+void
+Core::consume_one(const trace::MicroOp& op)
+{
     using trace::Mode;
     using trace::OpClass;
 
@@ -146,12 +159,16 @@ Core::consume(const trace::MicroOp& op)
     double dispatched = std::max(renamed,
                                  dispatch_time_ + inv_dispatch_width_);
 
-    const std::size_t rob_slot = op_index_ % cfg_.rob_entries;
+    const std::size_t rob_slot = rob_cursor_;
+    if (++rob_cursor_ == rob_.size())
+        rob_cursor_ = 0;
     if (rob_[rob_slot] > dispatched) {
         note(Event::kRobFullStallCycles, rob_[rob_slot] - dispatched, mode);
         dispatched = rob_[rob_slot];
     }
-    const std::size_t rs_slot = op_index_ % cfg_.rs_entries;
+    const std::size_t rs_slot = rs_cursor_;
+    if (++rs_cursor_ == rs_.size())
+        rs_cursor_ = 0;
     if (rs_[rs_slot] > dispatched) {
         note(Event::kRsFullStallCycles, rs_[rs_slot] - dispatched, mode);
         dispatched = rs_[rs_slot];
@@ -159,14 +176,18 @@ Core::consume(const trace::MicroOp& op)
     std::size_t lq_slot = 0;
     std::size_t sq_slot = 0;
     if (op.cls == OpClass::kLoad) {
-        lq_slot = load_count_ % cfg_.load_buffer_entries;
+        lq_slot = load_cursor_;
+        if (++load_cursor_ == load_buf_.size())
+            load_cursor_ = 0;
         if (load_buf_[lq_slot] > dispatched) {
             note(Event::kLoadBufStallCycles, load_buf_[lq_slot] - dispatched,
                  mode);
             dispatched = load_buf_[lq_slot];
         }
     } else if (op.cls == OpClass::kStore) {
-        sq_slot = store_count_ % cfg_.store_buffer_entries;
+        sq_slot = store_cursor_;
+        if (++store_cursor_ == store_buf_.size())
+            store_cursor_ = 0;
         if (store_buf_[sq_slot] > dispatched) {
             note(Event::kStoreBufStallCycles,
                  store_buf_[sq_slot] - dispatched, mode);

@@ -62,6 +62,9 @@ class Core final : public trace::OpSink
     /** Consume one micro-op in program order. */
     void consume(const trace::MicroOp& op) override;
 
+    /** Consume a batch in program order (amortizes the virtual call). */
+    void consume_batch(const trace::MicroOp* ops, std::size_t n) override;
+
     // --- Results ---------------------------------------------------------
 
     const CoreStats& stats() const { return stats_; }
@@ -96,6 +99,9 @@ class Core final : public trace::OpSink
     void set_counter_reset_at(std::uint64_t op) { warmup_reset_at_ = op; }
 
   private:
+    /** The per-op pipeline model; non-virtual so batches inline it. */
+    void consume_one(const trace::MicroOp& op);
+
     void note(Event e, double w, trace::Mode mode);
     /** Record L2/L3 access+miss events for one beyond-L1 access. */
     void note_unified_levels(mem::HitLevel level, trace::Mode mode);
@@ -141,6 +147,14 @@ class Core final : public trace::OpSink
     std::uint64_t op_index_ = 0;
     std::uint64_t load_count_ = 0;
     std::uint64_t store_count_ = 0;
+
+    // Ring cursors into the structural-resource rings. Ops arrive in
+    // program order, so each cursor walks its ring sequentially; an
+    // increment-and-wrap replaces a 64-bit modulo on the per-op path.
+    std::size_t rob_cursor_ = 0;
+    std::size_t rs_cursor_ = 0;
+    std::size_t load_cursor_ = 0;
+    std::size_t store_cursor_ = 0;
     std::uint64_t seen_prefetch_fills_ = 0;
     std::uint64_t seen_prefetch_mem_fills_ = 0;
     trace::Mode cur_mode_ = trace::Mode::kUser;

@@ -109,10 +109,8 @@ Pmu::rotate()
 }
 
 void
-Pmu::record(Event e, double weight, trace::Mode mode)
+Pmu::record_enabled(Event e, double weight, trace::Mode mode)
 {
-    if (!enabled_)
-        return;
     const auto idx = static_cast<std::size_t>(e);
     for (std::uint32_t slot_idx : dispatch_[idx]) {
         Slot& slot = slots_[slot_idx];

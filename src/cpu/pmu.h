@@ -105,7 +105,14 @@ class Pmu
     // --- Runtime interface (called by the core) ---------------------------
 
     /** Record `weight` occurrences of `e` in privilege mode `mode`. */
-    void record(Event e, double weight, trace::Mode mode);
+    void record(Event e, double weight, trace::Mode mode)
+    {
+        // Inline disabled check: the core calls record() several times
+        // per micro-op, and benches run with the PMU off.
+        if (!enabled_)
+            return;
+        record_enabled(e, weight, mode);
+    }
 
     // --- Results -----------------------------------------------------------
 
@@ -126,6 +133,7 @@ class Pmu
 
     void rotate();
     void rebuild_dispatch();
+    void record_enabled(Event e, double weight, trace::Mode mode);
 
     bool enabled_ = false;
     std::vector<Slot> slots_;

@@ -11,33 +11,37 @@ SetAssocCache::SetAssocCache(const CacheGeometry& geometry,
     : geometry_(geometry), policy_(policy),
       line_shift_(std::countr_zero(geometry.line_bytes)),
       num_sets_(geometry.num_sets()),
+      pow2_sets_(std::has_single_bit(geometry.num_sets())),
       lines_(geometry.num_lines()), rng_(rng_seed)
 {
     DCB_EXPECTS(std::has_single_bit(
         static_cast<std::uint64_t>(geometry.line_bytes)));
     DCB_EXPECTS(num_sets_ >= 1);
+    if (pow2_sets_) {
+        set_shift_ = static_cast<std::uint32_t>(std::countr_zero(num_sets_));
+        set_mask_ = num_sets_ - 1;
+    }
 }
 
 std::uint64_t
 SetAssocCache::set_index(std::uint64_t line_addr) const
 {
     // Modulo indexing handles non-power-of-two set counts (the E5645's
-    // 12 MB L3 has 12288 sets; real hardware hashes the index).
-    return line_addr % num_sets_;
+    // 12 MB L3 has 12288 sets; real hardware hashes the index). For the
+    // pow2 sets the mask selects exactly the same bits, so the fast path
+    // produces bit-identical placement.
+    return pow2_sets_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
 }
 
 std::uint64_t
 SetAssocCache::tag_of(std::uint64_t line_addr) const
 {
-    return line_addr / num_sets_;
+    return pow2_sets_ ? (line_addr >> set_shift_) : (line_addr / num_sets_);
 }
 
 SetAssocCache::Line*
-SetAssocCache::find(std::uint64_t addr)
+SetAssocCache::find_line(std::uint64_t set, std::uint64_t tag)
 {
-    const std::uint64_t line_addr = addr >> line_shift_;
-    const std::uint64_t set = set_index(line_addr);
-    const std::uint64_t tag = tag_of(line_addr);
     Line* base = &lines_[set * geometry_.ways];
     for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
         if (base[w].valid && base[w].tag == tag)
@@ -46,52 +50,61 @@ SetAssocCache::find(std::uint64_t addr)
     return nullptr;
 }
 
+SetAssocCache::Line*
+SetAssocCache::find(std::uint64_t addr)
+{
+    const std::uint64_t line_addr = addr >> line_shift_;
+    return find_line(set_index(line_addr), tag_of(line_addr));
+}
+
 const SetAssocCache::Line*
 SetAssocCache::find(std::uint64_t addr) const
 {
     return const_cast<SetAssocCache*>(this)->find(addr);
 }
 
-bool
-SetAssocCache::access(std::uint64_t addr)
+SetAssocCache::Line*
+SetAssocCache::pick_victim(std::uint64_t set)
 {
-    ++stamp_;
-    if (Line* line = find(addr)) {
-        line->lru = stamp_;
-        ++hits_;
-        return true;
-    }
-    ++misses_;
-
-    const std::uint64_t line_addr = addr >> line_shift_;
-    const std::uint64_t set = set_index(line_addr);
     Line* base = &lines_[set * geometry_.ways];
     Line* victim = base;
     if (policy_ == Replacement::kRandom) {
         // Prefer an invalid way; otherwise evict at random.
-        bool found_invalid = false;
         for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-            if (!base[w].valid) {
-                victim = &base[w];
-                found_invalid = true;
-                break;
-            }
+            if (!base[w].valid)
+                return &base[w];
         }
-        if (!found_invalid)
-            victim = &base[rng_.next_below(geometry_.ways)];
-    } else {
-        for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-            if (!base[w].valid) {
-                victim = &base[w];
-                break;
-            }
-            if (base[w].lru < victim->lru)
-                victim = &base[w];
-        }
+        return &base[rng_.next_below(geometry_.ways)];
     }
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    return victim;
+}
+
+bool
+SetAssocCache::access_slow(std::uint64_t line_addr)
+{
+    ++stamp_;
+    const std::uint64_t set = set_index(line_addr);
+    const std::uint64_t tag = tag_of(line_addr);
+    if (Line* line = find_line(set, tag)) {
+        line->lru = stamp_;
+        ++hits_;
+        memo_line_ = line;
+        memo_line_addr_ = line_addr;
+        return true;
+    }
+    ++misses_;
+    Line* victim = pick_victim(set);
     victim->valid = true;
-    victim->tag = tag_of(line_addr);
+    victim->tag = tag;
     victim->lru = stamp_;
+    memo_line_ = victim;
+    memo_line_addr_ = line_addr;
     return false;
 }
 
@@ -104,13 +117,16 @@ SetAssocCache::probe(std::uint64_t addr) const
 void
 SetAssocCache::fill(std::uint64_t addr)
 {
+    memo_line_ = nullptr;  // the fill may evict the memoized line
     ++stamp_;
-    if (Line* line = find(addr)) {
+    const std::uint64_t line_addr = addr >> line_shift_;
+    const std::uint64_t set = set_index(line_addr);
+    const std::uint64_t tag = tag_of(line_addr);
+    if (Line* line = find_line(set, tag)) {
         line->lru = stamp_;
         return;
     }
-    const std::uint64_t line_addr = addr >> line_shift_;
-    const std::uint64_t set = set_index(line_addr);
+    // Prefetch fills always evict LRU, independent of the demand policy.
     Line* base = &lines_[set * geometry_.ways];
     Line* victim = base;
     for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
@@ -122,13 +138,14 @@ SetAssocCache::fill(std::uint64_t addr)
             victim = &base[w];
     }
     victim->valid = true;
-    victim->tag = tag_of(line_addr);
+    victim->tag = tag;
     victim->lru = stamp_;
 }
 
 void
 SetAssocCache::invalidate(std::uint64_t addr)
 {
+    memo_line_ = nullptr;
     if (Line* line = find(addr))
         line->valid = false;
 }
@@ -136,6 +153,7 @@ SetAssocCache::invalidate(std::uint64_t addr)
 void
 SetAssocCache::flush()
 {
+    memo_line_ = nullptr;
     for (auto& line : lines_)
         line.valid = false;
     stamp_ = 0;

@@ -32,8 +32,25 @@ class SetAssocCache
     /**
      * Look up an address, filling the line on miss.
      * @return true on hit.
+     *
+     * Consecutive accesses to the same line (sequential instruction
+     * fetch, page-granular TLB lookups) take an inline fast path that
+     * replays exactly the hit-path state updates without the set walk.
      */
-    bool access(std::uint64_t addr);
+    bool access(std::uint64_t addr)
+    {
+        const std::uint64_t line_addr = addr >> line_shift_;
+        if (line_addr == memo_line_addr_ && memo_line_ != nullptr) {
+            // The memoized line was the last one touched, so it is still
+            // resident: only fill/invalidate/flush (which drop the memo)
+            // or a demand eviction (which rewrites it) can displace it.
+            ++stamp_;
+            ++hits_;
+            memo_line_->lru = stamp_;
+            return true;
+        }
+        return access_slow(line_addr);
+    }
 
     /** Look up without filling or updating recency (probe only). */
     bool probe(std::uint64_t addr) const;
@@ -74,12 +91,26 @@ class SetAssocCache
     std::uint64_t tag_of(std::uint64_t line_addr) const;
     Line* find(std::uint64_t addr);
     const Line* find(std::uint64_t addr) const;
+    Line* find_line(std::uint64_t set, std::uint64_t tag);
+    Line* pick_victim(std::uint64_t set);
+    bool access_slow(std::uint64_t line_addr);
 
     CacheGeometry geometry_;
     Replacement policy_;
     std::uint32_t line_shift_;
     std::uint64_t num_sets_;
+    /**
+     * Power-of-two set counts (every structure of the Table III machine
+     * except the 12288-set L3) index with a precomputed shift+mask
+     * instead of a 64-bit divide on every access.
+     */
+    bool pow2_sets_;
+    std::uint32_t set_shift_ = 0;  ///< log2(num_sets_) when pow2
+    std::uint64_t set_mask_ = 0;   ///< num_sets_ - 1 when pow2
     std::vector<Line> lines_;  ///< sets * ways, row-major by set
+    /** Last line touched by access(); lines_ never reallocates. */
+    Line* memo_line_ = nullptr;
+    std::uint64_t memo_line_addr_ = ~std::uint64_t{0};
     std::uint64_t stamp_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

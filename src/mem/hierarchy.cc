@@ -51,10 +51,8 @@ CacheHierarchy::miss_path(std::uint64_t addr, std::uint32_t base_latency)
 }
 
 AccessResult
-CacheHierarchy::fetch(std::uint64_t addr)
+CacheHierarchy::fetch_miss(std::uint64_t addr)
 {
-    if (l1i_.access(addr))
-        return {HitLevel::kL1, config_.l1_latency};
     const AccessResult r = miss_path(addr, 0);
     if (config_.enable_insn_prefetch) {
         // Next-line instruction prefetch: sequential fetch rarely re-misses.
@@ -70,14 +68,8 @@ CacheHierarchy::fetch(std::uint64_t addr)
 }
 
 AccessResult
-CacheHierarchy::data_access(std::uint64_t addr, bool /*is_write*/)
+CacheHierarchy::data_miss(std::uint64_t addr)
 {
-    // Write-allocate, write-back: stores behave like loads for tag state.
-    if (l1d_.access(addr)) {
-        if (config_.enable_data_prefetch)
-            prefetch_data(addr);
-        return {HitLevel::kL1, config_.l1_latency};
-    }
     const AccessResult r = miss_path(addr, 0);
     if (config_.enable_data_prefetch)
         prefetch_data(addr);

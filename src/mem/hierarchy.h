@@ -36,11 +36,28 @@ class CacheHierarchy
   public:
     explicit CacheHierarchy(const MemoryConfig& config);
 
-    /** Instruction fetch: L1I -> L2 -> L3 -> memory. */
-    AccessResult fetch(std::uint64_t addr);
+    /**
+     * Instruction fetch: L1I -> L2 -> L3 -> memory. The L1I-hit case
+     * (sequential fetch) stays inline; misses take the out-of-line path.
+     */
+    AccessResult fetch(std::uint64_t addr)
+    {
+        if (l1i_.access(addr))
+            return {HitLevel::kL1, config_.l1_latency};
+        return fetch_miss(addr);
+    }
 
     /** Data load/store: L1D -> L2 -> L3 -> memory (write-allocate). */
-    AccessResult data_access(std::uint64_t addr, bool is_write);
+    AccessResult data_access(std::uint64_t addr, bool /*is_write*/)
+    {
+        // Write-allocate, write-back: stores behave like loads for tags.
+        if (l1d_.access(addr)) {
+            if (config_.enable_data_prefetch)
+                prefetch_data(addr);
+            return {HitLevel::kL1, config_.l1_latency};
+        }
+        return data_miss(addr);
+    }
 
     /**
      * Page-walker PTE access: enters at L2 (Westmere walker loads bypass
@@ -77,6 +94,8 @@ class CacheHierarchy
 
   private:
     AccessResult miss_path(std::uint64_t addr, std::uint32_t base_latency);
+    AccessResult fetch_miss(std::uint64_t addr);
+    AccessResult data_miss(std::uint64_t addr);
     void prefetch_data(std::uint64_t addr);
 
     MemoryConfig config_;

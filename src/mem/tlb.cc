@@ -22,12 +22,6 @@ Tlb::Tlb(const TlbGeometry& geometry, std::uint32_t page_bytes)
 }
 
 bool
-Tlb::access(std::uint64_t vaddr)
-{
-    return cache_.access(vaddr);
-}
-
-bool
 Tlb::probe(std::uint64_t vaddr) const
 {
     return cache_.probe(vaddr);
@@ -52,13 +46,9 @@ TwoLevelTlb::TwoLevelTlb(const TlbGeometry& l1_geometry,
 }
 
 TranslationResult
-TwoLevelTlb::translate(std::uint64_t vaddr)
+TwoLevelTlb::translate_miss(std::uint64_t vaddr)
 {
     TranslationResult result;
-    if (l1_.access(vaddr)) {
-        result.l1_hit = true;
-        return result;  // L1 TLB hit is folded into the cache access time.
-    }
     // L2 TLB lookup costs a few cycles even on hit.
     result.latency += 6;
     if (shared_l2_.access(vaddr)) {

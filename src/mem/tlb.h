@@ -28,7 +28,7 @@ class Tlb
     Tlb(const TlbGeometry& geometry, std::uint32_t page_bytes);
 
     /** Look up a virtual address; fills the entry on miss. */
-    bool access(std::uint64_t vaddr);
+    bool access(std::uint64_t vaddr) { return cache_.access(vaddr); }
 
     /** Look up without filling (probe only). */
     bool probe(std::uint64_t vaddr) const;
@@ -72,8 +72,19 @@ class TwoLevelTlb
                 Tlb& shared_l2, PageTable& page_table,
                 MemAccessFn pte_access);
 
-    /** Translate one virtual address, updating all levels. */
-    TranslationResult translate(std::uint64_t vaddr);
+    /**
+     * Translate one virtual address, updating all levels. The L1 hit
+     * path (the overwhelmingly common case) stays inline.
+     */
+    TranslationResult translate(std::uint64_t vaddr)
+    {
+        if (l1_.access(vaddr)) {
+            TranslationResult result;
+            result.l1_hit = true;
+            return result;  // L1 hit is folded into the cache access time.
+        }
+        return translate_miss(vaddr);
+    }
 
     std::uint64_t l1_misses() const { return l1_.misses(); }
     std::uint64_t l1_accesses() const { return l1_.hits() + l1_.misses(); }
@@ -83,6 +94,8 @@ class TwoLevelTlb
     void reset_counters();
 
   private:
+    TranslationResult translate_miss(std::uint64_t vaddr);
+
     Tlb l1_;
     Tlb& shared_l2_;
     PageTable& page_table_;

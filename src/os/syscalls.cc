@@ -99,6 +99,9 @@ void
 OsModel::set_fault_injector(fault::FaultInjector* injector)
 {
     fault_injector_ = injector;
+    // All-default plans can never fire; cache that so a fault-free run
+    // pays nothing per syscall -- not even the injector's prob checks.
+    faults_active_ = injector != nullptr && injector->plan().any_faults();
 }
 
 bool
@@ -113,8 +116,7 @@ OsModel::sys_write(std::uint64_t user_buf, std::uint64_t bytes)
     // The error surfaces at the device, after the kernel has already
     // done the copy and block-layer work -- which is why retried writes
     // show up in the Figure 4 kernel-instruction accounting.
-    if (fault_injector_ != nullptr &&
-        fault_injector_->disk_write_fails()) {
+    if (faults_active_ && fault_injector_->disk_write_fails()) {
         kernel_path(costs_.file_path_instrs);  // error unwind path
         ctx_.set_mode(trace::Mode::kUser);
         disk_.write_error();
@@ -132,7 +134,7 @@ OsModel::sys_read(std::uint64_t user_buf, std::uint64_t bytes)
     kernel_path(costs_.trap_instrs);
     kernel_path(costs_.file_path_instrs +
                 pages_of(bytes) * costs_.file_page_read_instrs);
-    if (fault_injector_ != nullptr && fault_injector_->disk_read_fails()) {
+    if (faults_active_ && fault_injector_->disk_read_fails()) {
         kernel_path(costs_.file_path_instrs);  // error unwind path
         ctx_.set_mode(trace::Mode::kUser);
         disk_.read_error();
@@ -152,8 +154,7 @@ OsModel::sys_send(std::uint64_t user_buf, std::uint64_t bytes)
     kernel_path(costs_.socket_path_instrs +
                 pages_of(bytes) * costs_.socket_page_instrs);
     copy_user(user_buf, bytes);
-    if (fault_injector_ != nullptr &&
-        fault_injector_->net_send_times_out()) {
+    if (faults_active_ && fault_injector_->net_send_times_out()) {
         kernel_path(costs_.socket_path_instrs);  // retransmit/teardown
         ctx_.set_mode(trace::Mode::kUser);
         net_.timeout(bytes);
@@ -171,7 +172,7 @@ OsModel::sys_recv(std::uint64_t user_buf, std::uint64_t bytes)
     kernel_path(costs_.trap_instrs);
     kernel_path(costs_.socket_path_instrs +
                 pages_of(bytes) * costs_.socket_page_instrs);
-    if (fault_injector_ != nullptr && fault_injector_->net_recv_drops()) {
+    if (faults_active_ && fault_injector_->net_recv_drops()) {
         kernel_path(costs_.socket_path_instrs);  // connection reset path
         ctx_.set_mode(trace::Mode::kUser);
         net_.drop();

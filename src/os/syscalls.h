@@ -114,6 +114,9 @@ class OsModel
     Disk& disk_;
     Network& net_;
     fault::FaultInjector* fault_injector_ = nullptr;
+    /** False when no injector is installed or its plan is all-default,
+        so fault-free runs never consult the injector per syscall. */
+    bool faults_active_ = false;
     SyscallCosts costs_;
     mem::Region bounce_;
     std::uint64_t bounce_cursor_ = 0;

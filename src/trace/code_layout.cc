@@ -44,19 +44,6 @@ CodeLayout::transfer()
     run_remaining_ = 1 + rng_.next_geometric(mean_run_, 4096);
 }
 
-std::uint64_t
-CodeLayout::next_fetch()
-{
-    if (run_remaining_ == 0)
-        transfer();
-    --run_remaining_;
-    const std::uint64_t addr = pc_;
-    pc_ += kInsnBytes;
-    if (pc_ >= func_end_)
-        pc_ = func_start_;  // loop back within the function
-    return addr;
-}
-
 CodeLayout
 tight_kernel_layout(std::uint64_t base, std::uint64_t seed)
 {

@@ -61,7 +61,18 @@ class CodeLayout
                std::uint64_t seed);
 
     /** Address of the next instruction; advances the stream. */
-    std::uint64_t next_fetch();
+    std::uint64_t next_fetch()
+    {
+        // Inline sequential path: one transfer per ~mean_run_insns ops.
+        if (run_remaining_ == 0)
+            transfer();
+        --run_remaining_;
+        const std::uint64_t addr = pc_;
+        pc_ += kInsnBytes;
+        if (pc_ >= func_end_)
+            pc_ = func_start_;  // loop back within the function
+        return addr;
+    }
 
     /**
      * Force a control transfer on the next fetch (used at call sites so

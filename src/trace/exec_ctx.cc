@@ -21,10 +21,30 @@ ExecCtx::ExecCtx(OpSink& sink, CodeLayout user_layout,
         static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
 }
 
+ExecCtx::~ExecCtx()
+{
+    try {
+        flush();
+    } catch (...) {
+        // Destructors must not propagate; a sink that throws mid-flush
+        // (only test doubles do) loses the trailing partial batch.
+    }
+}
+
 CodeLayout&
 ExecCtx::active_layout()
 {
     return mode_ == Mode::kUser ? user_layout_ : kernel_layout_;
+}
+
+void
+ExecCtx::flush()
+{
+    if (batch_size_ == 0)
+        return;
+    const std::size_t n = batch_size_;
+    batch_size_ = 0;  // reset first: the sink may throw (fault tests)
+    sink_.consume_batch(batch_, n);
 }
 
 void
@@ -41,7 +61,9 @@ ExecCtx::emit(MicroOp& op)
     else
         ++counts_.kernel_ops;
     ++ops_since_last_load_;
-    sink_.consume(op);
+    batch_[batch_size_] = op;
+    if (++batch_size_ == kBatchCapacity)
+        flush();
 }
 
 void

@@ -14,8 +14,8 @@
  * pushes them into an OpSink -- normally the simulated core.
  */
 
+#include <cstddef>
 #include <cstdint>
-#include <optional>
 
 #include "trace/code_layout.h"
 #include "trace/microop.h"
@@ -61,6 +61,12 @@ class ExecCtx
     ExecCtx(OpSink& sink, CodeLayout user_layout, CodeLayout kernel_layout,
             const ExecProfile& profile, std::uint64_t seed);
 
+    /** Flushes any ops still buffered (see flush()). */
+    ~ExecCtx();
+
+    ExecCtx(const ExecCtx&) = delete;
+    ExecCtx& operator=(const ExecCtx&) = delete;
+
     // --- Data side -------------------------------------------------------
 
     /** Load from a simulated address; dep_dist 0 means "use profile". */
@@ -103,6 +109,22 @@ class ExecCtx
 
     const ExecCounts& counts() const { return counts_; }
 
+    // --- Batch delivery --------------------------------------------------
+
+    /**
+     * Ops accumulated per sink delivery. Assembled MicroOps stay in one
+     * cache-resident inline buffer and reach the sink through a single
+     * consume_batch() call, amortizing the virtual dispatch.
+     */
+    static constexpr std::size_t kBatchCapacity = 64;
+
+    /**
+     * Deliver every buffered op to the sink now. Called automatically
+     * when the buffer fills and at destruction; call it explicitly
+     * before reading sink-side state (e.g. core counters) mid-run.
+     */
+    void flush();
+
   private:
     void emit(MicroOp& op);
     CodeLayout& active_layout();
@@ -116,6 +138,8 @@ class ExecCtx
     ExecCounts counts_;
     std::uint64_t ops_since_last_load_ = 1 << 20;
     std::uint64_t partial_reg_threshold_ = 0;  ///< u64-scaled probability
+    std::size_t batch_size_ = 0;
+    MicroOp batch_[kBatchCapacity];
 };
 
 }  // namespace dcb::trace

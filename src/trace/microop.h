@@ -13,6 +13,7 @@
  * for the integer-dominated workloads studied).
  */
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dcb::trace {
@@ -54,6 +55,19 @@ class OpSink
 
     /** Consume one op; called in program order. */
     virtual void consume(const MicroOp& op) = 0;
+
+    /**
+     * Consume `n` ops in program order. Semantically identical to n
+     * consume() calls (the default does exactly that); sinks on hot
+     * paths override it to amortize the virtual dispatch over the whole
+     * batch. Producers may deliver the same logical stream through any
+     * mix of consume() and consume_batch() calls.
+     */
+    virtual void consume_batch(const MicroOp* ops, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            consume(ops[i]);
+    }
 };
 
 }  // namespace dcb::trace

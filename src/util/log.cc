@@ -1,43 +1,46 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace dcb::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so parallel suite workers can log while the main thread
+// adjusts verbosity; fprintf(stderr) itself is thread-safe per POSIX.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 }  // namespace
 
 void
 set_log_level(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 log_level()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const std::string& msg)
 {
-    if (g_level >= LogLevel::kInform)
+    if (log_level() >= LogLevel::kInform)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 warn(const std::string& msg)
 {
-    if (g_level >= LogLevel::kWarn)
+    if (log_level() >= LogLevel::kWarn)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 debug(const std::string& msg)
 {
-    if (g_level >= LogLevel::kDebug)
+    if (log_level() >= LogLevel::kDebug)
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 

@@ -29,8 +29,23 @@ class Rng
     /** Construct from a seed; identical seeds give identical streams. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-    /** Next raw 64-bit value. */
-    std::uint64_t next_u64();
+    /**
+     * Next raw 64-bit value. Defined inline: this is the innermost step
+     * of every per-op sample on the simulator hot path, and an
+     * out-of-line call would cost more than the xoshiro update itself.
+     */
+    std::uint64_t next_u64()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform in [0, bound); bound must be nonzero. Debiased (Lemire). */
     std::uint64_t next_below(std::uint64_t bound);
@@ -57,6 +72,11 @@ class Rng
     Rng fork();
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
     double cached_gaussian_ = 0.0;
     bool has_cached_gaussian_ = false;

@@ -1,0 +1,70 @@
+#ifndef DCBENCH_UTIL_THREAD_POOL_H_
+#define DCBENCH_UTIL_THREAD_POOL_H_
+
+/**
+ * @file
+ * Fixed-size worker pool for running independent simulations in parallel.
+ *
+ * The suite runner dispatches one task per workload; each task owns its
+ * entire simulated machine (core, caches, RNGs), so tasks share no
+ * mutable state and results are bit-identical to a serial run. The pool
+ * is deliberately minimal: submit() + wait_idle(), no futures, no task
+ * graph -- callers deposit results into caller-owned slots indexed by
+ * task, which preserves ordering regardless of completion order.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcb::util {
+
+/** Number of workers to use for `requested` (0 = hardware concurrency). */
+unsigned effective_thread_count(unsigned requested);
+
+/** Fixed-size FIFO thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers (>= 1; use effective_thread_count() to
+     * resolve a user-facing "0 = auto" value first).
+     */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue a task. Tasks must not throw (wrap and capture instead). */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished executing. */
+    void wait_idle();
+
+    unsigned thread_count() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_done_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0;  ///< queued + currently executing
+    bool shutting_down_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_THREAD_POOL_H_

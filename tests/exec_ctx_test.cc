@@ -6,6 +6,7 @@
 
 #include "trace/code_layout.h"
 #include "trace/exec_ctx.h"
+#include "util/rng.h"
 
 namespace dcb::trace {
 namespace {
@@ -26,7 +27,7 @@ small_layout(std::uint64_t base)
 }
 
 ExecCtx
-make_ctx(RecordingSink& sink, const ExecProfile& profile = ExecProfile{})
+make_ctx(OpSink& sink, const ExecProfile& profile = ExecProfile{})
 {
     return ExecCtx(sink, small_layout(0x10000), small_layout(0x800000),
                    profile, 42);
@@ -53,6 +54,7 @@ TEST(ExecCtx, ModeStampsOps)
     ctx.alu(1);
     ctx.set_mode(Mode::kKernel);
     ctx.alu(1);
+    ctx.flush();
     ASSERT_EQ(sink.ops.size(), 2u);
     EXPECT_EQ(sink.ops[0].mode, Mode::kUser);
     EXPECT_EQ(sink.ops[1].mode, Mode::kKernel);
@@ -65,6 +67,8 @@ TEST(ExecCtx, KernelOpsFetchFromKernelLayout)
     ctx.alu(1);
     ctx.set_mode(Mode::kKernel);
     ctx.alu(1);
+    ctx.flush();
+    ASSERT_EQ(sink.ops.size(), 2u);
     EXPECT_LT(sink.ops[0].fetch_addr, 0x800000u);
     EXPECT_GE(sink.ops[1].fetch_addr, 0x800000u);
 }
@@ -74,6 +78,7 @@ TEST(ExecCtx, LoadCarriesAddress)
     RecordingSink sink;
     ExecCtx ctx = make_ctx(sink);
     ctx.load(0xABCD, 5);
+    ctx.flush();
     ASSERT_EQ(sink.ops.size(), 1u);
     EXPECT_EQ(sink.ops[0].cls, OpClass::kLoad);
     EXPECT_EQ(sink.ops[0].addr, 0xABCDu);
@@ -87,6 +92,7 @@ TEST(ExecCtx, ChaseLoadDependsOnPreviousLoad)
     ctx.load(0x100);
     ctx.alu(2);
     ctx.chase_load(0x200);
+    ctx.flush();
     ASSERT_EQ(sink.ops.size(), 4u);
     // The chase depends on the op 3 positions back (the first load).
     EXPECT_EQ(sink.ops[3].dep_dist, 3);
@@ -97,6 +103,8 @@ TEST(ExecCtx, SerialAluChains)
     RecordingSink sink;
     ExecCtx ctx = make_ctx(sink);
     ctx.alu(3, true);
+    ctx.flush();
+    ASSERT_EQ(sink.ops.size(), 3u);
     for (const auto& op : sink.ops)
         EXPECT_EQ(op.dep_dist, 1);
 }
@@ -106,6 +114,8 @@ TEST(ExecCtx, ExplicitDepDistance)
     RecordingSink sink;
     ExecCtx ctx = make_ctx(sink);
     ctx.fpu(2, false, 7);
+    ctx.flush();
+    ASSERT_EQ(sink.ops.size(), 2u);
     EXPECT_EQ(sink.ops[0].dep_dist, 7);
     EXPECT_EQ(sink.ops[1].dep_dist, 7);
 }
@@ -116,6 +126,7 @@ TEST(ExecCtx, BranchFields)
     ExecCtx ctx = make_ctx(sink);
     ctx.branch(0x55, true);
     ctx.indirect_branch(0x66, 0x77);
+    ctx.flush();
     ASSERT_EQ(sink.ops.size(), 2u);
     EXPECT_EQ(sink.ops[0].cls, OpClass::kBranch);
     EXPECT_TRUE(sink.ops[0].taken);
@@ -132,10 +143,174 @@ TEST(ExecCtx, PartialRegisterProbability)
     ExecCtx ctx(sink, small_layout(0x10000), small_layout(0x800000),
                 profile, 9);
     ctx.alu(40'000);
+    ctx.flush();
     int partial = 0;
     for (const auto& op : sink.ops)
         partial += op.partial_reg;
     EXPECT_NEAR(partial / 40'000.0, 0.25, 0.02);
+}
+
+/** Sink that only receives whole batches (consume_batch override). */
+class BatchRecordingSink final : public OpSink
+{
+  public:
+    void consume(const MicroOp& op) override { ops.push_back(op); }
+
+    void
+    consume_batch(const MicroOp* batch, std::size_t n) override
+    {
+        batch_sizes.push_back(n);
+        ops.insert(ops.end(), batch, batch + n);
+    }
+
+    std::vector<MicroOp> ops;
+    std::vector<std::size_t> batch_sizes;
+};
+
+bool
+same_op(const MicroOp& a, const MicroOp& b)
+{
+    return a.cls == b.cls && a.mode == b.mode && a.taken == b.taken &&
+           a.indirect == b.indirect && a.partial_reg == b.partial_reg &&
+           a.src_regs == b.src_regs && a.dep_dist == b.dep_dist &&
+           a.fetch_addr == b.fetch_addr && a.addr == b.addr &&
+           a.branch_key == b.branch_key && a.target_key == b.target_key;
+}
+
+/** Drive a deterministic op mix through a context. */
+template <typename Ctx>
+void
+drive(Ctx& ctx, int iterations)
+{
+    util::Rng rng(99);
+    for (int i = 0; i < iterations; ++i) {
+        ctx.load(rng.next_below(1 << 20));
+        ctx.alu(3);
+        ctx.branch(0xB000 + (i & 15), (i & 3) != 0);
+        ctx.store(rng.next_below(1 << 20));
+        ctx.fpu(2, true);
+        ctx.chase_load(rng.next_below(1 << 20));
+        if ((i & 63) == 0) {
+            ctx.set_mode(Mode::kKernel);
+            ctx.alu(10, false, 2);
+            ctx.indirect_branch(0xC000, 0xD000 + (i & 7));
+            ctx.set_mode(Mode::kUser);
+        }
+        ctx.call(0xE000 + (i & 31));
+    }
+}
+
+TEST(ExecCtxBatch, BatchedAndUnbatchedDeliveryMatch)
+{
+    // One sink sees whole batches, the other gets the default
+    // loop-over-consume fallback; both must observe the same stream.
+    RecordingSink unbatched;
+    BatchRecordingSink batched;
+    {
+        ExecCtx a = make_ctx(unbatched);
+        drive(a, 500);
+    }
+    {
+        ExecCtx b = make_ctx(batched);
+        drive(b, 500);
+    }
+    ASSERT_EQ(unbatched.ops.size(), batched.ops.size());
+    for (std::size_t i = 0; i < unbatched.ops.size(); ++i)
+        ASSERT_TRUE(same_op(unbatched.ops[i], batched.ops[i])) << i;
+    // Full batches dominate; every batch respects the capacity bound.
+    for (std::size_t n : batched.batch_sizes) {
+        EXPECT_GT(n, 0u);
+        EXPECT_LE(n, ExecCtx::kBatchCapacity);
+    }
+}
+
+TEST(ExecCtxBatch, ExplicitFlushDoesNotChangeTheStream)
+{
+    RecordingSink plain;
+    RecordingSink flushed;
+    {
+        ExecCtx a = make_ctx(plain);
+        drive(a, 200);
+    }
+    {
+        ExecCtx b = make_ctx(flushed);
+        util::Rng rng(99);
+        for (int i = 0; i < 200; ++i) {
+            b.load(rng.next_below(1 << 20));
+            b.alu(3);
+            b.branch(0xB000 + (i & 15), (i & 3) != 0);
+            b.store(rng.next_below(1 << 20));
+            b.fpu(2, true);
+            b.chase_load(rng.next_below(1 << 20));
+            if ((i & 63) == 0) {
+                b.set_mode(Mode::kKernel);
+                b.alu(10, false, 2);
+                b.indirect_branch(0xC000, 0xD000 + (i & 7));
+                b.set_mode(Mode::kUser);
+            }
+            b.call(0xE000 + (i & 31));
+            if ((i % 7) == 0)
+                b.flush();  // odd flush points must be invisible
+        }
+        b.flush();
+        b.flush();  // idempotent on an empty buffer
+    }
+    ASSERT_EQ(plain.ops.size(), flushed.ops.size());
+    for (std::size_t i = 0; i < plain.ops.size(); ++i)
+        ASSERT_TRUE(same_op(plain.ops[i], flushed.ops[i])) << i;
+}
+
+/**
+ * Golden-stream regression: the exact op stream for a fixed seed,
+ * captured from the pre-batching implementation. Any change to per-op
+ * sampling (partial-register draws, dep distances, fetch addresses)
+ * shows up as a hash mismatch here.
+ */
+TEST(ExecCtxBatch, OpStreamUnchangedForFixedSeed)
+{
+    struct HashSink final : OpSink
+    {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        std::uint64_t n = 0;
+
+        void mix(std::uint64_t v)
+        {
+            h ^= v;
+            h *= 0x100000001b3ULL;
+        }
+
+        void consume(const MicroOp& op) override
+        {
+            mix(static_cast<std::uint64_t>(op.cls));
+            mix(static_cast<std::uint64_t>(op.mode));
+            mix(op.taken ? 1 : 0);
+            mix(op.indirect ? 1 : 0);
+            mix(op.partial_reg ? 1 : 0);
+            mix(op.src_regs);
+            mix(op.dep_dist);
+            mix(op.fetch_addr);
+            mix(op.addr);
+            mix(op.branch_key);
+            mix(op.target_key);
+            ++n;
+        }
+    };
+
+    HashSink sink;
+    {
+        CodeLayout user({{"hot", 64, 320, 0.6, 0.6, 30.0},
+                         {"warm", 3000, 448, 0.4, 0.75, 20.0}},
+                        0x400000, 7);
+        CodeLayout kernel({{"k", 512, 384, 0.5, 0.7, 25.0}},
+                          0xffffffff81000000ULL, 9);
+        ExecProfile profile;
+        profile.partial_reg_prob = 0.05;
+        ExecCtx ctx(sink, user, kernel, profile, 1234);
+        drive(ctx, 10000);
+    }
+    // Captured from the pre-batching (seed) implementation.
+    EXPECT_EQ(sink.n, 101727u);
+    EXPECT_EQ(sink.h, 0xb347e1507054bf32ULL);
 }
 
 TEST(CodeLayout, AddressesStayInBounds)

@@ -235,6 +235,52 @@ TEST_F(ShapeTest, F6_KernelInstructionShare)
     EXPECT_LT(report("HPCC-DGEMM").kernel_instr_fraction, 0.02);
 }
 
+// The parallel suite runner must be a pure wall-clock optimisation:
+// every workload simulates a private machine, so running the suite on a
+// thread pool has to produce exactly the reports of the serial run, in
+// the same (registry) order.
+TEST(ParallelSuite, JobsFourBitIdenticalToSerial)
+{
+    HarnessConfig config;
+    config.run.op_budget = 150'000;
+    config.run.warmup_ops = 40'000;
+    const auto names = workloads::figure_order();
+
+    config.jobs = 1;
+    const SuiteResult serial = run_suite(names, config);
+    config.jobs = 4;
+    const SuiteResult parallel = run_suite(names, config);
+
+    ASSERT_EQ(serial.runs.size(), names.size());
+    ASSERT_EQ(parallel.runs.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const cpu::CounterReport& a = serial.runs[i].report;
+        const cpu::CounterReport& b = parallel.runs[i].report;
+        ASSERT_TRUE(serial.runs[i].status.ok) << names[i];
+        ASSERT_TRUE(parallel.runs[i].status.ok) << names[i];
+        EXPECT_EQ(a.workload, b.workload) << names[i];
+        EXPECT_EQ(a.instructions, b.instructions) << names[i];
+        EXPECT_EQ(a.cycles, b.cycles) << names[i];
+        EXPECT_EQ(a.ipc, b.ipc) << names[i];
+        EXPECT_EQ(a.kernel_instr_fraction, b.kernel_instr_fraction)
+            << names[i];
+        EXPECT_EQ(a.stalls.fetch, b.stalls.fetch) << names[i];
+        EXPECT_EQ(a.stalls.rat, b.stalls.rat) << names[i];
+        EXPECT_EQ(a.stalls.load, b.stalls.load) << names[i];
+        EXPECT_EQ(a.stalls.store, b.stalls.store) << names[i];
+        EXPECT_EQ(a.stalls.rs, b.stalls.rs) << names[i];
+        EXPECT_EQ(a.stalls.rob, b.stalls.rob) << names[i];
+        EXPECT_EQ(a.l1i_mpki, b.l1i_mpki) << names[i];
+        EXPECT_EQ(a.itlb_walk_pki, b.itlb_walk_pki) << names[i];
+        EXPECT_EQ(a.l2_mpki, b.l2_mpki) << names[i];
+        EXPECT_EQ(a.l3_service_ratio, b.l3_service_ratio) << names[i];
+        EXPECT_EQ(a.dtlb_walk_pki, b.dtlb_walk_pki) << names[i];
+        EXPECT_EQ(a.branch_misprediction_ratio,
+                  b.branch_misprediction_ratio)
+            << names[i];
+    }
+}
+
 // DTLB walks: DA below services on average (Figure 11's main contrast).
 TEST_F(ShapeTest, F4b_DtlbWalks)
 {

@@ -57,6 +57,7 @@ class OsFixture : public ::testing::Test
 TEST_F(OsFixture, WriteEmitsKernelInstructions)
 {
     os_.sys_write(0x100000, 4096);
+    ctx_.flush();
     EXPECT_GT(sink_.kernel, 500u);
     EXPECT_EQ(ctx_.mode(), trace::Mode::kUser);  // returns to user
     EXPECT_EQ(disk_.bytes_written(), 4096u);
@@ -65,8 +66,10 @@ TEST_F(OsFixture, WriteEmitsKernelInstructions)
 TEST_F(OsFixture, CopyCostScalesWithBytes)
 {
     os_.sys_write(0x100000, 1024);
+    ctx_.flush();
     const std::uint64_t small = sink_.kernel;
     os_.sys_write(0x100000, 64 * 1024);
+    ctx_.flush();
     const std::uint64_t big = sink_.kernel - small;
     EXPECT_GT(big, small * 3);
 }
@@ -74,6 +77,7 @@ TEST_F(OsFixture, CopyCostScalesWithBytes)
 TEST_F(OsFixture, CopyTouchesUserAndKernelBuffers)
 {
     os_.sys_read(0x100000, 8192);
+    ctx_.flush();
     EXPECT_GT(sink_.loads, 100u);
     EXPECT_GT(sink_.stores, 100u);
     EXPECT_EQ(disk_.bytes_read(), 8192u);
@@ -90,6 +94,7 @@ TEST_F(OsFixture, SendAccountsNetwork)
 TEST_F(OsFixture, SchedIsPureKernelCompute)
 {
     os_.sys_sched();
+    ctx_.flush();
     EXPECT_GT(sink_.kernel, 100u);
     EXPECT_EQ(disk_.bytes_written() + disk_.bytes_read() +
                   net_.bytes_sent(),
@@ -99,6 +104,7 @@ TEST_F(OsFixture, SchedIsPureKernelCompute)
 TEST_F(OsFixture, KernelInstructionAccessor)
 {
     os_.sys_write(0x100000, 512);
+    ctx_.flush();
     EXPECT_EQ(os_.kernel_instructions(), sink_.kernel);
 }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
 #include "cpu/core.h"
 #include "cpu/perf.h"
 #include "util/rng.h"
@@ -106,6 +110,76 @@ TEST(Perf, DefaultEventSetCoversTheFigures)
     EXPECT_TRUE(has(Event::kDTlbWalk));
     EXPECT_TRUE(has(Event::kBrMispred));
     EXPECT_TRUE(has(Event::kRobFullStallCycles));
+}
+
+// Batched delivery (OpSink::consume_batch) is only a call-overhead
+// optimisation: the same op sequence split into arbitrary chunks must
+// leave the core in exactly the state per-op delivery produces.
+TEST(Perf, BatchedDeliveryMatchesPerOpDelivery)
+{
+    constexpr int kOps = 200'000;
+    util::Rng rng(6);
+    // The same mixed stream drive() produces, materialized so both
+    // cores below see exactly the same ops.
+    std::vector<MicroOp> ops;
+    ops.reserve(kOps);
+    for (int i = 0; i < kOps; ++i) {
+        MicroOp op;
+        const auto kind = rng.next_below(10);
+        if (kind < 3) {
+            op.cls = OpClass::kLoad;
+            op.addr = rng.next_below(8 << 20);
+        } else if (kind < 4) {
+            op.cls = OpClass::kStore;
+            op.addr = rng.next_below(8 << 20);
+        } else if (kind < 6) {
+            op.cls = OpClass::kBranch;
+            op.branch_key = rng.next_below(32);
+            op.taken = rng.next_bool(0.7);
+        } else {
+            op.cls = OpClass::kAlu;
+        }
+        op.mode = rng.next_bool(0.2) ? Mode::kKernel : Mode::kUser;
+        op.fetch_addr = 0x1000 + rng.next_below(1 << 20);
+        ops.push_back(op);
+    }
+
+    Core single(westmere_core_config(), mem::westmere_memory_config());
+    single.pmu().configure_events(default_event_set(), 20'000);
+    for (const MicroOp& op : ops)
+        single.consume(op);
+
+    Core batched(westmere_core_config(), mem::westmere_memory_config());
+    batched.pmu().configure_events(default_event_set(), 20'000);
+    // Deliver in irregular chunk sizes, including chunks larger and
+    // smaller than the ExecCtx batch capacity.
+    std::size_t i = 0;
+    const std::size_t chunks[] = {1, 7, 64, 128, 3, 33};
+    std::size_t c = 0;
+    while (i < ops.size()) {
+        const std::size_t n =
+            std::min(chunks[c++ % std::size(chunks)], ops.size() - i);
+        batched.consume_batch(ops.data() + i, n);
+        i += n;
+    }
+
+    const CounterReport a = make_report("w", single);
+    const CounterReport b = make_report("w", batched);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l1i_mpki, b.l1i_mpki);
+    EXPECT_EQ(a.l2_mpki, b.l2_mpki);
+    EXPECT_EQ(a.l3_service_ratio, b.l3_service_ratio);
+    EXPECT_EQ(a.dtlb_walk_pki, b.dtlb_walk_pki);
+    EXPECT_EQ(a.itlb_walk_pki, b.itlb_walk_pki);
+    EXPECT_EQ(a.branch_misprediction_ratio, b.branch_misprediction_ratio);
+    // PMU state (multiplexing rotation included) must agree exactly too.
+    const CounterReport pa = make_report_from_pmu("w", single);
+    const CounterReport pb = make_report_from_pmu("w", batched);
+    EXPECT_EQ(pa.ipc, pb.ipc);
+    EXPECT_EQ(pa.l1i_mpki, pb.l1i_mpki);
+    EXPECT_EQ(pa.l2_mpki, pb.l2_mpki);
 }
 
 TEST(Perf, PmuPathAgreesWithDirectPath)

@@ -1,0 +1,102 @@
+/** @file Tests for the suite runner's worker pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace dcb::util {
+namespace {
+
+TEST(ThreadPool, EffectiveThreadCountResolvesAuto)
+{
+    EXPECT_EQ(effective_thread_count(1), 1u);
+    EXPECT_EQ(effective_thread_count(7), 7u);
+    EXPECT_GE(effective_thread_count(0), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTaskExactlyOnce)
+{
+    constexpr int kTasks = 200;
+    std::vector<int> hits(kTasks, 0);
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < kTasks; ++i)
+            pool.submit([&hits, i] { ++hits[i]; });
+        pool.wait_idle();
+        for (int i = 0; i < kTasks; ++i)
+            EXPECT_EQ(hits[i], 1) << "task " << i;
+    }
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilTasksFinish)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately)
+{
+    ThreadPool pool(3);
+    pool.wait_idle();  // must not hang
+    SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&done] {
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+        // No wait_idle(): the destructor must still run everything.
+    }
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ResultsIndexedBySlotPreserveOrder)
+{
+    // The suite runner's usage pattern: each task writes only its own
+    // slot, so the output order is the submission order regardless of
+    // which worker ran what.
+    constexpr int kTasks = 64;
+    std::vector<int> out(kTasks, -1);
+    ThreadPool pool(8);
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&out, i] { out[i] = i * i; });
+    pool.wait_idle();
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, CanSubmitFromWorkerAfterWait)
+{
+    // Reuse after wait_idle(): a second wave of tasks runs fine.
+    std::atomic<int> total{0};
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&total] { total.fetch_add(1); });
+    pool.wait_idle();
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&total] { total.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(total.load(), 20);
+}
+
+}  // namespace
+}  // namespace dcb::util
