@@ -7,7 +7,10 @@
  * with the paper's methodology (Table III machine, ramp-up discard,
  * whole-runtime collection) and helpers to print paper-vs-measured rows.
  *
- * Usage of every figure bench:  ./figNN_xxx [ops-per-workload] [--jobs N]
+ * Usage of every figure bench:
+ *   ./figNN_xxx [ops-per-workload] [--ops N] [--jobs N]
+ *               [--sample[=ratio]] [--sample-window N] [--sample-warm N]
+ *               [--sample-discard N] [--sample-warmup N] [--sample-full]
  */
 
 #include <cstdio>
@@ -23,10 +26,31 @@ namespace dcb::bench {
 /** Default per-workload op budget for figure benches. */
 inline constexpr std::uint64_t kDefaultBudget = 2'000'000;
 
+/** Ratio used by a bare `--sample` flag (bridge warming: speed). */
+inline constexpr double kDefaultSampleRatio = 0.02;
+
 /**
- * Parse the optional op-budget argument and a `--jobs N` flag
- * (N = 0 means one worker per hardware thread). Workloads are
- * independent simulations, so results do not depend on N.
+ * Ratio used by a bare `--sample` under `--sample-full`: full warming
+ * targets fidelity, and the stall-share estimates need the denser
+ * window coverage far more than they need the (already modest) extra
+ * speed.
+ */
+inline constexpr double kDefaultFullSampleRatio = 0.15;
+
+/**
+ * Parse the shared bench flags:
+ *   --ops N            per-workload op budget (also legacy positional N)
+ *   --jobs N           suite worker threads (0 = one per hardware thread)
+ *   --sample[=ratio]   interval sampling at `ratio` detailed coverage
+ *   --sample-window N  detailed-window length in ops
+ *   --sample-warm N    functional-warming ops before each window
+ *   --sample-discard N per-window pipeline re-pressurization head
+ *   --sample-warmup N  lead-in before the first period
+ *   --sample-full      full warming: structure metrics near-exact,
+ *                      slower (gaps warm instead of skipping)
+ * Workloads are independent simulations, so results do not depend on
+ * the jobs count. Prints the resolved budget so every bench states what
+ * it actually ran.
  */
 inline core::HarnessConfig
 config_from_args(int argc, char** argv)
@@ -34,6 +58,7 @@ config_from_args(int argc, char** argv)
     core::HarnessConfig config = core::bench_config();
     config.run.op_budget = kDefaultBudget;
     bool budget_seen = false;
+    bool default_ratio = false;  // bare --sample: mode-appropriate ratio
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             config.jobs = static_cast<unsigned>(
@@ -41,12 +66,73 @@ config_from_args(int argc, char** argv)
         } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
             config.jobs = static_cast<unsigned>(
                 std::strtoul(argv[i] + 7, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            config.run.op_budget = std::strtoull(argv[++i], nullptr, 10);
+            budget_seen = true;
+        } else if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+            config.run.op_budget =
+                std::strtoull(argv[i] + 6, nullptr, 10);
+            budget_seen = true;
+        } else if (std::strcmp(argv[i], "--sample") == 0) {
+            default_ratio = true;
+            config.sampling.ratio = kDefaultSampleRatio;
+        } else if (std::strncmp(argv[i], "--sample=", 9) == 0) {
+            default_ratio = false;
+            config.sampling.ratio = std::strtod(argv[i] + 9, nullptr);
+        } else if (std::strcmp(argv[i], "--sample-window") == 0 &&
+                   i + 1 < argc) {
+            config.sampling.window_ops =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strncmp(argv[i], "--sample-window=", 16) == 0) {
+            config.sampling.window_ops =
+                std::strtoull(argv[i] + 16, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--sample-warm") == 0 &&
+                   i + 1 < argc) {
+            config.sampling.warm_ops =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strncmp(argv[i], "--sample-warm=", 14) == 0) {
+            config.sampling.warm_ops =
+                std::strtoull(argv[i] + 14, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--sample-discard") == 0 &&
+                   i + 1 < argc) {
+            config.sampling.window_discard_ops =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strncmp(argv[i], "--sample-discard=", 17) == 0) {
+            config.sampling.window_discard_ops =
+                std::strtoull(argv[i] + 17, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--sample-full") == 0) {
+            config.sampling.full_warming = true;
+        } else if (std::strcmp(argv[i], "--sample-warmup") == 0 &&
+                   i + 1 < argc) {
+            config.sampling.warmup_ops =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strncmp(argv[i], "--sample-warmup=", 16) == 0) {
+            config.sampling.warmup_ops =
+                std::strtoull(argv[i] + 16, nullptr, 10);
         } else if (!budget_seen) {
             config.run.op_budget = std::strtoull(argv[i], nullptr, 10);
             budget_seen = true;
         }
     }
+    if (default_ratio && config.sampling.full_warming)
+        config.sampling.ratio = kDefaultFullSampleRatio;
     config.run.warmup_ops = config.run.op_budget / 4;
+    std::printf("op budget: %llu ops per workload",
+                static_cast<unsigned long long>(config.run.op_budget));
+    if (config.sampling.enabled()) {
+        const sample::IntervalLayout resolved = sample::resolve_layout(
+            config.sampling, config.run.op_budget, config.run.warmup_ops);
+        std::printf("; sampling ratio %.3f, window %llu ops, "
+                    "warm %s\n",
+                    config.sampling.ratio,
+                    static_cast<unsigned long long>(resolved.window_ops),
+                    config.sampling.full_warming
+                        ? "full"
+                        : std::to_string(config.sampling.warm_ops)
+                              .c_str());
+    }
+    else
+        std::printf("; exact (no sampling)\n");
     return config;
 }
 

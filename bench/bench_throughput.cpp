@@ -6,17 +6,24 @@
  * BENCH_throughput.json so throughput regressions show up in review.
  *
  * Usage: ./bench_throughput [ops-per-workload] [--jobs N]
+ *                           [--check-speedup X]
  *   N = 0 picks one worker per hardware thread; default compares
  *   --jobs 1 against that auto value.
  *
  * The parallel suite must be bit-identical to the serial one; this
  * bench verifies that on every run and fails loudly if it is not.
+ * --check-speedup X additionally fails the run when the parallel suite
+ * is not at least X times faster than serial -- skipped (with a note)
+ * when the host exposes a single hardware thread, where no parallel
+ * speedup is possible.
  */
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -56,11 +63,33 @@ reports_equal(const cpu::CounterReport& a, const cpu::CounterReport& b)
 int
 main(int argc, char** argv)
 {
-    core::HarnessConfig config = bench::config_from_args(argc, argv);
+    // Split off --check-speedup before the shared parser sees it (it
+    // treats unknown tokens as the legacy positional budget).
+    double check_speedup = -1.0;
+    std::vector<char*> pass;
+    pass.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check-speedup") == 0 && i + 1 < argc)
+            check_speedup = std::strtod(argv[++i], nullptr);
+        else if (std::strncmp(argv[i], "--check-speedup=", 16) == 0)
+            check_speedup = std::strtod(argv[i] + 16, nullptr);
+        else
+            pass.push_back(argv[i]);
+    }
+    core::HarnessConfig config = bench::config_from_args(
+        static_cast<int>(pass.size()), pass.data());
     // Count every retired op toward throughput: no warmup discard here.
     config.run.warmup_ops = 0;
-    const unsigned parallel_jobs =
+    const unsigned hardware_threads = std::thread::hardware_concurrency();
+    // Oversubscribing a small host only adds scheduler noise to a
+    // throughput bench: the auto value never exceeds the suite size or
+    // what the hardware actually offers.
+    unsigned parallel_jobs =
         util::effective_thread_count(config.jobs == 1 ? 0 : config.jobs);
+    const unsigned suite_size =
+        static_cast<unsigned>(workloads::figure_order().size());
+    if (parallel_jobs > suite_size)
+        parallel_jobs = suite_size;
     const std::vector<std::string> names = workloads::figure_order();
 
     std::printf("simulator throughput, %llu ops per workload, "
@@ -137,6 +166,8 @@ main(int argc, char** argv)
         std::fprintf(f, "  \"op_budget\": %llu,\n",
                      static_cast<unsigned long long>(config.run.op_budget));
         std::fprintf(f, "  \"parallel_jobs\": %u,\n", parallel_jobs);
+        std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                     hardware_threads);
         std::fprintf(f, "  \"workloads\": [\n");
         for (std::size_t i = 0; i < rates.size(); ++i) {
             std::fprintf(f,
@@ -162,6 +193,16 @@ main(int argc, char** argv)
     } else {
         std::fprintf(stderr, "error: cannot write %s\n", json_path);
         return 1;
+    }
+    if (check_speedup > 0.0) {
+        if (hardware_threads <= 1) {
+            std::printf("speedup check skipped: single hardware thread\n");
+        } else if (speedup < check_speedup) {
+            std::fprintf(stderr,
+                         "FAIL: suite speedup %.2fx below required %.2fx\n",
+                         speedup, check_speedup);
+            return 1;
+        }
     }
     return identical ? 0 : 1;
 }

@@ -23,7 +23,7 @@ main(int argc, char** argv)
         bench::paper_field([](const core::PaperMetrics& m) {
             return m.ipc;
         }),
-        2, "fig03_ipc.csv");
+        2, "fig03_ipc.csv", cpu::ReportMetric::kIpc);
 
     const double da = bench::category_average(
         reports, workloads::Category::kDataAnalysis,

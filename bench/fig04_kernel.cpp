@@ -25,7 +25,7 @@ main(int argc, char** argv)
         bench::paper_field([](const core::PaperMetrics& m) {
             return 100.0 * m.kernel_frac;
         }),
-        1, "fig04_kernel.csv");
+        1, "fig04_kernel.csv", cpu::ReportMetric::kKernelFraction, 100.0);
 
     double sort = 0.0;
     double random_access = 0.0;

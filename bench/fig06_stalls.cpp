@@ -10,6 +10,8 @@
 
 #include "bench_common.h"
 
+#include <algorithm>
+
 #include "util/csv.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -50,6 +52,21 @@ main(int argc, char** argv)
     table.print();
     csv.write_file("fig06_stalls.csv");
     std::printf("\n");
+    for (const auto& r : reports) {
+        if (r.sampled) {
+            std::printf("(sampled: stall shares carry per-window stderr; "
+                        "e.g. fetch stderr up to %.4f across the suite)\n\n",
+                        [&reports] {
+                            double worst = 0.0;
+                            for (const auto& rr : reports)
+                                worst = std::max(
+                                    worst, rr.stderr_of(
+                                        cpu::ReportMetric::kStallFetch));
+                            return worst;
+                        }());
+            break;
+        }
+    }
 
     const double da_ooo = bench::category_average(
         reports, workloads::Category::kDataAnalysis,

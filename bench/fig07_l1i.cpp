@@ -22,7 +22,7 @@ main(int argc, char** argv)
         bench::paper_field([](const core::PaperMetrics& m) {
             return m.l1i_mpki;
         }),
-        1, "fig07_l1i.csv");
+        1, "fig07_l1i.csv", cpu::ReportMetric::kL1iMpki);
 
     const double da = bench::category_average(
         reports, workloads::Category::kDataAnalysis,

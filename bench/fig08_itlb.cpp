@@ -23,7 +23,7 @@ main(int argc, char** argv)
         bench::paper_field([](const core::PaperMetrics& m) {
             return m.itlb_walk_pki;
         }),
-        3, "fig08_itlb.csv");
+        3, "fig08_itlb.csv", cpu::ReportMetric::kItlbWalkPki);
 
     const double da = bench::category_average(
         reports, workloads::Category::kDataAnalysis,

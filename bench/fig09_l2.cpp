@@ -22,7 +22,7 @@ main(int argc, char** argv)
         bench::paper_field([](const core::PaperMetrics& m) {
             return m.l2_mpki;
         }),
-        1, "fig09_l2.csv");
+        1, "fig09_l2.csv", cpu::ReportMetric::kL2Mpki);
 
     const double da = bench::category_average(
         reports, workloads::Category::kDataAnalysis,

@@ -22,7 +22,7 @@ main(int argc, char** argv)
         bench::paper_field([](const core::PaperMetrics& m) {
             return 100.0 * m.l3_ratio;
         }),
-        1, "fig10_l3ratio.csv");
+        1, "fig10_l3ratio.csv", cpu::ReportMetric::kL3ServiceRatio, 100.0);
 
     const double da = bench::category_average(
         reports, workloads::Category::kDataAnalysis,

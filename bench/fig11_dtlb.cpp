@@ -22,7 +22,7 @@ main(int argc, char** argv)
         bench::paper_field([](const core::PaperMetrics& m) {
             return m.dtlb_walk_pki;
         }),
-        3, "fig11_dtlb.csv");
+        3, "fig11_dtlb.csv", cpu::ReportMetric::kDtlbWalkPki);
 
     const double da = bench::category_average(
         reports, workloads::Category::kDataAnalysis,

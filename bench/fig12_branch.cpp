@@ -22,7 +22,8 @@ main(int argc, char** argv)
         bench::paper_field([](const core::PaperMetrics& m) {
             return 100.0 * m.br_mispred;
         }),
-        2, "fig12_branch.csv");
+        2, "fig12_branch.csv", cpu::ReportMetric::kBranchMispredictionRatio,
+        100.0);
 
     const double da = bench::category_average(
         reports, workloads::Category::kDataAnalysis,

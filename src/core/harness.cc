@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "sample/controller.h"
 #include "util/assert.h"
 #include "util/thread_pool.h"
 
@@ -33,7 +34,16 @@ cpu::CounterReport
 run_workload(workloads::Workload& workload, const HarnessConfig& config)
 {
     cpu::Core core(config.core_config, config.memory_config);
-    if (config.run.warmup_ops > 0) {
+    // The sampled lead-in defaults to the exact-mode ramp-up discard so
+    // both modes measure the same span of the op stream.
+    const sample::SamplingController sampler(
+        config.sampling, config.run.op_budget, config.run.warmup_ops);
+    if (sampler.active()) {
+        // The sampling schedule owns warmup: the ExecCtx fast-forwards
+        // the lead-in and the core resets at sampling_warmup_done(), so
+        // the op-count reset trigger must stay off.
+        core.set_sample_layout(sampler.layout());
+    } else if (config.run.warmup_ops > 0) {
         DCB_CONFIG_CHECK(config.run.warmup_ops < config.run.op_budget,
                          "warmup must be shorter than the op budget");
         core.set_counter_reset_at(config.run.warmup_ops);
@@ -43,6 +53,8 @@ run_workload(workloads::Workload& workload, const HarnessConfig& config)
                                     config.pmu_rotate_instr);
     }
     workload.run(core, config.run);
+    if (sampler.active())
+        return sampler.make_report(workload.info().name, core);
     return config.use_pmu
                ? cpu::make_report_from_pmu(workload.info().name, core)
                : cpu::make_report(workload.info().name, core);

@@ -18,6 +18,7 @@
 #include "cpu/config.h"
 #include "cpu/perf.h"
 #include "mem/config.h"
+#include "sample/plan.h"
 #include "workloads/registry.h"
 
 namespace dcb::core {
@@ -42,6 +43,14 @@ struct HarnessConfig
      * returned in request order either way.
      */
     unsigned jobs = 1;
+    /**
+     * Interval-sampling plan. Disabled by default (ratio 0): the run is
+     * exact and bit-identical to pre-sampling builds. When enabled the
+     * run alternates functional fast-forward with detailed windows and
+     * the report is extrapolated, with per-metric standard errors. A
+     * plan warmup_ops of 0 borrows run.warmup_ops.
+     */
+    sample::SamplePlan sampling{};
 };
 
 /** Why a run produced no report. */

@@ -13,8 +13,45 @@ print_figure_table(const std::string& title,
                    const std::vector<cpu::CounterReport>& reports,
                    const std::string& metric_header,
                    const MetricGetter& measured, const PaperGetter& paper,
-                   int decimals, const std::string& csv_path)
+                   int decimals, const std::string& csv_path,
+                   cpu::ReportMetric stderr_metric, double stderr_scale)
 {
+    bool with_stderr = false;
+    if (stderr_metric != cpu::ReportMetric::kCount)
+        for (const auto& report : reports)
+            with_stderr = with_stderr || report.sampled;
+
+    if (with_stderr) {
+        // Sampled runs: annotate every value with its standard error
+        // across the detailed measurement windows.
+        util::Table table({"workload", metric_header + " (measured)",
+                           "+/- stderr", metric_header + " (paper)"});
+        table.set_title(title);
+        util::CsvWriter csv({"workload", "measured", "stderr", "paper"});
+        for (const auto& report : reports) {
+            const double value = measured(report);
+            const double err =
+                stderr_scale * report.stderr_of(stderr_metric);
+            const double ref = paper ? paper(report.workload) : -1.0;
+            table.add_row({report.workload,
+                           util::format_double(value, decimals),
+                           report.sampled
+                               ? util::format_double(err, decimals + 1)
+                               : "-",
+                           ref >= 0.0
+                               ? util::format_double(ref, decimals)
+                               : "-"});
+            csv.add_row({report.workload, util::format_double(value, 6),
+                         util::format_double(err, 6),
+                         util::format_double(ref, 6)});
+        }
+        table.print();
+        if (!csv_path.empty() && csv.write_file(csv_path))
+            std::printf("(csv: %s)\n", csv_path.c_str());
+        std::printf("\n");
+        return;
+    }
+
     util::Table table({"workload", metric_header + " (measured)",
                        metric_header + " (paper)"});
     table.set_title(title);

@@ -24,13 +24,21 @@ using PaperGetter = std::function<double(const std::string&)>;
  * Print a figure-style table: one row per workload with the measured
  * value and the paper's (approximately digitized) value, and optionally
  * dump the same rows to `csv_path`.
+ *
+ * When `stderr_metric` names a ReportMetric and any report was built by
+ * interval sampling, the table and CSV gain a standard-error column
+ * (value +/- stderr across detailed windows). Exact runs render the
+ * historical three-column layout byte-for-byte.
  */
 void print_figure_table(const std::string& title,
                         const std::vector<cpu::CounterReport>& reports,
                         const std::string& metric_header,
                         const MetricGetter& measured,
                         const PaperGetter& paper, int decimals,
-                        const std::string& csv_path = "");
+                        const std::string& csv_path = "",
+                        cpu::ReportMetric stderr_metric =
+                            cpu::ReportMetric::kCount,
+                        double stderr_scale = 1.0);
 
 /** Mean of a metric over the named subset of reports. */
 double class_average(const std::vector<cpu::CounterReport>& reports,

@@ -30,6 +30,19 @@ Core::Core(const CoreConfig& core_config,
               core_config.btb_entries, core_config.btb_ways)
 {
     cfg_.validate();
+    page_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(memory_config.page_bytes));
+    // Fast-forward page walks warm the unified caches; under full
+    // warming they also note the L2/L3 events the timed walker_access()
+    // path would, so full-stream event totals match exact mode.
+    const auto warm_pte = [this](std::uint64_t a) {
+        if (warm_counts_events_)
+            walker_access(a);
+        else
+            hierarchy_.warm_walker_access(a);
+    };
+    itlb_.set_warm_pte_access(warm_pte);
+    dtlb_.set_warm_pte_access(warm_pte);
     inv_fetch_width_ = 1.0 / cfg_.fetch_width;
     inv_dispatch_width_ = 1.0 / cfg_.dispatch_width;
     inv_retire_width_ = 1.0 / cfg_.retire_width;
@@ -347,6 +360,161 @@ Core::consume_one(const trace::MicroOp& op)
         reset_counters();
         warmup_reset_at_ = 0;
     }
+}
+
+// --- Interval sampling --------------------------------------------------
+
+void
+Core::set_sample_layout(const sample::IntervalLayout& layout)
+{
+    sample_layout_ = layout;
+    has_sample_layout_ = layout.sampled;
+    warm_counts_events_ = layout.sampled && layout.full_warming;
+}
+
+const sample::IntervalLayout*
+Core::sample_layout() const
+{
+    return has_sample_layout_ ? &sample_layout_ : nullptr;
+}
+
+void
+Core::warm_one(const trace::MicroOp& op)
+{
+    using trace::OpClass;
+    // Under full warming the warm path also notes the demand events the
+    // timed path would (misses, walks, branches) -- warming covers the
+    // whole stream, so the full-stream event totals then match exact
+    // mode and the rate metrics are near-exact by construction. Timing
+    // events (cycles, stalls) still come only from the windows.
+    const bool count = warm_counts_events_;
+    if (count)
+        cur_mode_ = op.mode;  // walker_access attributes to cur_mode_
+    switch (op.cls) {
+      case OpClass::kNop: {
+        // Line-granular fetch stream: warm the ITLB once per page
+        // transition (the distinct-page sequence matches per-op
+        // fetching) and the L1I for every line entered.
+        const std::uint64_t page = op.fetch_addr >> page_shift_;
+        if (page != last_warm_fetch_page_) {
+            last_warm_fetch_page_ = page;
+            if (itlb_.warm_translate(op.fetch_addr) && count)
+                note(Event::kITlbWalk, 1.0, op.mode);
+        }
+        const mem::AccessResult fa = hierarchy_.fetch(op.fetch_addr);
+        if (count && fa.level != mem::HitLevel::kL1) {
+            note(Event::kL1IMiss, 1.0, op.mode);
+            note_unified_levels(fa.level, op.mode);
+        }
+        break;
+      }
+      case OpClass::kLoad:
+      case OpClass::kStore: {
+        if (dtlb_.warm_translate(op.addr) && count)
+            note(Event::kDTlbWalk, 1.0, op.mode);
+        const mem::AccessResult da = hierarchy_.data_access(op.addr,
+                                                            false);
+        if (count && da.level != mem::HitLevel::kL1) {
+            note(Event::kL1DMiss, 1.0, op.mode);
+            note_unified_levels(da.level, op.mode);
+        }
+        break;
+      }
+      case OpClass::kBranch: {
+        // The predictor/BTB state advances; no cycle accounting.
+        const bool mispredicted =
+            op.indirect ? branch_.resolve_indirect(op.branch_key,
+                                                   op.target_key)
+                        : branch_.resolve_conditional(op.branch_key,
+                                                      op.taken);
+        if (count) {
+            note(Event::kBrRetired, 1.0, op.mode);
+            if (mispredicted)
+                note(Event::kBrMispred, 1.0, op.mode);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+Core::consume_warm_batch(const trace::MicroOp* ops, std::size_t n,
+                         const trace::WarmSummary& represented)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        warm_one(ops[i]);
+    warm_user_ops_ += represented.user_ops;
+    warm_kernel_ops_ += represented.kernel_ops;
+}
+
+void
+Core::begin_sample_window()
+{
+    // Prefetch fills issued while warming must not be charged to the
+    // window's first op.
+    seen_prefetch_fills_ = hierarchy_.prefetch_fills();
+    seen_prefetch_mem_fills_ = hierarchy_.prefetch_memory_fills();
+    // The dispatch clock does not advance across the fast-forward gap,
+    // so release/completion times left from the previous window would
+    // read as *current* pressure here -- store-buffer drains in
+    // particular extend past the old window's end and would stall this
+    // window's stores against phantom occupants. Start the rings cold
+    // and let the discard head rebuild real pressure from this window's
+    // own stream.
+    std::fill(rob_.begin(), rob_.end(), 0.0);
+    std::fill(rs_.begin(), rs_.end(), 0.0);
+    std::fill(load_buf_.begin(), load_buf_.end(), 0.0);
+    std::fill(store_buf_.begin(), store_buf_.end(), 0.0);
+    comp_.fill(0.0);
+    port_time_.fill(0.0);
+    in_window_ = true;
+    in_measurement_ = false;
+}
+
+void
+Core::begin_window_measurement()
+{
+    // The discard head has re-pressurized the pipeline (occupancy rings,
+    // port cursors); deltas from here see steady-state timing.
+    window_base_ = stats_;
+    window_pmu_base_ = pmu_.snapshot();
+    in_measurement_ = true;
+}
+
+void
+Core::end_sample_window()
+{
+    if (!in_window_ || !in_measurement_)
+        return;
+    in_window_ = false;
+    in_measurement_ = false;
+    WindowSample w;
+    for (std::size_t i = 0; i < kEventCount; ++i) {
+        const auto e = static_cast<Event>(i);
+        w.events[i] = stats_.get(e) - window_base_.get(e);
+    }
+    w.user_instructions =
+        stats_.user_instructions - window_base_.user_instructions;
+    w.kernel_instructions =
+        stats_.kernel_instructions - window_base_.kernel_instructions;
+    w.pmu = delta(window_pmu_base_, pmu_.snapshot());
+    windows_.push_back(w);
+    // The window moved the fetch point through the timed path; the warm
+    // page memo no longer reflects the last warm touch.
+    last_warm_fetch_page_ = ~std::uint64_t{0};
+}
+
+void
+Core::sampling_warmup_done()
+{
+    // Sampled-mode equivalent of the ramp-up counter reset: structures
+    // stay warm, measurements start clean.
+    reset_counters();
+    warm_user_ops_ = 0;
+    warm_kernel_ops_ = 0;
+    windows_.clear();
 }
 
 void

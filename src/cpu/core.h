@@ -30,6 +30,7 @@
 #include "mem/hierarchy.h"
 #include "mem/page_table.h"
 #include "mem/tlb.h"
+#include "sample/plan.h"
 #include "trace/microop.h"
 
 namespace dcb::cpu {
@@ -52,6 +53,18 @@ class CoreStats
     std::array<double, kEventCount> values_{};
 };
 
+/**
+ * Event deltas over one detailed measurement window (interval sampling).
+ * Fed to sample::IntervalEstimator for per-metric standard errors.
+ */
+struct WindowSample
+{
+    std::array<double, kEventCount> events{};
+    double user_instructions = 0.0;
+    double kernel_instructions = 0.0;
+    PmuSnapshot pmu;  ///< fixed-counter delta (PMU runs only if enabled)
+};
+
 /** One simulated out-of-order core with its private memory structures. */
 class Core final : public trace::OpSink
 {
@@ -65,6 +78,40 @@ class Core final : public trace::OpSink
     /** Consume a batch in program order (amortizes the virtual call). */
     void consume_batch(const trace::MicroOp* ops, std::size_t n) override;
 
+    // --- Interval sampling -----------------------------------------------
+
+    /**
+     * Arm interval sampling: the schedule is handed to the ExecCtx at
+     * construction (via sample_layout()) and the core starts honouring
+     * warm deliveries and window brackets.
+     */
+    void set_sample_layout(const sample::IntervalLayout& layout);
+
+    const sample::IntervalLayout* sample_layout() const override;
+
+    /**
+     * Functional warming: update caches/TLBs/predictor state (and their
+     * own hit/miss counters -- the sampled metric source) while skipping
+     * the pipeline model and event accounting entirely.
+     */
+    void consume_warm_batch(const trace::MicroOp* ops, std::size_t n,
+                            const trace::WarmSummary& represented) override;
+
+    void begin_sample_window() override;
+    void begin_window_measurement() override;
+    void end_sample_window() override;
+    void sampling_warmup_done() override;
+
+    /** Completed detailed windows (empty in exact mode). */
+    const std::vector<WindowSample>& sample_windows() const
+    {
+        return windows_;
+    }
+
+    /** Represented ops fast-forwarded since the warmup reset, by mode. */
+    std::uint64_t warm_user_ops() const { return warm_user_ops_; }
+    std::uint64_t warm_kernel_ops() const { return warm_kernel_ops_; }
+
     // --- Results ---------------------------------------------------------
 
     const CoreStats& stats() const { return stats_; }
@@ -74,6 +121,12 @@ class Core final : public trace::OpSink
 
     /** Retired-branch misprediction ratio (Figure 12). */
     double branch_misprediction_ratio() const;
+
+    /** Completed ITLB-triggered page walks (structure counter). */
+    std::uint64_t itlb_walks() const { return itlb_.completed_walks(); }
+    /** Completed DTLB-triggered page walks (structure counter). */
+    std::uint64_t dtlb_walks() const { return dtlb_.completed_walks(); }
+    const BranchUnit& branch_unit() const { return branch_; }
 
     Pmu& pmu() { return pmu_; }
     mem::CacheHierarchy& caches() { return hierarchy_; }
@@ -101,6 +154,9 @@ class Core final : public trace::OpSink
   private:
     /** The per-op pipeline model; non-virtual so batches inline it. */
     void consume_one(const trace::MicroOp& op);
+
+    /** Functional warming for one warm op; non-virtual (batch-inlined). */
+    void warm_one(const trace::MicroOp& op);
 
     void note(Event e, double w, trace::Mode mode);
     /** Record L2/L3 access+miss events for one beyond-L1 access. */
@@ -164,6 +220,22 @@ class Core final : public trace::OpSink
     /** Retire-time baseline of the last counter reset (IPC windows). */
     double cycle_baseline_ = 0.0;
     std::uint64_t op_baseline_ = 0;
+
+    // --- Interval-sampling state (inert in exact mode) ----------------
+    sample::IntervalLayout sample_layout_{};
+    bool has_sample_layout_ = false;
+    /** Full warming: warm ops note demand events (exact-mode parity). */
+    bool warm_counts_events_ = false;
+    bool in_window_ = false;
+    bool in_measurement_ = false;  ///< discard head retired, baseline set
+    std::vector<WindowSample> windows_;
+    CoreStats window_base_;  ///< stats at begin_window_measurement()
+    PmuSnapshot window_pmu_base_;
+    std::uint64_t warm_user_ops_ = 0;
+    std::uint64_t warm_kernel_ops_ = 0;
+    /** Last fetch page warmed (ITLB warm once per page transition). */
+    std::uint64_t last_warm_fetch_page_ = ~std::uint64_t{0};
+    std::uint32_t page_shift_ = 12;
 };
 
 }  // namespace dcb::cpu

@@ -4,6 +4,54 @@
 
 namespace dcb::cpu {
 
+const char*
+report_metric_name(ReportMetric m)
+{
+    switch (m) {
+      case ReportMetric::kIpc: return "ipc";
+      case ReportMetric::kKernelFraction: return "kernel_instr_fraction";
+      case ReportMetric::kStallFetch: return "stall_fetch";
+      case ReportMetric::kStallRat: return "stall_rat";
+      case ReportMetric::kStallLoad: return "stall_load";
+      case ReportMetric::kStallStore: return "stall_store";
+      case ReportMetric::kStallRs: return "stall_rs";
+      case ReportMetric::kStallRob: return "stall_rob";
+      case ReportMetric::kL1iMpki: return "l1i_mpki";
+      case ReportMetric::kItlbWalkPki: return "itlb_walk_pki";
+      case ReportMetric::kL2Mpki: return "l2_mpki";
+      case ReportMetric::kL3ServiceRatio: return "l3_service_ratio";
+      case ReportMetric::kDtlbWalkPki: return "dtlb_walk_pki";
+      case ReportMetric::kBranchMispredictionRatio:
+        return "branch_misprediction_ratio";
+      case ReportMetric::kCount: break;
+    }
+    return "unknown";
+}
+
+double
+report_metric(const CounterReport& r, ReportMetric m)
+{
+    switch (m) {
+      case ReportMetric::kIpc: return r.ipc;
+      case ReportMetric::kKernelFraction: return r.kernel_instr_fraction;
+      case ReportMetric::kStallFetch: return r.stalls.fetch;
+      case ReportMetric::kStallRat: return r.stalls.rat;
+      case ReportMetric::kStallLoad: return r.stalls.load;
+      case ReportMetric::kStallStore: return r.stalls.store;
+      case ReportMetric::kStallRs: return r.stalls.rs;
+      case ReportMetric::kStallRob: return r.stalls.rob;
+      case ReportMetric::kL1iMpki: return r.l1i_mpki;
+      case ReportMetric::kItlbWalkPki: return r.itlb_walk_pki;
+      case ReportMetric::kL2Mpki: return r.l2_mpki;
+      case ReportMetric::kL3ServiceRatio: return r.l3_service_ratio;
+      case ReportMetric::kDtlbWalkPki: return r.dtlb_walk_pki;
+      case ReportMetric::kBranchMispredictionRatio:
+        return r.branch_misprediction_ratio;
+      case ReportMetric::kCount: break;
+    }
+    return 0.0;
+}
+
 StallBreakdown
 normalize_stalls(double fetch, double rat, double load, double store,
                  double rs, double rob)

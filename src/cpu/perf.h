@@ -14,6 +14,7 @@
  * (Figure 12).
  */
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,34 @@
 #include "cpu/pmu.h"
 
 namespace dcb::cpu {
+
+/**
+ * The per-figure metrics a CounterReport carries, indexable so sampled
+ * runs can attach a standard error to each one (fig03..fig12).
+ */
+enum class ReportMetric : std::uint8_t {
+    kIpc,             ///< Figure 3
+    kKernelFraction,  ///< Figure 4
+    kStallFetch,      ///< Figure 6 (six categories)
+    kStallRat,
+    kStallLoad,
+    kStallStore,
+    kStallRs,
+    kStallRob,
+    kL1iMpki,                   ///< Figure 7
+    kItlbWalkPki,               ///< Figure 8
+    kL2Mpki,                    ///< Figure 9
+    kL3ServiceRatio,            ///< Figure 10 (Equation 1)
+    kDtlbWalkPki,               ///< Figure 11
+    kBranchMispredictionRatio,  ///< Figure 12
+    kCount
+};
+
+inline constexpr std::size_t kReportMetricCount =
+    static_cast<std::size_t>(ReportMetric::kCount);
+
+/** Short name for a report metric (tables, JSON keys). */
+const char* report_metric_name(ReportMetric m);
 
 /** Normalized pipeline-stall breakdown (sums to 1 when any stalls). */
 struct StallBreakdown
@@ -58,7 +87,21 @@ struct CounterReport
     double l3_service_ratio = 0.0;         ///< Figure 10 (Equation 1)
     double dtlb_walk_pki = 0.0;            ///< Figure 11
     double branch_misprediction_ratio = 0.0;  ///< Figure 12
+
+    // --- Interval-sampling annotations (exact runs leave these zero) --
+    bool sampled = false;            ///< built by extrapolation
+    std::size_t sample_windows = 0;  ///< detailed windows measured
+    /** Per-metric standard error across detailed windows. */
+    std::array<double, kReportMetricCount> metric_stderr{};
+
+    double stderr_of(ReportMetric m) const
+    {
+        return metric_stderr[static_cast<std::size_t>(m)];
+    }
 };
+
+/** Read one ReportMetric's value out of a report. */
+double report_metric(const CounterReport& r, ReportMetric m);
 
 /** Build a report from a core's always-on counters. */
 CounterReport make_report(const std::string& workload, const Core& core);

@@ -1,0 +1,59 @@
+#include "sample/interval_estimator.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dcb::sample {
+
+IntervalEstimator::IntervalEstimator(std::size_t metric_count)
+    : mean_(metric_count, 0.0), m2_(metric_count, 0.0)
+{
+    DCB_EXPECTS(metric_count > 0);
+}
+
+void
+IntervalEstimator::add_window(const double* values)
+{
+    ++windows_;
+    const double inv_n = 1.0 / static_cast<double>(windows_);
+    for (std::size_t m = 0; m < mean_.size(); ++m) {
+        const double delta = values[m] - mean_[m];
+        mean_[m] += delta * inv_n;
+        m2_[m] += delta * (values[m] - mean_[m]);
+    }
+}
+
+double
+IntervalEstimator::mean(std::size_t metric) const
+{
+    DCB_EXPECTS(metric < mean_.size());
+    return mean_[metric];
+}
+
+double
+IntervalEstimator::standard_deviation(std::size_t metric) const
+{
+    DCB_EXPECTS(metric < mean_.size());
+    if (windows_ < 2)
+        return 0.0;
+    return std::sqrt(m2_[metric] / static_cast<double>(windows_ - 1));
+}
+
+double
+IntervalEstimator::standard_error(std::size_t metric) const
+{
+    if (windows_ < 2)
+        return 0.0;
+    return standard_deviation(metric) /
+           std::sqrt(static_cast<double>(windows_));
+}
+
+double
+IntervalEstimator::extrapolated_total(std::size_t metric,
+                                      double total_units) const
+{
+    return mean(metric) * total_units;
+}
+
+}  // namespace dcb::sample

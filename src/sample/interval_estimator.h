@@ -1,0 +1,56 @@
+#ifndef DCBENCH_SAMPLE_INTERVAL_ESTIMATOR_H_
+#define DCBENCH_SAMPLE_INTERVAL_ESTIMATOR_H_
+
+/**
+ * @file
+ * Streaming per-metric statistics over detailed measurement windows.
+ *
+ * Each detailed window yields one value per metric (its local IPC,
+ * MPKI, stall share, ...). The estimator folds windows in one at a time
+ * (Welford's algorithm, numerically stable) and reports the mean across
+ * windows, the sample standard deviation, and the standard error of the
+ * mean -- the error bar attached to every extrapolated figure metric.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace dcb::sample {
+
+/** Mean / stderr accumulator for a fixed set of metrics. */
+class IntervalEstimator
+{
+  public:
+    explicit IntervalEstimator(std::size_t metric_count);
+
+    std::size_t metric_count() const { return mean_.size(); }
+    std::size_t windows() const { return windows_; }
+
+    /** Fold in one window's metric values (length metric_count()). */
+    void add_window(const double* values);
+
+    /** Mean of a metric across the windows seen (0 with no windows). */
+    double mean(std::size_t metric) const;
+
+    /** Sample standard deviation (0 with fewer than 2 windows). */
+    double standard_deviation(std::size_t metric) const;
+
+    /**
+     * Standard error of the mean: the sampling error attached to the
+     * per-window estimate of `metric` (0 with fewer than 2 windows).
+     */
+    double standard_error(std::size_t metric) const;
+
+    /** Extrapolate the per-unit mean of `metric` to `total_units`. */
+    double extrapolated_total(std::size_t metric,
+                              double total_units) const;
+
+  private:
+    std::size_t windows_ = 0;
+    std::vector<double> mean_;
+    std::vector<double> m2_;  ///< sum of squared deviations (Welford)
+};
+
+}  // namespace dcb::sample
+
+#endif  // DCBENCH_SAMPLE_INTERVAL_ESTIMATOR_H_

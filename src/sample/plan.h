@@ -1,0 +1,183 @@
+#ifndef DCBENCH_SAMPLE_PLAN_H_
+#define DCBENCH_SAMPLE_PLAN_H_
+
+/**
+ * @file
+ * Interval-sampling plans: how a workload's op stream is split into
+ * alternating fast-forward (functional warming) and detailed
+ * (full-model) segments.
+ *
+ * The scheme follows the SMARTS tradition the ROADMAP points at and the
+ * subsetting insight of Jia et al. (arXiv:1409.0792): each detailed
+ * measurement window is preceded by a bounded functional-warming
+ * segment that re-establishes the long-lived microarchitectural state
+ * (cache tags, TLBs, branch predictor tables, page table); the rest of
+ * the stream fast-forwards at accounting speed. The expensive timing
+ * model (stall attribution, ROB/RS/LSQ occupancy, PMU accounting) only
+ * runs inside the windows, and suite-level counters are extrapolated
+ * from the window measurements with a per-metric standard error.
+ *
+ * This header is dependency-free so every layer (trace producer, cpu
+ * sink, harness) can share the plan types without link-time coupling.
+ */
+
+#include <cstdint>
+
+namespace dcb::sample {
+
+/** User-facing sampling knobs (HarnessConfig::sampling). */
+struct SamplePlan
+{
+    /**
+     * Fraction of the post-warmup op budget simulated in detail.
+     * <= 0 disables sampling entirely (exact mode, the default).
+     */
+    double ratio = 0.0;
+
+    /** Sentinel: resolve_layout() picks a mode-appropriate value. */
+    static constexpr std::uint64_t kAuto = ~std::uint64_t{0};
+
+    /**
+     * Ops per detailed measurement window. kAuto resolves to 1000
+     * under bridge warming and 2000 under full warming: stall shares
+     * of slow-rebuilding structures (the store buffer above all) need
+     * the longer window before they re-materialize.
+     */
+    std::uint64_t window_ops = kAuto;
+
+    /**
+     * Functional-warming ops immediately before each window: enough
+     * stream to refresh the caches, TLBs and predictor after the
+     * fast-forward gap. Clamped to the available gap; 0 disables
+     * pre-window warming (cold windows, cheapest and least accurate).
+     * Ignored under full_warming (the whole gap warms).
+     */
+    std::uint64_t warm_ops = 6'000;
+
+    /**
+     * Detailed ops at the head of each window excluded from
+     * measurement: they re-pressurize the pipeline (ROB/RS/buffer
+     * occupancy rings, port cursors) after the fast-forward, so the
+     * measured tail sees steady-state timing. Clamped to half the
+     * window. kAuto resolves to a quarter of the window under bridge
+     * warming and half under full warming.
+     */
+    std::uint64_t window_discard_ops = kAuto;
+
+    /**
+     * Warming fidelity. false (bridge warming, the default): gaps
+     * fast-forward at accounting speed and only the warm_ops lead-in
+     * of each window touches the structures; every metric is
+     * extrapolated from the windows. true (full warming): the entire
+     * fast-forward stream warms the structures, so cache/TLB/branch
+     * counters cover the full run and the structure metrics are
+     * near-exact by construction -- slower, but tightly bounded error.
+     */
+    bool full_warming = false;
+
+    /**
+     * Lead-in before the first period, mirroring the exact-mode
+     * ramp-up discard so sampled and exact runs measure the same span
+     * of the stream. 0 means "use the run's warmup_ops". Bridge mode
+     * skips through it; full warming warms through it.
+     */
+    std::uint64_t warmup_ops = 0;
+
+    bool enabled() const { return ratio > 0.0 && window_ops > 0; }
+};
+
+/**
+ * A plan resolved against a concrete op budget: the actual interval
+ * schedule a run executes.
+ *
+ * Stream layout (op counts):
+ *
+ *   [ warmup ][ skip | warm | window ][ skip | warm | window ] ...
+ *     warming   fast   warming  full
+ *
+ * with skip = period_ops - warm_ops - window_ops. The cycle repeats
+ * until the stream actually ends: workloads stop at phase granularity
+ * and can overshoot the nominal budget, and exact mode measures that
+ * overshoot too, so `windows` is the nominal count for a stream that
+ * stops exactly at its budget, not a cap. The executor jitters each
+ * period's gap length (mean-preserving) so periodic workload phases
+ * cannot alias with the schedule. "Skip" segments fast-forward at pure
+ * accounting speed; "warm" segments replay the stream through the
+ * warm-only structure paths; "window" segments run the full timing
+ * model. Under full warming, skip is zero and the whole gap warms.
+ */
+struct IntervalLayout
+{
+    bool sampled = false;  ///< false: run exact (no schedule)
+    bool full_warming = false;
+    std::uint64_t warmup_ops = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t window_ops = 0;
+    std::uint64_t window_discard_ops = 0;
+    std::uint64_t warm_ops = 0;    ///< warming ops before each window
+    std::uint64_t period_ops = 0;  ///< skip + warm + window
+
+    std::uint64_t detailed_ops() const { return windows * window_ops; }
+    std::uint64_t gap_ops() const { return period_ops - window_ops; }
+    std::uint64_t skip_ops() const
+    {
+        return period_ops - warm_ops - window_ops;
+    }
+};
+
+/**
+ * Resolve a plan against an op budget. Degenerate inputs -- a disabled
+ * plan, a zero budget, warmup consuming the whole budget, or a window
+ * longer than the post-warmup budget -- resolve to an exact run
+ * (sampled == false), never to a broken schedule.
+ */
+inline IntervalLayout
+resolve_layout(const SamplePlan& plan, std::uint64_t op_budget,
+               std::uint64_t default_warmup_ops = 0)
+{
+    IntervalLayout layout;
+    if (!plan.enabled() || op_budget == 0)
+        return layout;
+    const std::uint64_t warmup =
+        plan.warmup_ops ? plan.warmup_ops : default_warmup_ops;
+    if (warmup >= op_budget)
+        return layout;
+    const std::uint64_t usable = op_budget - warmup;
+    const std::uint64_t window_ops =
+        plan.window_ops != SamplePlan::kAuto
+            ? plan.window_ops
+            : (plan.full_warming ? 2'000 : 1'000);
+    if (window_ops > usable)
+        return layout;  // window > budget: fall back to exact mode
+    const double ratio = plan.ratio < 1.0 ? plan.ratio : 1.0;
+    auto windows = static_cast<std::uint64_t>(
+        ratio * static_cast<double>(usable) /
+            static_cast<double>(window_ops) +
+        0.5);
+    if (windows == 0)
+        windows = 1;
+    const std::uint64_t max_windows = usable / window_ops;
+    if (windows > max_windows)
+        windows = max_windows;  // >= 1: window_ops <= usable
+    layout.sampled = true;
+    layout.full_warming = plan.full_warming;
+    layout.warmup_ops = warmup;
+    layout.windows = windows;
+    layout.window_ops = window_ops;
+    const std::uint64_t discard =
+        plan.window_discard_ops != SamplePlan::kAuto
+            ? plan.window_discard_ops
+            : (plan.full_warming ? window_ops / 2 : window_ops / 4);
+    layout.window_discard_ops =
+        discard < window_ops / 2 ? discard : window_ops / 2;
+    layout.period_ops = usable / windows;  // >= window_ops
+    layout.warm_ops = plan.full_warming ? layout.gap_ops()
+                      : plan.warm_ops < layout.gap_ops()
+                          ? plan.warm_ops
+                          : layout.gap_ops();
+    return layout;
+}
+
+}  // namespace dcb::sample
+
+#endif  // DCBENCH_SAMPLE_PLAN_H_

@@ -80,6 +80,50 @@ class CodeLayout
      */
     void force_transfer() { run_remaining_ = 0; }
 
+    /**
+     * Advance the stream by `n` instructions exactly as n next_fetch()
+     * calls would, invoking `on_line(line_addr)` for the first
+     * instruction's line and for every line-boundary crossing
+     * (sequential, wrap-around and transfer). Functional-warming fast
+     * path: the set of distinct lines entered -- and their first-touch
+     * order -- matches per-op fetching; only consecutive same-line
+     * repeat touches are elided, which cannot change line-granular
+     * tag/LRU state. ~16x fewer callbacks than fetches for 64-byte
+     * lines.
+     */
+    template <typename OnLine>
+    void advance(std::uint64_t n, std::uint64_t line_bytes,
+                 OnLine&& on_line)
+    {
+        const std::uint64_t line_mask = ~(line_bytes - 1);
+        std::uint64_t last_line = ~std::uint64_t{0};
+        while (n > 0) {
+            if (run_remaining_ == 0)
+                transfer();
+            // Instructions until the run ends, the function wraps, or
+            // the request is satisfied -- whichever comes first.
+            const std::uint64_t to_wrap =
+                (func_end_ - pc_ + kInsnBytes - 1) / kInsnBytes;
+            std::uint64_t take = run_remaining_ < to_wrap ? run_remaining_
+                                                          : to_wrap;
+            if (take > n)
+                take = n;
+            std::uint64_t line = pc_ & line_mask;
+            const std::uint64_t end_line =
+                (pc_ + (take - 1) * kInsnBytes) & line_mask;
+            if (line == last_line)
+                line += line_bytes;  // consecutive same-line: elide
+            for (; line <= end_line; line += line_bytes)
+                on_line(line);
+            last_line = end_line;
+            pc_ += take * kInsnBytes;
+            run_remaining_ -= take;
+            n -= take;
+            if (pc_ >= func_end_)
+                pc_ = func_start_;  // loop back within the function
+        }
+    }
+
     /** Total bytes mapped by the layout (the modelled binary size). */
     std::uint64_t total_bytes() const { return total_bytes_; }
 

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sample/plan.h"
 #include "trace/code_layout.h"
 #include "trace/microop.h"
 #include "util/rng.h"
@@ -104,10 +105,30 @@ class ExecCtx
 
     // --- Mode ------------------------------------------------------------
 
-    void set_mode(Mode mode) { mode_ = mode; }
+    void set_mode(Mode mode)
+    {
+        if (sampling_) {
+            sampled_set_mode(mode);
+            return;
+        }
+        mode_ = mode;
+    }
     Mode mode() const { return mode_; }
 
     const ExecCounts& counts() const { return counts_; }
+
+    // --- Interval sampling -----------------------------------------------
+
+    /**
+     * True when an interval schedule is active. The constructor asks
+     * the sink (OpSink::sample_layout) and self-configures, so
+     * workloads never deal with sampling directly: counts() advances by
+     * represented ops either way and the op budget loop is unchanged.
+     */
+    bool sampling() const { return sampling_; }
+
+    /** True while fast-forwarding (functional warming, no timing). */
+    bool fast_forwarding() const { return sampling_ && ff_; }
 
     // --- Batch delivery --------------------------------------------------
 
@@ -126,8 +147,69 @@ class ExecCtx
     void flush();
 
   private:
+    /**
+     * Granularity of fast-forward instruction warming. Matches the
+     * Table III 64-byte lines; a finer granularity would only cost
+     * extra touches.
+     */
+    static constexpr std::uint64_t kWarmLineBytes = 64;
+    /** Pending-insn backlog that triggers a lazy layout sync. */
+    static constexpr std::uint64_t kWarmSyncInsns = 256;
+
+    enum class SamplePhase : std::uint8_t {
+        kWarmup,  ///< lead-in (ends in a counter reset)
+        kSkip,    ///< fast-forward at accounting speed (no warming)
+        kWarm,    ///< pre-window functional-warming segment
+        kWindow,  ///< detailed measurement window
+    };
+    // The [skip|warm|window] cycle repeats until the stream ends (the
+    // stream, not the layout, decides the actual window count).
+
     void emit(MicroOp& op);
     CodeLayout& active_layout();
+
+    // Sampled-mode op paths (out of line; exact mode never calls them).
+    void start_sampling(const sample::IntervalLayout& layout);
+    void sampled_mem(OpClass cls, std::uint64_t addr,
+                     std::uint8_t dep_dist, bool chase);
+    void sampled_compute(OpClass cls, std::uint32_t n, bool serial,
+                         std::uint8_t dep_dist);
+    void sampled_branch(std::uint64_t key, bool taken, bool indirect,
+                        std::uint64_t target_key, std::uint8_t dep_dist,
+                        bool transfer);
+    void sampled_set_mode(Mode mode);
+    /** Account `n` warming ops (counts, layout backlog, segment). */
+    void ff_account(std::uint64_t n);
+    /** Account `n` skipped ops (counts and segment only). */
+    void skip_account(std::uint64_t n)
+    {
+        if (mode_ == Mode::kUser) {
+            counts_.user_ops += n;
+            warm_user_pending_ += n;
+        } else {
+            counts_.kernel_ops += n;
+            warm_kernel_pending_ += n;
+        }
+        seg_left_ -= n;
+    }
+    /** Append one warm op, flushing the warm batch when full. */
+    void ff_append_warm(const MicroOp& op);
+    /** Advance the layout over the pending-insn backlog (line warms). */
+    void ff_sync_layout();
+    /** Deliver the buffered warm ops plus their represented counts. */
+    void flush_warm();
+    /** Advance the schedule when the current segment is exhausted. */
+    void next_segment();
+    /** Detailed-window bookkeeping after one emitted op. */
+    void window_step()
+    {
+        if (win_discard_left_ != 0 && --win_discard_left_ == 0) {
+            flush();  // the discard head must land before the baseline
+            sink_.begin_window_measurement();
+        }
+        if (--seg_left_ == 0)
+            next_segment();
+    }
 
     OpSink& sink_;
     CodeLayout user_layout_;
@@ -139,7 +221,38 @@ class ExecCtx
     std::uint64_t ops_since_last_load_ = 1 << 20;
     std::uint64_t partial_reg_threshold_ = 0;  ///< u64-scaled probability
     std::size_t batch_size_ = 0;
+
+    /**
+     * Gap length for the next period: the base length jittered to
+     * [base/2, 3*base/2] with the context's deterministic RNG (mean
+     * preserved). Periodic workload phases otherwise alias with the
+     * fixed sampling period and systematically escape every window.
+     */
+    std::uint64_t jittered(std::uint64_t base)
+    {
+        return base ? base / 2 + rng_.next_u64() % (base + 1) : 0;
+    }
+
+    // --- Interval-sampling state (inert in exact mode) ----------------
+    bool sampling_ = false;
+    bool ff_ = false;    ///< current segment is fast-forward
+    bool warm_ = false;  ///< current ff segment delivers warm ops
+    bool full_warming_ = false;
+    SamplePhase phase_ = SamplePhase::kWarmup;
+    std::uint64_t seg_left_ = 0;  ///< ops left in the current segment
+    std::uint64_t skip_ops_ = 0;
+    std::uint64_t warm_ops_ = 0;
+    std::uint64_t window_ops_ = 0;
+    std::uint64_t window_discard_ops_ = 0;
+    std::uint64_t win_discard_left_ = 0;  ///< discard ops still to retire
+    /** FF insns not yet walked through the layout (lazy, batched). */
+    std::uint64_t ff_pending_insns_ = 0;
+    std::uint64_t warm_user_pending_ = 0;
+    std::uint64_t warm_kernel_pending_ = 0;
+    std::size_t wbatch_size_ = 0;
+
     MicroOp batch_[kBatchCapacity];
+    MicroOp wbatch_[kBatchCapacity];
 };
 
 }  // namespace dcb::trace

@@ -16,6 +16,10 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace dcb::sample {
+struct IntervalLayout;
+}
+
 namespace dcb::trace {
 
 /** Functional class of a micro-op (selects execution port and latency). */
@@ -47,6 +51,21 @@ struct MicroOp
     std::uint64_t target_key = 0;  ///< indirect branch target identity
 };
 
+/**
+ * Represented-op counts attached to one warming-only delivery: how many
+ * real stream ops (by mode) the batch stands for. Warm batches compress
+ * the stream -- compute ops are dropped entirely and instruction
+ * fetches are line-granular -- so the batch length itself says nothing
+ * about stream position.
+ */
+struct WarmSummary
+{
+    std::uint64_t user_ops = 0;
+    std::uint64_t kernel_ops = 0;
+
+    std::uint64_t total() const { return user_ops + kernel_ops; }
+};
+
 /** Consumer of a micro-op stream (implemented by cpu::Core). */
 class OpSink
 {
@@ -67,6 +86,56 @@ class OpSink
     {
         for (std::size_t i = 0; i < n; ++i)
             consume(ops[i]);
+    }
+
+    // --- Interval sampling (all defaults are exact-mode no-ops) -------
+
+    /**
+     * Warming-only delivery mode: `n` ops that should update long-lived
+     * state (cache tags, TLBs, branch predictor tables) but skip the
+     * timing model and event accounting. kNop ops carry an
+     * instruction-line address in fetch_addr (one per line the fetch
+     * stream enters); loads/stores carry data addresses; branches carry
+     * their resolved outcome. `represented` totals the real stream ops
+     * the batch stands for. The default drops the batch (sinks that
+     * never sample don't care).
+     */
+    virtual void consume_warm_batch(const MicroOp* ops, std::size_t n,
+                                    const WarmSummary& represented)
+    {
+        (void)ops;
+        (void)n;
+        (void)represented;
+    }
+
+    /** A detailed measurement window starts with the next consume(). */
+    virtual void begin_sample_window() {}
+
+    /**
+     * The window's pipeline re-pressurization head is over: counter
+     * deltas for this window should baseline here. Called after the
+     * first window_discard_ops detailed ops of each window (immediately
+     * after begin_sample_window() when the discard is zero).
+     */
+    virtual void begin_window_measurement() {}
+
+    /** The current detailed measurement window is complete. */
+    virtual void end_sample_window() {}
+
+    /**
+     * The functional-warm lead-in is over; measurement state should
+     * reset now (the sampled-mode equivalent of the ramp-up discard).
+     */
+    virtual void sampling_warmup_done() {}
+
+    /**
+     * The interval schedule the producer should run, or nullptr for
+     * exact mode. Queried once per ExecCtx construction, so the
+     * schedule reaches every workload without per-workload plumbing.
+     */
+    virtual const sample::IntervalLayout* sample_layout() const
+    {
+        return nullptr;
     }
 };
 
