@@ -9,10 +9,16 @@
  * scenario that kills a slave mid-job. Every job must still complete
  * (that is the point of the Hadoop recovery machinery) and mean job
  * time must rise monotonically with the fault rate.
+ *
+ * --trace-out FILE writes the node-crash scenario's cluster timeline
+ * (task attempts, retries, speculation, blacklists, fault epochs) as
+ * Chrome trace-event JSON for chrome://tracing / ui.perfetto.dev.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "bench_common.h"
 
@@ -38,7 +44,7 @@ struct SweepPoint
 
 SweepPoint
 run_point(const dcb::fault::FaultPlan& plan, dcb::util::CsvWriter* csv,
-          double rate_label)
+          double rate_label, dcb::obs::TraceWriter* trace = nullptr)
 {
     using namespace dcb;
     const mapreduce::ClusterScheduler scheduler;
@@ -51,7 +57,8 @@ run_point(const dcb::fault::FaultPlan& plan, dcb::util::CsvWriter* csv,
         const auto workload = workloads::make_workload(name);
         const auto& spec = workload->info().cluster_spec;
         fault::FaultInjector injector(plan);
-        const auto run = scheduler.run(spec, cluster, &injector);
+        const auto run = scheduler.run(spec, cluster, &injector, trace,
+                                       name);
         ++point.jobs;
         if (run.completed)
             ++point.completed;
@@ -78,10 +85,21 @@ run_point(const dcb::fault::FaultPlan& plan, dcb::util::CsvWriter* csv,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace dcb;
     using util::format_double;
+
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+            trace_path = argv[i] + 12;
+    }
+    std::unique_ptr<obs::TraceWriter> trace;
+    if (!trace_path.empty())
+        trace = std::make_unique<obs::TraceWriter>();
 
     const mapreduce::SchedulerConfig policy;  // Hadoop 1.x defaults
     const double rates[] = {0.0, 0.005, 0.01, 0.02, 0.05};
@@ -123,7 +141,16 @@ main()
     crash_plan.task_crash_prob = 0.02;
     crash_plan.node_crash_time_s = 60.0;
     crash_plan.crash_node = 3;
-    const SweepPoint crash = run_point(crash_plan, &csv, -1.0);
+    const SweepPoint crash =
+        run_point(crash_plan, &csv, -1.0, trace.get());
+    if (trace != nullptr) {
+        if (trace->write(trace_path))
+            std::printf("wrote %s (%zu trace events)\n",
+                        trace_path.c_str(), trace->size());
+        else
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         trace_path.c_str());
+    }
     std::printf("\nnode 3 dies at t=60s under 2%% task crashes: "
                 "%u/%u jobs complete, mean %.1fs "
                 "(mean recovery %.1fs, worst attempts %u)\n\n",

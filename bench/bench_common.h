@@ -11,17 +11,83 @@
  *   ./figNN_xxx [ops-per-workload] [--ops N] [--jobs N]
  *               [--sample[=ratio]] [--sample-window N] [--sample-warm N]
  *               [--sample-discard N] [--sample-warmup N] [--sample-full]
+ *               [--obs-interval N] [--obs-out PREFIX]
+ *               [--trace-out FILE] [--manifest FILE]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/dcbench.h"
+#include "obs/manifest.h"
 
 namespace dcb::bench {
+
+/**
+ * Process-wide observability sinks, created on demand by the shared
+ * --trace-out / --manifest flags and flushed once at process exit so a
+ * bench's every exit path (including the CI-guard `return 1`s) still
+ * writes the files.
+ */
+struct ObsSinks
+{
+    std::unique_ptr<obs::TraceWriter> trace;
+    std::string trace_path;
+    obs::RunManifest manifest;
+    std::string manifest_path;
+    bool flush_registered = false;
+};
+
+inline ObsSinks&
+obs_sinks()
+{
+    static ObsSinks sinks;
+    return sinks;
+}
+
+/**
+ * The run manifest config_from_args fills with the effective
+ * configuration. Benches embed it into their BENCH_*.json artifacts
+ * (json_fragment) and may stamp extra facts before exit.
+ */
+inline obs::RunManifest&
+manifest()
+{
+    return obs_sinks().manifest;
+}
+
+/** The --trace-out collector, nullptr when tracing is off. */
+inline obs::TraceWriter*
+trace_writer()
+{
+    return obs_sinks().trace.get();
+}
+
+/** atexit hook: write the trace and manifest files if requested. */
+inline void
+flush_obs_sinks()
+{
+    ObsSinks& sinks = obs_sinks();
+    if (sinks.trace != nullptr && !sinks.trace_path.empty()) {
+        if (sinks.trace->write(sinks.trace_path))
+            std::printf("wrote %s (%zu trace events)\n",
+                        sinks.trace_path.c_str(), sinks.trace->size());
+        else
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         sinks.trace_path.c_str());
+    }
+    if (!sinks.manifest_path.empty()) {
+        if (sinks.manifest.write(sinks.manifest_path))
+            std::printf("wrote %s\n", sinks.manifest_path.c_str());
+        else
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         sinks.manifest_path.c_str());
+    }
+}
 
 /** Default per-workload op budget for figure benches. */
 inline constexpr std::uint64_t kDefaultBudget = 2'000'000;
@@ -48,9 +114,19 @@ inline constexpr double kDefaultFullSampleRatio = 0.15;
  *   --sample-warmup N  lead-in before the first period
  *   --sample-full      full warming: structure metrics near-exact,
  *                      slower (gaps warm instead of skipping)
+ *   --obs-interval N   interval telemetry: snapshot every counter every
+ *                      N retired ops (perf stat -I analogue); writes
+ *                      <prefix><workload>.telemetry.{csv,json}
+ *   --obs-out PREFIX   telemetry file prefix (default "obs/";
+ *                      --obs-out= keeps telemetry in memory only)
+ *   --trace-out FILE   collect a Chrome trace-event / Perfetto JSON
+ *                      timeline of the whole process into FILE
+ *   --manifest FILE    write the run manifest (config echo, seeds,
+ *                      build type, host parallelism) to FILE
  * Workloads are independent simulations, so results do not depend on
  * the jobs count. Prints the resolved budget so every bench states what
- * it actually ran.
+ * it actually ran. The manifest is always populated (see manifest());
+ * trace and manifest files are flushed at process exit.
  */
 inline core::HarnessConfig
 config_from_args(int argc, char** argv)
@@ -59,6 +135,8 @@ config_from_args(int argc, char** argv)
     config.run.op_budget = kDefaultBudget;
     bool budget_seen = false;
     bool default_ratio = false;  // bare --sample: mode-appropriate ratio
+    bool obs_out_seen = false;
+    ObsSinks& sinks = obs_sinks();
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             config.jobs = static_cast<unsigned>(
@@ -109,6 +187,29 @@ config_from_args(int argc, char** argv)
         } else if (std::strncmp(argv[i], "--sample-warmup=", 16) == 0) {
             config.sampling.warmup_ops =
                 std::strtoull(argv[i] + 16, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--obs-interval") == 0 &&
+                   i + 1 < argc) {
+            config.telemetry.interval_ops =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strncmp(argv[i], "--obs-interval=", 15) == 0) {
+            config.telemetry.interval_ops =
+                std::strtoull(argv[i] + 15, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            config.telemetry.out_path = argv[++i];
+            obs_out_seen = true;
+        } else if (std::strncmp(argv[i], "--obs-out=", 10) == 0) {
+            config.telemetry.out_path = argv[i] + 10;
+            obs_out_seen = true;
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            sinks.trace_path = argv[++i];
+        } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            sinks.trace_path = argv[i] + 12;
+        } else if (std::strcmp(argv[i], "--manifest") == 0 &&
+                   i + 1 < argc) {
+            sinks.manifest_path = argv[++i];
+        } else if (std::strncmp(argv[i], "--manifest=", 11) == 0) {
+            sinks.manifest_path = argv[i] + 11;
         } else if (!budget_seen) {
             config.run.op_budget = std::strtoull(argv[i], nullptr, 10);
             budget_seen = true;
@@ -117,6 +218,45 @@ config_from_args(int argc, char** argv)
     if (default_ratio && config.sampling.full_warming)
         config.sampling.ratio = kDefaultFullSampleRatio;
     config.run.warmup_ops = config.run.op_budget / 4;
+    if (config.telemetry.enabled() && !obs_out_seen)
+        config.telemetry.out_path = "obs/";
+    if (!sinks.trace_path.empty() && sinks.trace == nullptr)
+        sinks.trace = std::make_unique<obs::TraceWriter>();
+    config.trace = sinks.trace.get();
+    if (sinks.trace != nullptr)
+        sinks.trace->name_process(obs::TraceWriter::kHostPid,
+                                  "harness (host time)");
+    if (!sinks.flush_registered &&
+        (sinks.trace != nullptr || !sinks.manifest_path.empty())) {
+        std::atexit(&flush_obs_sinks);
+        sinks.flush_registered = true;
+    }
+
+    // Every bench run carries its provenance: the effective config goes
+    // into the shared manifest whether or not --manifest was given, so
+    // benches can embed it into their committed JSON artifacts.
+    obs::RunManifest& m = sinks.manifest;
+    std::string cmdline = argv[0];
+    for (int i = 1; i < argc; ++i)
+        cmdline += std::string(" ") + argv[i];
+    m.set("command_line", cmdline);
+    m.set("op_budget", config.run.op_budget);
+    m.set("warmup_ops", config.run.warmup_ops);
+    m.set("jobs", static_cast<std::uint64_t>(config.jobs));
+    m.set("seed", config.run.seed);
+    m.set("sampling_enabled", config.sampling.enabled());
+    if (config.sampling.enabled()) {
+        m.set("sampling_ratio", config.sampling.ratio);
+        m.set("sampling_window_ops", config.sampling.window_ops);
+        m.set("sampling_full_warming", config.sampling.full_warming);
+    }
+    m.set("obs_interval_ops", config.telemetry.interval_ops);
+    if (config.telemetry.enabled())
+        m.set("obs_out", config.telemetry.out_path);
+    if (!sinks.trace_path.empty())
+        m.set("trace_out", sinks.trace_path);
+    m.add_host_info();
+
     std::printf("op budget: %llu ops per workload",
                 static_cast<unsigned long long>(config.run.op_budget));
     if (config.sampling.enabled()) {
@@ -133,6 +273,18 @@ config_from_args(int argc, char** argv)
     }
     else
         std::printf("; exact (no sampling)\n");
+    if (config.telemetry.enabled()) {
+        if (config.sampling.enabled())
+            std::printf("telemetry: ignored (sampled run decomposes "
+                        "into windows already)\n");
+        else
+            std::printf(
+                "telemetry: every %llu ops -> %s<workload>.telemetry."
+                "{csv,json}\n",
+                static_cast<unsigned long long>(
+                    config.telemetry.interval_ops),
+                config.telemetry.out_path.c_str());
+    }
     return config;
 }
 

@@ -91,6 +91,15 @@ main(int argc, char** argv)
     const sample::IntervalLayout resolved = sample::resolve_layout(
         sampled_config.sampling, sampled_config.run.op_budget,
         sampled_config.run.warmup_ops);
+    // The default ratio and jobs pin happen after config_from_args
+    // filled the manifest; re-stamp the effective values.
+    bench::manifest().set("jobs", std::uint64_t{1});
+    bench::manifest().set("sampling_enabled", true);
+    bench::manifest().set("sampling_ratio", sampled_config.sampling.ratio);
+    bench::manifest().set("sampling_window_ops",
+                          static_cast<std::uint64_t>(resolved.window_ops));
+    bench::manifest().set("sampling_full_warming",
+                          sampled_config.sampling.full_warming);
     const std::vector<std::string> names = workloads::figure_order();
     std::printf("sampling accuracy bench: %zu workloads, %llu ops each, "
                 "ratio %.3f, window %llu ops, %s warming\n\n",
@@ -238,7 +247,9 @@ main(int argc, char** argv)
                          w.name.c_str(), w.max_err, w.worst_metric.c_str(),
                          w.windows, i + 1 < per_workload.size() ? "," : "");
         }
-        std::fprintf(f, "  ]\n");
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"manifest\": %s\n",
+                     bench::manifest().json_fragment(2).c_str());
         std::fprintf(f, "}\n");
         std::fclose(f);
         std::printf("wrote %s\n", json_path);

@@ -7,6 +7,7 @@
  *
  * Usage: ./bench_throughput [ops-per-workload] [--jobs N]
  *                           [--check-speedup X]
+ *                           [--check-obs-overhead F]
  *   N = 0 picks one worker per hardware thread; default compares
  *   --jobs 1 against that auto value.
  *
@@ -16,8 +17,15 @@
  * is not at least X times faster than serial -- skipped (with a note)
  * when the host exposes a single hardware thread, where no parallel
  * speedup is possible.
+ *
+ * --check-obs-overhead F reruns the serial suite with interval
+ * telemetry and event tracing armed, verifies the counter reports stay
+ * bit-identical (observability must not perturb the simulation), and
+ * fails when the instrumented wall time exceeds (1 + F) times plain --
+ * the CI guard for observability cost.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -66,6 +74,7 @@ main(int argc, char** argv)
     // Split off --check-speedup before the shared parser sees it (it
     // treats unknown tokens as the legacy positional budget).
     double check_speedup = -1.0;
+    double check_obs_overhead = -1.0;
     std::vector<char*> pass;
     pass.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -73,6 +82,11 @@ main(int argc, char** argv)
             check_speedup = std::strtod(argv[++i], nullptr);
         else if (std::strncmp(argv[i], "--check-speedup=", 16) == 0)
             check_speedup = std::strtod(argv[i] + 16, nullptr);
+        else if (std::strcmp(argv[i], "--check-obs-overhead") == 0 &&
+                 i + 1 < argc)
+            check_obs_overhead = std::strtod(argv[++i], nullptr);
+        else if (std::strncmp(argv[i], "--check-obs-overhead=", 21) == 0)
+            check_obs_overhead = std::strtod(argv[i] + 21, nullptr);
         else
             pass.push_back(argv[i]);
     }
@@ -159,6 +173,35 @@ main(int argc, char** argv)
     std::printf("parallel results bit-identical to serial: %s\n",
                 identical ? "yes" : "NO -- BUG");
 
+    // --- Observability overhead: telemetry + tracing armed --------------
+    // Same serial suite with interval counters and span tracing on.
+    // Observation must not perturb the simulation (reports stay
+    // bit-identical) and must stay cheap (CI guards the overhead).
+    const std::uint64_t obs_interval =
+        std::max<std::uint64_t>(config.run.op_budget / 100, 1000);
+    core::HarnessConfig obs_config = serial;
+    obs_config.telemetry.interval_ops = obs_interval;
+    obs_config.telemetry.out_path.clear();  // in-memory recorders only
+    obs::TraceWriter obs_trace;
+    obs_config.trace = &obs_trace;
+    const auto obs_start = Clock::now();
+    const core::SuiteResult obs_suite = core::run_suite(names, obs_config);
+    const double obs_seconds = seconds_since(obs_start);
+    bool obs_identical = obs_suite.runs.size() == serial_suite.runs.size();
+    for (std::size_t i = 0; obs_identical && i < serial_suite.runs.size();
+         ++i) {
+        obs_identical = serial_suite.runs[i].status.ok ==
+                            obs_suite.runs[i].status.ok &&
+                        reports_equal(serial_suite.runs[i].report,
+                                      obs_suite.runs[i].report);
+    }
+    const double obs_overhead =
+        serial_seconds > 0.0 ? obs_seconds / serial_seconds - 1.0 : 0.0;
+    std::printf("observability on (interval %llu ops + tracing): %.3f s, "
+                "overhead %+.1f%%, reports bit-identical: %s\n",
+                static_cast<unsigned long long>(obs_interval), obs_seconds,
+                100.0 * obs_overhead, obs_identical ? "yes" : "NO -- BUG");
+
     // --- JSON dump ------------------------------------------------------
     const char* json_path = "BENCH_throughput.json";
     if (std::FILE* f = std::fopen(json_path, "w")) {
@@ -185,8 +228,16 @@ main(int argc, char** argv)
         std::fprintf(f, "  \"suite_seconds_jobsN\": %.6f,\n",
                      parallel_seconds);
         std::fprintf(f, "  \"suite_speedup\": %.4f,\n", speedup);
-        std::fprintf(f, "  \"parallel_bit_identical\": %s\n",
+        std::fprintf(f, "  \"parallel_bit_identical\": %s,\n",
                      identical ? "true" : "false");
+        std::fprintf(f, "  \"obs_seconds_jobs1\": %.6f,\n", obs_seconds);
+        std::fprintf(f, "  \"obs_overhead\": %.4f,\n", obs_overhead);
+        std::fprintf(f, "  \"obs_trace_events\": %zu,\n",
+                     obs_trace.size());
+        std::fprintf(f, "  \"obs_bit_identical\": %s,\n",
+                     obs_identical ? "true" : "false");
+        std::fprintf(f, "  \"manifest\": %s\n",
+                     bench::manifest().json_fragment(2).c_str());
         std::fprintf(f, "}\n");
         std::fclose(f);
         std::printf("wrote %s\n", json_path);
@@ -204,5 +255,12 @@ main(int argc, char** argv)
             return 1;
         }
     }
-    return identical ? 0 : 1;
+    if (check_obs_overhead > 0.0 && obs_overhead > check_obs_overhead) {
+        std::fprintf(stderr,
+                     "FAIL: observability overhead %.1f%% above allowed "
+                     "%.1f%%\n",
+                     100.0 * obs_overhead, 100.0 * check_obs_overhead);
+        return 1;
+    }
+    return identical && obs_identical ? 0 : 1;
 }

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate dcbench observability artifacts (CI gate).
+
+Three subcommands, all exiting nonzero with a diagnostic on failure:
+
+  check_obs.py telemetry FILE [FILE...]
+      Every additive column of each <workload>.telemetry.json must sum
+      EXACTLY (bit-for-bit as IEEE doubles, not within an epsilon) to
+      the whole-run total -- the recorder's delta encoding guarantees
+      it, and this is the independent check that it held on disk.
+      Gauge (non-additive) columns must be finite and non-negative.
+
+  check_obs.py trace FILE [CATEGORY...]
+      FILE must parse as Chrome trace-event JSON with a traceEvents
+      list, every event must carry the required fields for its phase
+      type, and each named CATEGORY must appear at least once
+      (e.g. workload sampling task phase fault).
+
+  check_obs.py manifest FILE [KEY...]
+      FILE must parse as one flat JSON object and contain every KEY.
+
+Both C++ and this script accumulate in IEEE-754 binary64 left to
+right, so "exact" means Python's float sum reproduces the C++ total
+bit for bit.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"check_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_telemetry(paths):
+    if not paths:
+        fail("no telemetry files given")
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        cols = doc["columns"]
+        additive = doc["additive"]
+        totals = doc["totals"]
+        rows = doc["rows"]
+        if not rows:
+            fail(f"{path}: no interval rows")
+        if not (len(cols) == len(additive) == len(totals)):
+            fail(f"{path}: columns/additive/totals length mismatch")
+        for row in rows:
+            if len(row["values"]) != len(cols):
+                fail(f"{path}: row {row['interval']} has "
+                     f"{len(row['values'])} values, want {len(cols)}")
+        exact = 0
+        for i, name in enumerate(cols):
+            values = [row["values"][i] for row in rows]
+            if additive[i]:
+                acc = 0.0
+                for v in values:
+                    acc += v
+                if acc != totals[i]:
+                    fail(f"{path}: column '{name}' interval sum "
+                         f"{acc!r} != total {totals[i]!r} "
+                         f"(diff {acc - totals[i]:g})")
+                exact += 1
+            else:
+                for v in values:
+                    if not math.isfinite(v) or v < 0.0:
+                        fail(f"{path}: gauge '{name}' value {v!r} "
+                             "not finite/non-negative")
+        ops = sum(row["op_count"] for row in rows)
+        print(f"check_obs: OK: {path}: {len(rows)} intervals x "
+              f"{len(cols)} columns, {exact} additive columns sum "
+              f"exactly, {ops:.0f} ops covered")
+
+
+def check_trace(path, required_cats):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents list")
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path}: event {i} missing '{key}': {ev}")
+        if ev["ph"] in ("X", "i") and "ts" not in ev:
+            fail(f"{path}: event {i} missing 'ts': {ev}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            fail(f"{path}: complete event {i} missing 'dur': {ev}")
+    cats = {}
+    for ev in events:
+        cats[ev.get("cat", "")] = cats.get(ev.get("cat", ""), 0) + 1
+    for cat in required_cats:
+        if cats.get(cat, 0) == 0:
+            fail(f"{path}: no '{cat}' events; has {sorted(cats)}")
+    summary = ", ".join(f"{c}={n}" for c, n in sorted(cats.items()) if c)
+    print(f"check_obs: OK: {path}: {len(events)} events ({summary})")
+
+
+def check_manifest(path, required_keys):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not doc:
+        fail(f"{path}: not a flat JSON object")
+    for key in required_keys:
+        if key not in doc:
+            fail(f"{path}: missing manifest key '{key}'")
+    print(f"check_obs: OK: {path}: {len(doc)} manifest entries")
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    mode, args = argv[1], argv[2:]
+    if mode == "telemetry":
+        check_telemetry(args)
+    elif mode == "trace":
+        check_trace(args[0], args[1:])
+    elif mode == "manifest":
+        check_manifest(args[0], args[1:])
+    else:
+        fail(f"unknown mode '{mode}'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

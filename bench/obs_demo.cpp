@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Observability demo: exercises every span source in one run and
+ * writes one Chrome trace-event / Perfetto file that contains all of
+ * them -- per-workload harness runs and interval telemetry (exact
+ * runs), sampling-engine segments (a sampled run), and the cluster
+ * scheduler's task attempts, retries, speculation and fault epochs (a
+ * faulty MapReduce job). This is the file the CI observability step
+ * validates and the README's Perfetto quick-start opens.
+ *
+ * Usage: ./obs_demo [--ops N] [--obs-interval N] [--obs-out PREFIX]
+ *                   [--trace-out FILE] [--manifest FILE]
+ *
+ * Defaults (unlike the figure benches, observability is ON here):
+ * trace to obs_demo.trace.json, manifest to obs_demo.manifest.json,
+ * telemetry every op_budget/20 ops into obs/.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+#include "fault/fault.h"
+#include "mapreduce/scheduler.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dcb;
+
+    core::HarnessConfig config = bench::config_from_args(argc, argv);
+    bench::ObsSinks& sinks = bench::obs_sinks();
+    if (sinks.trace == nullptr) {
+        sinks.trace_path = "obs_demo.trace.json";
+        sinks.trace = std::make_unique<obs::TraceWriter>();
+        sinks.trace->name_process(obs::TraceWriter::kHostPid,
+                                  "harness (host time)");
+    }
+    if (sinks.manifest_path.empty())
+        sinks.manifest_path = "obs_demo.manifest.json";
+    if (!sinks.flush_registered) {
+        std::atexit(&bench::flush_obs_sinks);
+        sinks.flush_registered = true;
+    }
+    config.trace = sinks.trace.get();
+    if (!config.telemetry.enabled())
+        config.telemetry.interval_ops = config.run.op_budget / 20;
+    if (config.telemetry.out_path.empty())
+        config.telemetry.out_path = "obs/";
+    config.sampling = sample::SamplePlan{};  // exact first: telemetry on
+    // Defaults were applied after config_from_args filled the manifest;
+    // re-stamp the effective values (set() overwrites in place).
+    bench::manifest().set("obs_interval_ops",
+                          config.telemetry.interval_ops);
+    bench::manifest().set("obs_out", config.telemetry.out_path);
+    bench::manifest().set("trace_out", sinks.trace_path);
+
+    // --- Exact runs: workload spans + interval telemetry ----------------
+    const std::vector<std::string> all = workloads::figure_order();
+    const std::vector<std::string> names(all.begin(),
+                                         all.begin() +
+                                             std::min<std::size_t>(
+                                                 3, all.size()));
+    std::printf("\nexact runs (telemetry every %llu ops):\n",
+                static_cast<unsigned long long>(
+                    config.telemetry.interval_ops));
+    const core::SuiteResult suite = core::run_suite(names, config);
+    bool telemetry_ok = suite.all_ok();
+    for (std::size_t i = 0; i < suite.runs.size(); ++i) {
+        const core::RunResult& run = suite.runs[i];
+        if (!run.status.ok || run.telemetry == nullptr) {
+            telemetry_ok = false;
+            continue;
+        }
+        std::printf("  %-20s %zu intervals, ipc %.3f, %.3f s\n",
+                    names[i].c_str(), run.telemetry->rows().size(),
+                    run.report.ipc, run.wall_seconds);
+        telemetry_ok = telemetry_ok && !run.telemetry->empty();
+    }
+
+    // --- Sampled run: sampling-engine segment spans ---------------------
+    core::HarnessConfig sampled = config;
+    sampled.telemetry = obs::TelemetryConfig{};  // sampled: telemetry off
+    sampled.sampling.ratio = 0.05;
+    const core::RunResult sampled_run =
+        core::run_workload(names.front(), sampled, names.size());
+    std::printf("sampled run: %-13s ipc %.3f, %.3f s\n",
+                names.front().c_str(), sampled_run.report.ipc,
+                sampled_run.wall_seconds);
+
+    // --- Faulty cluster job: task spans + fault epochs ------------------
+    const mapreduce::ClusterScheduler scheduler;
+    mapreduce::ClusterConfig cluster;
+    cluster.slaves = 8;
+    fault::FaultPlan plan;
+    plan.task_crash_prob = 0.02;
+    plan.node_crash_time_s = 60.0;
+    plan.crash_node = 3;
+    cluster.fault = plan;
+    fault::FaultInjector injector(plan);
+    const auto workload = workloads::make_workload(names.front());
+    const mapreduce::JobRun job =
+        scheduler.run(workload->info().cluster_spec, cluster, &injector,
+                      sinks.trace.get(), names.front());
+    std::printf("cluster job: %s in %.1f sim-s, %u task failures, "
+                "%u node(s) lost\n",
+                job.completed ? "completed" : "FAILED",
+                job.timings.total_s, job.task_failures, job.nodes_lost);
+
+    bench::manifest().set("demo_workloads",
+                          static_cast<std::uint64_t>(names.size()));
+    bench::manifest().set("demo_job_completed", job.completed);
+
+    // --- Shape checks: the trace really holds every span source ---------
+    const obs::TraceWriter& trace = *sinks.trace;
+    std::printf("\ntrace: %zu events -- workload %zu, sampling %zu, "
+                "task %zu, phase %zu, scheduler %zu, fault %zu\n\n",
+                trace.size(), trace.count_category("workload"),
+                trace.count_category("sampling"),
+                trace.count_category("task"),
+                trace.count_category("phase"),
+                trace.count_category("scheduler"),
+                trace.count_category("fault"));
+    bool ok = true;
+    ok &= core::shape_check("every exact run produced telemetry",
+                            telemetry_ok);
+    ok &= core::shape_check("per-workload run spans recorded",
+                            trace.count_category("workload") ==
+                                names.size() + 1);
+    ok &= core::shape_check("sampling segment spans recorded",
+                            trace.count_category("sampling") > 0);
+    ok &= core::shape_check("scheduler task spans recorded",
+                            trace.count_category("task") > 0);
+    ok &= core::shape_check("map/shuffle/reduce phase spans recorded",
+                            trace.count_category("phase") >= 3);
+    ok &= core::shape_check("fault epochs recorded",
+                            trace.count_category("fault") > 0);
+    ok &= core::shape_check("the faulty job still completed",
+                            job.completed);
+    return ok ? 0 : 1;
+}

@@ -1,13 +1,42 @@
 #include "core/harness.h"
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <exception>
 
+#include "obs/json.h"
 #include "sample/controller.h"
 #include "util/assert.h"
+#include "util/log.h"
 #include "util/thread_pool.h"
 
 namespace dcb::core {
+
+namespace {
+
+/** Workload name as a filesystem-safe fragment. */
+std::string
+sanitize_for_path(const std::string& name)
+{
+    std::string out = name;
+    for (char& c : out) {
+        const auto u = static_cast<unsigned char>(c);
+        if (!std::isalnum(u) && c != '-' && c != '.')
+            c = '_';
+    }
+    return out;
+}
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    const std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - start;
+    return d.count();
+}
+
+}  // namespace
 
 std::vector<cpu::CounterReport>
 SuiteResult::reports() const
@@ -31,8 +60,10 @@ SuiteResult::failure_count() const
 }
 
 cpu::CounterReport
-run_workload(workloads::Workload& workload, const HarnessConfig& config)
+run_workload(workloads::Workload& workload, const HarnessConfig& config,
+             RunArtifacts* artifacts, std::uint64_t run_index)
 {
+    const auto start = std::chrono::steady_clock::now();
     cpu::Core core(config.core_config, config.memory_config);
     // The sampled lead-in defaults to the exact-mode ramp-up discard so
     // both modes measure the same span of the op stream.
@@ -48,20 +79,68 @@ run_workload(workloads::Workload& workload, const HarnessConfig& config)
                          "warmup must be shorter than the op budget");
         core.set_counter_reset_at(config.run.warmup_ops);
     }
+    const std::string& name = workload.info().name;
+    std::shared_ptr<obs::TimeSeriesRecorder> recorder;
+    if (config.telemetry.enabled() && !sampler.active()) {
+        // Telemetry decomposes the exact measured stream; a sampled run
+        // already decomposes into windows with its own error model.
+        recorder = std::make_shared<obs::TimeSeriesRecorder>(
+            cpu::Core::telemetry_columns(),
+            cpu::Core::telemetry_additive());
+        core.set_telemetry(recorder.get(), config.telemetry.interval_ops);
+    }
+    double span_start_us = 0.0;
+    if (config.trace != nullptr) {
+        core.set_trace(config.trace, run_index);
+        config.trace->name_thread(obs::TraceWriter::kHostPid, run_index,
+                                  name);
+        span_start_us = config.trace->now_us();
+    }
     if (config.use_pmu) {
         core.pmu().configure_events(cpu::default_event_set(),
                                     config.pmu_rotate_instr);
     }
     workload.run(core, config.run);
+    core.finish_observation();
+    cpu::CounterReport report;
     if (sampler.active())
-        return sampler.make_report(workload.info().name, core);
-    return config.use_pmu
-               ? cpu::make_report_from_pmu(workload.info().name, core)
-               : cpu::make_report(workload.info().name, core);
+        report = sampler.make_report(name, core);
+    else if (config.use_pmu)
+        report = cpu::make_report_from_pmu(name, core);
+    else
+        report = cpu::make_report(name, core);
+    if (config.trace != nullptr) {
+        const double now_us = config.trace->now_us();
+        config.trace->complete(
+            name, "workload", obs::TraceWriter::kHostPid, run_index,
+            span_start_us, now_us - span_start_us,
+            "{\"instructions\": " + obs::json_double(report.instructions) +
+                ", \"ipc\": " + obs::json_double(report.ipc) + "}");
+    }
+    if (recorder != nullptr) {
+        recorder->set_source(name, config.telemetry.interval_ops);
+        if (!config.telemetry.out_path.empty()) {
+            const std::string base = config.telemetry.out_path +
+                                     sanitize_for_path(name) +
+                                     ".telemetry";
+            if (config.telemetry.write_csv &&
+                !recorder->write_csv(base + ".csv"))
+                util::warn("obs", "cannot write " + base + ".csv");
+            if (config.telemetry.write_json &&
+                !recorder->write_json(base + ".json"))
+                util::warn("obs", "cannot write " + base + ".json");
+        }
+    }
+    if (artifacts != nullptr) {
+        artifacts->telemetry = std::move(recorder);
+        artifacts->wall_seconds = seconds_since(start);
+    }
+    return report;
 }
 
 RunResult
-run_workload(const std::string& name, const HarnessConfig& config)
+run_workload(const std::string& name, const HarnessConfig& config,
+             std::uint64_t run_index)
 {
     RunResult result;
     auto workload = workloads::make_workload(name);
@@ -74,7 +153,11 @@ run_workload(const std::string& name, const HarnessConfig& config)
         return result;
     }
     try {
-        result.report = run_workload(*workload, config);
+        RunArtifacts artifacts;
+        result.report = run_workload(*workload, config, &artifacts,
+                                     run_index);
+        result.telemetry = std::move(artifacts.telemetry);
+        result.wall_seconds = artifacts.wall_seconds;
     } catch (const std::exception& e) {
         result.status.ok = false;
         result.status.error = "workload '" + name +
@@ -89,13 +172,18 @@ run_suite(const std::vector<std::string>& names,
 {
     SuiteResult out;
     out.names = names;
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t warn_mark = util::warning_sequence();
     const unsigned jobs =
         std::min<std::size_t>(util::effective_thread_count(config.jobs),
                               std::max<std::size_t>(names.size(), 1));
+    out.jobs_used = jobs;
     if (jobs <= 1 || names.size() <= 1) {
         out.runs.reserve(names.size());
-        for (const auto& name : names)
-            out.runs.push_back(run_workload(name, config));
+        for (std::size_t i = 0; i < names.size(); ++i)
+            out.runs.push_back(run_workload(names[i], config, i));
+        out.wall_seconds = seconds_since(start);
+        out.warnings = util::warnings_since(warn_mark);
         return out;
     }
     // Each task simulates a fully private machine and writes only its
@@ -106,7 +194,7 @@ run_suite(const std::vector<std::string>& names,
     for (std::size_t i = 0; i < names.size(); ++i) {
         pool.submit([&out, &names, &config, i] {
             try {
-                out.runs[i] = run_workload(names[i], config);
+                out.runs[i] = run_workload(names[i], config, i);
             } catch (const std::exception& e) {
                 // Pool tasks must not throw; report like a failed run.
                 out.runs[i].status.ok = false;
@@ -115,6 +203,14 @@ run_suite(const std::vector<std::string>& names,
         });
     }
     pool.wait_idle();
+    out.wall_seconds = seconds_since(start);
+    out.pool_tasks = pool.tasks_completed();
+    out.pool_busy_seconds = pool.busy_seconds();
+    if (out.wall_seconds > 0.0)
+        out.pool_utilization = out.pool_busy_seconds /
+                               (static_cast<double>(jobs) *
+                                out.wall_seconds);
+    out.warnings = util::warnings_since(warn_mark);
     return out;
 }
 

@@ -12,12 +12,16 @@
  * process, so a suite always returns the results it did collect.
  */
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cpu/config.h"
 #include "cpu/perf.h"
 #include "mem/config.h"
+#include "obs/time_series.h"
+#include "obs/trace_writer.h"
 #include "sample/plan.h"
 #include "workloads/registry.h"
 
@@ -51,6 +55,23 @@ struct HarnessConfig
      * plan warmup_ops of 0 borrows run.warmup_ops.
      */
     sample::SamplePlan sampling{};
+    /**
+     * Interval counter telemetry (perf stat -I analogue). Exact-mode
+     * runs only: a sampled run already decomposes into measurement
+     * windows, so the harness arms telemetry only when sampling is off.
+     * Each run's recorder rides back on its RunResult; with a non-empty
+     * out_path the harness also writes
+     * `<out_path><workload>.telemetry.{csv,json}` per workload.
+     */
+    obs::TelemetryConfig telemetry{};
+    /**
+     * Optional trace-event collector, borrowed (one writer may span
+     * many runs, benches and the cluster scheduler). When set, every
+     * workload run becomes a host-time span on its own lane and the
+     * core brackets its sampling segments. nullptr = no tracing, zero
+     * cost.
+     */
+    obs::TraceWriter* trace = nullptr;
 };
 
 /** Why a run produced no report. */
@@ -65,6 +86,9 @@ struct RunResult
 {
     cpu::CounterReport report;  ///< meaningful only when status.ok
     RunStatus status;
+    /** Interval telemetry when enabled (exact mode), else null. */
+    std::shared_ptr<obs::TimeSeriesRecorder> telemetry;
+    double wall_seconds = 0.0;  ///< host wall time of this run
 };
 
 /** Results of a suite run, failures isolated per workload. */
@@ -73,22 +97,47 @@ struct SuiteResult
     std::vector<RunResult> runs;      ///< one per requested name
     std::vector<std::string> names;   ///< the requested names
 
+    // Self-metrics: how the suite itself executed (run manifests and
+    // bench JSON embed these).
+    double wall_seconds = 0.0;       ///< whole-suite host wall time
+    unsigned jobs_used = 1;          ///< resolved worker count
+    std::uint64_t pool_tasks = 0;    ///< tasks run on the pool (0 = serial)
+    double pool_busy_seconds = 0.0;  ///< summed in-task worker time
+    /** Busy fraction of pool slots: busy / (jobs x wall); 0 = serial. */
+    double pool_utilization = 0.0;
+    /** util::warn messages issued during the suite (bounded ring). */
+    std::vector<std::string> warnings;
+
     /** Reports of the successful runs, in request order. */
     std::vector<cpu::CounterReport> reports() const;
     std::size_t failure_count() const;
     bool all_ok() const { return failure_count() == 0; }
 };
 
-/** Run one workload instance on a fresh core. */
+/** Observability artifacts of one run (outputs of run_workload). */
+struct RunArtifacts
+{
+    std::shared_ptr<obs::TimeSeriesRecorder> telemetry;
+    double wall_seconds = 0.0;
+};
+
+/**
+ * Run one workload instance on a fresh core. `run_index` labels the
+ * run's trace lane (suite position); `artifacts` receives telemetry
+ * and timing when non-null.
+ */
 cpu::CounterReport run_workload(workloads::Workload& workload,
-                                const HarnessConfig& config);
+                                const HarnessConfig& config,
+                                RunArtifacts* artifacts = nullptr,
+                                std::uint64_t run_index = 0);
 
 /**
  * Construct by name and run. Unknown names are a recoverable error: the
  * result's status lists the valid registry names instead of aborting.
  */
 RunResult run_workload(const std::string& name,
-                       const HarnessConfig& config);
+                       const HarnessConfig& config,
+                       std::uint64_t run_index = 0);
 
 /**
  * Run a list of workloads, one fresh core each. A workload that fails

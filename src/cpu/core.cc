@@ -306,6 +306,18 @@ Core::consume_one(const trace::MicroOp& op)
         ++store_count_;
     }
 
+    if (telemetry_ != nullptr) {
+        // Residence integrals (op-cycles held per structure); Little's
+        // law turns the per-interval residence delta into the interval's
+        // mean occupancy at telemetry_tick() time.
+        rob_residence_ += retired - dispatched;
+        rs_residence_ += issued - dispatched;
+        if (op.cls == OpClass::kLoad)
+            load_residence_ += completed - dispatched;
+        else if (op.cls == OpClass::kStore)
+            store_residence_ += retired + store_drain - dispatched;
+    }
+
     // ------------------------------------------------------------------
     // Branch resolution: mispredicts restart the front end after the
     // branch resolves plus the refill depth.
@@ -360,6 +372,8 @@ Core::consume_one(const trace::MicroOp& op)
         reset_counters();
         warmup_reset_at_ = 0;
     }
+    if (op_index_ == telemetry_next_op_)
+        telemetry_tick(false);
 }
 
 // --- Interval sampling --------------------------------------------------
@@ -528,6 +542,191 @@ Core::reset_counters()
     branch_.reset_counters();
     cycle_baseline_ = last_retire_;
     op_baseline_ = op_index_;
+    rob_residence_ = rs_residence_ = 0.0;
+    load_residence_ = store_residence_ = 0.0;
+    rob_residence_base_ = rs_residence_base_ = 0.0;
+    load_residence_base_ = store_residence_base_ = 0.0;
+    if (telemetry_ != nullptr)
+        telemetry_restart();
+}
+
+// --- Observability ------------------------------------------------------
+
+std::vector<std::string>
+Core::telemetry_columns()
+{
+    std::vector<std::string> cols;
+    cols.reserve(kEventCount + 7);
+    for (std::size_t i = 0; i < kEventCount; ++i)
+        cols.emplace_back(event_name(static_cast<Event>(i)));
+    cols.emplace_back("user_instr");
+    cols.emplace_back("kernel_instr");
+    cols.emplace_back("interval_ipc");
+    cols.emplace_back("rob_occupancy");
+    cols.emplace_back("rs_occupancy");
+    cols.emplace_back("load_buf_occupancy");
+    cols.emplace_back("store_buf_occupancy");
+    return cols;
+}
+
+std::vector<bool>
+Core::telemetry_additive()
+{
+    std::vector<bool> mask(kEventCount + 7, true);
+    for (std::size_t i = kEventCount + 2; i < mask.size(); ++i)
+        mask[i] = false;  // gauges: interval IPC, occupancy means
+    return mask;
+}
+
+void
+Core::set_telemetry(obs::TimeSeriesRecorder* recorder,
+                    std::uint64_t interval_ops)
+{
+    telemetry_ = (recorder != nullptr && interval_ops > 0) ? recorder
+                                                           : nullptr;
+    telemetry_interval_ = interval_ops;
+    rob_residence_ = rs_residence_ = 0.0;
+    load_residence_ = store_residence_ = 0.0;
+    rob_residence_base_ = rs_residence_base_ = 0.0;
+    load_residence_base_ = store_residence_base_ = 0.0;
+    if (telemetry_ != nullptr) {
+        DCB_EXPECTS(recorder->columns().size() == kEventCount + 7);
+        telemetry_restart();
+    } else {
+        telemetry_next_op_ = ~std::uint64_t{0};
+    }
+}
+
+void
+Core::telemetry_restart()
+{
+    telemetry_->reset();
+    telemetry_prev_.fill(0.0);
+    telemetry_last_op_ = op_index_;
+    telemetry_next_op_ = op_index_ + telemetry_interval_;
+}
+
+void
+Core::telemetry_tick(bool final_flush)
+{
+    const std::uint64_t dops = op_index_ - telemetry_last_op_;
+    if (final_flush && dops == 0)
+        return;
+    std::array<double, kEventCount + 7> row{};
+    // Additive columns: fitted deltas, so the recorder's left-to-right
+    // running sum lands exactly on every cumulative counter value (and
+    // therefore on the final report totals).
+    for (std::size_t i = 0; i < kEventCount; ++i) {
+        const double cum = stats_.get(static_cast<Event>(i));
+        row[i] =
+            obs::TimeSeriesRecorder::fit_delta(telemetry_prev_[i], cum);
+        telemetry_prev_[i] = cum;
+    }
+    const double cum_user = stats_.user_instructions;
+    row[kEventCount] = obs::TimeSeriesRecorder::fit_delta(
+        telemetry_prev_[kEventCount], cum_user);
+    telemetry_prev_[kEventCount] = cum_user;
+    const double cum_kernel = stats_.kernel_instructions;
+    row[kEventCount + 1] = obs::TimeSeriesRecorder::fit_delta(
+        telemetry_prev_[kEventCount + 1], cum_kernel);
+    telemetry_prev_[kEventCount + 1] = cum_kernel;
+
+    const double dcycles = row[static_cast<std::size_t>(Event::kCycles)];
+    const auto occupancy = [dcycles](double residence, double capacity) {
+        if (dcycles <= 0.0)
+            return 0.0;
+        return std::clamp(residence / dcycles, 0.0, capacity);
+    };
+    row[kEventCount + 2] =
+        dcycles > 0.0 ? static_cast<double>(dops) / dcycles : 0.0;
+    row[kEventCount + 3] = occupancy(rob_residence_ - rob_residence_base_,
+                                     static_cast<double>(rob_.size()));
+    row[kEventCount + 4] = occupancy(rs_residence_ - rs_residence_base_,
+                                     static_cast<double>(rs_.size()));
+    row[kEventCount + 5] =
+        occupancy(load_residence_ - load_residence_base_,
+                  static_cast<double>(load_buf_.size()));
+    row[kEventCount + 6] =
+        occupancy(store_residence_ - store_residence_base_,
+                  static_cast<double>(store_buf_.size()));
+    rob_residence_base_ = rob_residence_;
+    rs_residence_base_ = rs_residence_;
+    load_residence_base_ = load_residence_;
+    store_residence_base_ = store_residence_;
+
+    telemetry_->add_row(telemetry_last_op_ - op_baseline_, dops,
+                        row.data());
+    telemetry_last_op_ = op_index_;
+    telemetry_next_op_ = final_flush ? ~std::uint64_t{0}
+                                     : op_index_ + telemetry_interval_;
+}
+
+void
+Core::finish_observation()
+{
+    if (telemetry_ != nullptr) {
+        telemetry_tick(true);
+        std::vector<double> totals(kEventCount + 7, 0.0);
+        for (std::size_t i = 0; i < kEventCount; ++i)
+            totals[i] = stats_.get(static_cast<Event>(i));
+        totals[kEventCount] = stats_.user_instructions;
+        totals[kEventCount + 1] = stats_.kernel_instructions;
+        const double cycles =
+            stats_.get(Event::kCycles);
+        const auto occupancy = [cycles](double residence, double cap) {
+            if (cycles <= 0.0)
+                return 0.0;
+            return std::clamp(residence / cycles, 0.0, cap);
+        };
+        totals[kEventCount + 2] =
+            cycles > 0.0
+                ? static_cast<double>(op_index_ - op_baseline_) / cycles
+                : 0.0;
+        totals[kEventCount + 3] =
+            occupancy(rob_residence_, static_cast<double>(rob_.size()));
+        totals[kEventCount + 4] =
+            occupancy(rs_residence_, static_cast<double>(rs_.size()));
+        totals[kEventCount + 5] = occupancy(
+            load_residence_, static_cast<double>(load_buf_.size()));
+        totals[kEventCount + 6] = occupancy(
+            store_residence_, static_cast<double>(store_buf_.size()));
+        telemetry_->set_totals(totals);
+        telemetry_ = nullptr;
+        telemetry_next_op_ = ~std::uint64_t{0};
+    }
+    if (trace_ != nullptr)
+        close_segment_span(trace_->now_us());
+}
+
+void
+Core::set_trace(obs::TraceWriter* trace, std::uint64_t tid)
+{
+    trace_ = trace;
+    trace_tid_ = tid;
+}
+
+void
+Core::begin_sample_segment(trace::SampleSegment segment)
+{
+    if (trace_ == nullptr)
+        return;
+    const double now = trace_->now_us();
+    close_segment_span(now);
+    cur_segment_ = static_cast<int>(segment);
+    segment_start_us_ = now;
+}
+
+void
+Core::close_segment_span(double now_us)
+{
+    if (cur_segment_ < 0)
+        return;
+    static constexpr const char* kSegmentNames[] = {"warmup", "skip",
+                                                    "warm", "window"};
+    trace_->complete(kSegmentNames[cur_segment_], "sampling",
+                     obs::TraceWriter::kHostPid, trace_tid_,
+                     segment_start_us_, now_us - segment_start_us_);
+    cur_segment_ = -1;
 }
 
 double

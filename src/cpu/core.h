@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cpu/branch.h"
@@ -30,6 +31,8 @@
 #include "mem/hierarchy.h"
 #include "mem/page_table.h"
 #include "mem/tlb.h"
+#include "obs/time_series.h"
+#include "obs/trace_writer.h"
 #include "sample/plan.h"
 #include "trace/microop.h"
 
@@ -151,12 +154,57 @@ class Core final : public trace::OpSink
     /** Automatically reset_counters() once `op` ops have retired. */
     void set_counter_reset_at(std::uint64_t op) { warmup_reset_at_ = op; }
 
+    // --- Observability ---------------------------------------------------
+
+    /**
+     * Column names of the interval telemetry rows this core produces:
+     * every PMU event (deltas), user/kernel retired instructions
+     * (deltas), then the derived gauges (interval IPC and mean
+     * ROB/RS/load-buffer/store-buffer occupancy).
+     */
+    static std::vector<std::string> telemetry_columns();
+    /** Additive mask matching telemetry_columns() (gauges are false). */
+    static std::vector<bool> telemetry_additive();
+
+    /**
+     * Arm interval telemetry: every `interval_ops` retired ops one
+     * delta row is appended to `recorder` (constructed over
+     * telemetry_columns()). Rows restart at each counter reset, so the
+     * recorded series covers exactly the measured (post-warmup) span
+     * and its additive columns sum bit-for-bit to the final counters
+     * once finish_observation() runs. nullptr or 0 disarms.
+     */
+    void set_telemetry(obs::TimeSeriesRecorder* recorder,
+                       std::uint64_t interval_ops);
+
+    /**
+     * Attach a trace writer: sampling-segment transitions
+     * (warmup/skip/warm/window) become host-time spans on lane `tid`.
+     */
+    void set_trace(obs::TraceWriter* trace, std::uint64_t tid);
+
+    void begin_sample_segment(trace::SampleSegment segment) override;
+
+    /**
+     * Flush observation state after the op stream ends: emits the final
+     * partial telemetry interval, records whole-run totals on the
+     * recorder, and closes the open segment span. Idempotent.
+     */
+    void finish_observation();
+
   private:
     /** The per-op pipeline model; non-virtual so batches inline it. */
     void consume_one(const trace::MicroOp& op);
 
     /** Functional warming for one warm op; non-virtual (batch-inlined). */
     void warm_one(const trace::MicroOp& op);
+
+    /** Emit one telemetry row covering ops since the previous row. */
+    void telemetry_tick(bool final_flush);
+    /** Re-baseline telemetry at the current op (counter reset). */
+    void telemetry_restart();
+    /** Close the open sampling-segment span at host time `now_us`. */
+    void close_segment_span(double now_us);
 
     void note(Event e, double w, trace::Mode mode);
     /** Record L2/L3 access+miss events for one beyond-L1 access. */
@@ -236,6 +284,31 @@ class Core final : public trace::OpSink
     /** Last fetch page warmed (ITLB warm once per page transition). */
     std::uint64_t last_warm_fetch_page_ = ~std::uint64_t{0};
     std::uint32_t page_shift_ = 12;
+
+    // --- Telemetry (inert while telemetry_ == nullptr) -----------------
+    obs::TimeSeriesRecorder* telemetry_ = nullptr;
+    std::uint64_t telemetry_interval_ = 0;
+    /** op_index_ that triggers the next row; ~0 = disarmed. */
+    std::uint64_t telemetry_next_op_ = ~std::uint64_t{0};
+    std::uint64_t telemetry_last_op_ = 0;
+    /** Cumulative counter values already accounted into emitted rows. */
+    std::array<double, kEventCount + 2> telemetry_prev_{};
+    // Structure residence integrals (op-cycles; Little's law gives mean
+    // occupancy as residence / cycles). Accumulated only while armed.
+    double rob_residence_ = 0.0;
+    double rs_residence_ = 0.0;
+    double load_residence_ = 0.0;
+    double store_residence_ = 0.0;
+    double rob_residence_base_ = 0.0;
+    double rs_residence_base_ = 0.0;
+    double load_residence_base_ = 0.0;
+    double store_residence_base_ = 0.0;
+
+    // --- Tracing (inert while trace_ == nullptr) -----------------------
+    obs::TraceWriter* trace_ = nullptr;
+    std::uint64_t trace_tid_ = 0;
+    int cur_segment_ = -1;  ///< open trace::SampleSegment, -1 = none
+    double segment_start_us_ = 0.0;
 };
 
 }  // namespace dcb::cpu

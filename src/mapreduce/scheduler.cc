@@ -104,16 +104,22 @@ struct PhaseResult
  * Discrete-event simulation of one slot-scheduled task phase (map or
  * reduce wave) with Hadoop 1.x recovery behaviour.
  */
+/** Simulated cluster seconds as trace-timeline microseconds. */
+constexpr double kSimSecondsToUs = 1e6;
+
 class PhaseSim
 {
   public:
     PhaseSim(const SchedulerConfig& cfg, ClusterState& cluster,
              fault::FaultInjector* injector, JobRun& stats,
              std::uint32_t task_count, double nominal_task_s,
-             std::uint32_t slots_per_node, bool lose_outputs_on_crash)
+             std::uint32_t slots_per_node, bool lose_outputs_on_crash,
+             obs::TraceWriter* trace = nullptr,
+             const char* phase_label = "task")
         : cfg_(cfg), cluster_(cluster), injector_(injector), stats_(stats),
           nominal_task_s_(nominal_task_s), slots_per_node_(slots_per_node),
-          lose_outputs_(lose_outputs_on_crash), tasks_(task_count)
+          lose_outputs_(lose_outputs_on_crash), trace_(trace),
+          phase_label_(phase_label), tasks_(task_count)
     {
     }
 
@@ -123,6 +129,11 @@ class PhaseSim
 
   private:
     void push_event(double time, EventKind kind, std::uint32_t id);
+    /** Span for a finished/killed attempt on its node's trace lane. */
+    void trace_attempt(const Attempt& a, double end, const char* outcome);
+    /** Instant scheduler decision on a node's trace lane. */
+    void trace_instant(const std::string& name, std::uint32_t node,
+                       double time);
     /** Pick the launch target: alive, not blacklisted, most free slots. */
     int pick_node(int exclude = -1) const;
     void launch(std::uint32_t task, std::uint32_t node, double now,
@@ -142,6 +153,8 @@ class PhaseSim
     double nominal_task_s_;
     std::uint32_t slots_per_node_;
     bool lose_outputs_;
+    obs::TraceWriter* trace_;
+    const char* phase_label_;
 
     std::vector<TaskState> tasks_;
     std::vector<Attempt> attempts_;
@@ -157,6 +170,31 @@ void
 PhaseSim::push_event(double time, EventKind kind, std::uint32_t id)
 {
     events_.push(Event{time, seq_++, kind, id});
+}
+
+void
+PhaseSim::trace_attempt(const Attempt& a, double end, const char* outcome)
+{
+    if (trace_ == nullptr)
+        return;
+    std::string name = std::string(phase_label_) + " t" +
+                       std::to_string(a.task);
+    if (a.speculative)
+        name += " spec";
+    trace_->complete(name, "task", obs::TraceWriter::kClusterPid, a.node,
+                     a.start * kSimSecondsToUs,
+                     (end - a.start) * kSimSecondsToUs,
+                     std::string("{\"outcome\": \"") + outcome + "\"}");
+}
+
+void
+PhaseSim::trace_instant(const std::string& name, std::uint32_t node,
+                        double time)
+{
+    if (trace_ == nullptr)
+        return;
+    trace_->instant(name, "scheduler", obs::TraceWriter::kClusterPid,
+                    node, time * kSimSecondsToUs);
 }
 
 int
@@ -241,6 +279,7 @@ PhaseSim::kill_attempt(std::uint32_t id, double now)
     a.live = false;
     release_slot(a.node);
     stats_.wasted_task_s += now - a.start;
+    trace_attempt(a, now, "killed");
     auto& live = tasks_[a.task].live_attempts;
     live.erase(std::remove(live.begin(), live.end(), id), live.end());
 }
@@ -269,6 +308,7 @@ PhaseSim::on_finish(const Event& e)
     TaskState& t = tasks_[a.task];
     a.live = false;
     release_slot(a.node);
+    trace_attempt(a, e.time, "finish");
     auto& live = t.live_attempts;
     live.erase(std::remove(live.begin(), live.end(), e.id), live.end());
     if (t.done)
@@ -293,6 +333,7 @@ PhaseSim::on_crash(const Event& e)
     a.live = false;
     release_slot(a.node);
     stats_.wasted_task_s += e.time - a.start;
+    trace_attempt(a, e.time, "crash");
     auto& live = t.live_attempts;
     live.erase(std::remove(live.begin(), live.end(), e.id), live.end());
 
@@ -314,6 +355,8 @@ PhaseSim::on_crash(const Event& e)
         4 * (blacklisted + 1) <= cluster_.nodes.size()) {
         node.blacklisted = true;
         ++stats_.nodes_blacklisted;
+        trace_instant("blacklist n" + std::to_string(a.node), a.node,
+                      e.time);
     }
 
     if (t.failed >= cfg_.max_attempts) {
@@ -330,6 +373,8 @@ PhaseSim::on_crash(const Event& e)
         cfg_.backoff_base_s *
         std::pow(cfg_.backoff_factor, static_cast<double>(t.failed - 1));
     push_event(e.time + backoff, EventKind::kReady, a.task);
+    trace_instant("retry t" + std::to_string(a.task), a.node,
+                  e.time + backoff);
 }
 
 void
@@ -343,6 +388,8 @@ PhaseSim::on_spec_check(const Event& e)
         return;  // already has a backup copy
     const int node = pick_node(static_cast<int>(a.node));
     if (node >= 0) {
+        trace_instant("speculate t" + std::to_string(a.task),
+                      static_cast<std::uint32_t>(node), e.time);
         launch(a.task, static_cast<std::uint32_t>(node), e.time, true);
         return;
     }
@@ -364,6 +411,7 @@ PhaseSim::on_node_crash(const Event& e)
     node.alive = false;
     node.free_slots = 0;
     ++stats_.nodes_lost;
+    trace_instant("node-crash n" + std::to_string(idx), idx, e.time);
     if (injector_ != nullptr)
         injector_->record(
             {fault::FaultKind::kNodeCrash, e.time, idx, 0, 0});
@@ -376,6 +424,7 @@ PhaseSim::on_node_crash(const Event& e)
             continue;
         a.live = false;
         stats_.wasted_task_s += e.time - a.start;
+        trace_attempt(a, e.time, "node-lost");
         TaskState& t = tasks_[a.task];
         auto& live = t.live_attempts;
         live.erase(std::remove(live.begin(), live.end(), id), live.end());
@@ -394,6 +443,8 @@ PhaseSim::on_node_crash(const Event& e)
             --completed_;
             ++stats_.maps_reexecuted;
             stats_.wasted_task_s += nominal_task_s_;
+            trace_instant("map-output-lost t" + std::to_string(task), idx,
+                          e.time);
             push_event(e.time, EventKind::kReady, task);
         }
     }
@@ -473,7 +524,9 @@ ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
 
 JobRun
 ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
-                      fault::FaultInjector* injector) const
+                      fault::FaultInjector* injector,
+                      obs::TraceWriter* trace,
+                      const std::string& job_name) const
 {
     JobRun r;
     for (const std::string& err :
@@ -568,6 +621,20 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
         }
     }
 
+    // Trace lanes: one per node plus a phase lane past the last node.
+    const std::uint64_t phase_lane = c.slaves;
+    const std::size_t fault_mark =
+        injector != nullptr ? injector->log().events().size() : 0;
+    if (trace != nullptr) {
+        trace->name_process(obs::TraceWriter::kClusterPid,
+                            "cluster (simulated time)");
+        trace->name_thread(obs::TraceWriter::kClusterPid, phase_lane,
+                           job_name + " phases");
+        for (std::uint32_t i = 0; i < c.slaves; ++i)
+            trace->name_thread(obs::TraceWriter::kClusterPid, i,
+                               "node " + std::to_string(i));
+    }
+
     // The event clock tracks task execution only; fixed overheads and
     // the Amdahl residue are added per iteration, exactly as the
     // analytic model does. FaultPlan.node_crash_time_s is interpreted on
@@ -580,10 +647,16 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
         // ---- Map phase --------------------------------------------------
         double waste_mark = r.wasted_task_s;
         PhaseSim map_sim(config_, state, injector, r, map_count,
-                         map_task_s, c.map_slots, true);
+                         map_task_s, c.map_slots, true, trace, "map");
+        const double map_start = clock;
         const PhaseResult map_res = map_sim.run(clock);
         double map_i = map_res.end_time - clock;
         clock = map_res.end_time;
+        if (trace != nullptr)
+            trace->complete("map it" + std::to_string(it), "phase",
+                            obs::TraceWriter::kClusterPid, phase_lane,
+                            map_start * kSimSecondsToUs,
+                            map_i * kSimSecondsToUs);
         map_wasted_s += r.wasted_task_s - waste_mark;
         if (map_res.failed) {
             r.completed = false;
@@ -635,6 +708,11 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
                     }
                 }
             }
+            if (trace != nullptr)
+                trace->complete("shuffle it" + std::to_string(it),
+                                "phase", obs::TraceWriter::kClusterPid,
+                                phase_lane, clock * kSimSecondsToUs,
+                                (shuffle_end - clock) * kSimSecondsToUs);
             clock = shuffle_end;
         }
 
@@ -643,10 +721,17 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
         if (r.completed) {
             waste_mark = r.wasted_task_s;
             PhaseSim reduce_sim(config_, state, injector, r, reduce_count,
-                                reduce_task_s, c.reduce_slots, false);
+                                reduce_task_s, c.reduce_slots, false,
+                                trace, "reduce");
+            const double reduce_start = clock;
             const PhaseResult red_res = reduce_sim.run(clock);
             reduce_i = red_res.end_time - clock;
             clock = red_res.end_time;
+            if (trace != nullptr)
+                trace->complete("reduce it" + std::to_string(it), "phase",
+                                obs::TraceWriter::kClusterPid, phase_lane,
+                                reduce_start * kSimSecondsToUs,
+                                reduce_i * kSimSecondsToUs);
             reduce_wasted_s += r.wasted_task_s - waste_mark;
             if (red_res.failed) {
                 r.completed = false;
@@ -680,6 +765,20 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
                             static_cast<double>(c.disk.request_bytes);
     t.disk_writes_per_second =
         t.total_s > 0.0 ? t.disk_write_requests / t.total_s : 0.0;
+
+    // ---- Fault epochs: replay this run's injector log as instants. -----
+    if (trace != nullptr && injector != nullptr) {
+        const auto& events = injector->log().events();
+        for (std::size_t i = fault_mark; i < events.size(); ++i) {
+            const fault::FaultEvent& ev = events[i];
+            trace->instant(fault::fault_kind_name(ev.kind), "fault",
+                           obs::TraceWriter::kClusterPid, ev.node,
+                           std::max(0.0, ev.time_s) * kSimSecondsToUs,
+                           "{\"task\": " + std::to_string(ev.task) +
+                               ", \"attempt\": " +
+                               std::to_string(ev.attempt) + "}");
+        }
+    }
 
     // ---- Recovery cost: compare against the same run, fault free. ------
     if (injector != nullptr && injector->plan().any_faults()) {

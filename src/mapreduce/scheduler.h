@@ -36,6 +36,7 @@
 
 #include "fault/fault.h"
 #include "mapreduce/cluster.h"
+#include "obs/trace_writer.h"
 
 namespace dcb::mapreduce {
 
@@ -96,9 +97,22 @@ class ClusterScheduler
      * free); decisions and the event log stay in the injector so the
      * caller can inspect them. Config errors are returned in
      * JobRun::error, not fatal.
+     *
+     * With `trace` set the whole job lifecycle lands on the simulated
+     * cluster timeline (obs::TraceWriter::kClusterPid, simulated
+     * seconds scaled to trace microseconds): every task attempt is a
+     * span on its node's lane with its outcome (finish / crash /
+     * killed backup / lost with the node), retries, speculation,
+     * blacklisting and node crashes are instants, map/shuffle/reduce
+     * phases are spans on a job lane, and the injector's fault log is
+     * replayed as fault-epoch instants. Tracing is observation only --
+     * scheduling decisions and JobRun are bit-identical with or
+     * without it. `job_name` labels the lanes.
      */
     JobRun run(const JobSpec& job, const ClusterConfig& cluster,
-               fault::FaultInjector* injector = nullptr) const;
+               fault::FaultInjector* injector = nullptr,
+               obs::TraceWriter* trace = nullptr,
+               const std::string& job_name = "job") const;
 
   private:
     SchedulerConfig config_;

@@ -1,0 +1,172 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcb::obs {
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char raw : s) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+json_quote(const std::string& s)
+{
+    return "\"" + json_escape(s) + "\"";
+}
+
+std::string
+json_double(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[40];
+    // Integral doubles print as plain integers (CSV/JSON diffs read
+    // better and python parses them back to the same float).
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        return buf;
+    }
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+namespace {
+
+void
+skip_ws(const std::string& t, std::size_t& i)
+{
+    while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])))
+        ++i;
+}
+
+/** Parse a quoted string at t[i] (the opening quote), unescaping. */
+bool
+parse_string(const std::string& t, std::size_t& i, std::string* out)
+{
+    if (i >= t.size() || t[i] != '"')
+        return false;
+    ++i;
+    out->clear();
+    while (i < t.size()) {
+        const char c = t[i];
+        if (c == '"') {
+            ++i;
+            return true;
+        }
+        if (c == '\\') {
+            if (i + 1 >= t.size())
+                return false;
+            const char esc = t[i + 1];
+            switch (esc) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                if (i + 5 >= t.size())
+                    return false;
+                const unsigned long code =
+                    std::strtoul(t.substr(i + 2, 4).c_str(), nullptr, 16);
+                // Flat manifests only escape control chars; anything in
+                // the BMP below 0x80 round-trips, the rest is kept as a
+                // replacement to stay total.
+                *out += code < 0x80 ? static_cast<char>(code) : '?';
+                i += 4;
+                break;
+              }
+              default: return false;
+            }
+            i += 2;
+            continue;
+        }
+        *out += c;
+        ++i;
+    }
+    return false;  // unterminated
+}
+
+}  // namespace
+
+std::map<std::string, std::string>
+parse_flat_object(const std::string& text)
+{
+    std::map<std::string, std::string> out;
+    std::size_t i = 0;
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != '{')
+        return {};
+    ++i;
+    skip_ws(text, i);
+    if (i < text.size() && text[i] == '}')
+        return out;  // empty object
+    for (;;) {
+        skip_ws(text, i);
+        std::string key;
+        if (!parse_string(text, i, &key))
+            return {};
+        skip_ws(text, i);
+        if (i >= text.size() || text[i] != ':')
+            return {};
+        ++i;
+        skip_ws(text, i);
+        std::string value;
+        if (i < text.size() && text[i] == '"') {
+            if (!parse_string(text, i, &value))
+                return {};
+        } else {
+            // Bare literal: number, true/false/null. Read to the next
+            // delimiter.
+            const std::size_t start = i;
+            while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+                   !std::isspace(static_cast<unsigned char>(text[i])))
+                ++i;
+            value = text.substr(start, i - start);
+            if (value.empty())
+                return {};
+        }
+        out[key] = value;
+        skip_ws(text, i);
+        if (i >= text.size())
+            return {};
+        if (text[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (text[i] == '}')
+            return out;
+        return {};
+    }
+}
+
+}  // namespace dcb::obs

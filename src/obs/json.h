@@ -1,0 +1,47 @@
+#ifndef DCBENCH_OBS_JSON_H_
+#define DCBENCH_OBS_JSON_H_
+
+/**
+ * @file
+ * Minimal JSON helpers shared by the observability writers.
+ *
+ * The telemetry, trace and manifest files are all flat, machine-written
+ * JSON; these helpers cover exactly what they need: correct string
+ * escaping (workload names are user-visible and may contain quotes or
+ * backslashes), round-trip-exact double formatting (the interval-sum
+ * invariant is checked bit-for-bit by an external tool, so every double
+ * must survive text and back), and a tiny flat-object reader used by the
+ * manifest round-trip test.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dcb::obs {
+
+/** Escape `s` for inclusion inside a JSON string literal (no quotes). */
+std::string json_escape(const std::string& s);
+
+/** `s` as a quoted JSON string literal, escaped. */
+std::string json_quote(const std::string& s);
+
+/**
+ * `v` formatted so that parsing the text recovers the identical double
+ * (%.17g, with non-finite values mapped to 0 -- JSON has no inf/nan).
+ * Integral values are printed without an exponent or decimal point.
+ */
+std::string json_double(double v);
+
+/**
+ * Parse a flat JSON object of string/number/bool values into a
+ * key -> raw-text map (string values are unescaped, numbers and bools
+ * keep their literal spelling). Nested objects/arrays are not supported
+ * -- this exists for the manifest round-trip, not as a general parser.
+ * Returns an empty map on malformed input.
+ */
+std::map<std::string, std::string> parse_flat_object(const std::string& text);
+
+}  // namespace dcb::obs
+
+#endif  // DCBENCH_OBS_JSON_H_

@@ -1,0 +1,155 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace dcb::obs {
+
+RunManifest::Entry*
+RunManifest::find(const std::string& key)
+{
+    for (Entry& e : entries_)
+        if (e.key == key)
+            return &e;
+    return nullptr;
+}
+
+const RunManifest::Entry*
+RunManifest::find(const std::string& key) const
+{
+    for (const Entry& e : entries_)
+        if (e.key == key)
+            return &e;
+    return nullptr;
+}
+
+void
+RunManifest::set_raw(const std::string& key, std::string json_value)
+{
+    if (Entry* e = find(key)) {
+        e->json_value = std::move(json_value);
+        return;
+    }
+    entries_.push_back(Entry{key, std::move(json_value)});
+}
+
+void
+RunManifest::set(const std::string& key, const std::string& value)
+{
+    set_raw(key, json_quote(value));
+}
+
+void
+RunManifest::set(const std::string& key, const char* value)
+{
+    set_raw(key, json_quote(value != nullptr ? value : ""));
+}
+
+void
+RunManifest::set(const std::string& key, std::uint64_t value)
+{
+    set_raw(key, std::to_string(value));
+}
+
+void
+RunManifest::set(const std::string& key, std::int64_t value)
+{
+    set_raw(key, std::to_string(value));
+}
+
+void
+RunManifest::set(const std::string& key, int value)
+{
+    set_raw(key, std::to_string(value));
+}
+
+void
+RunManifest::set(const std::string& key, double value)
+{
+    set_raw(key, json_double(value));
+}
+
+void
+RunManifest::set(const std::string& key, bool value)
+{
+    set_raw(key, value ? "true" : "false");
+}
+
+void
+RunManifest::add_host_info()
+{
+#ifdef NDEBUG
+    set("build_type", "release");
+#else
+    set("build_type", "debug");
+#endif
+#if defined(__clang__)
+    set("compiler", std::string("clang ") + std::to_string(__clang_major__) +
+                        "." + std::to_string(__clang_minor__));
+#elif defined(__GNUC__)
+    set("compiler", std::string("gcc ") + std::to_string(__GNUC__) + "." +
+                        std::to_string(__GNUC_MINOR__));
+#else
+    set("compiler", "unknown");
+#endif
+    set("cpp_standard", static_cast<std::uint64_t>(__cplusplus));
+    set("hardware_concurrency",
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+}
+
+bool
+RunManifest::contains(const std::string& key) const
+{
+    return find(key) != nullptr;
+}
+
+std::string
+RunManifest::value_text(const std::string& key) const
+{
+    const Entry* e = find(key);
+    return e != nullptr ? e->json_value : std::string();
+}
+
+std::string
+RunManifest::json_fragment(int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent),
+                          ' ');
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        out += pad + "  " + json_quote(entries_[i].key) + ": " +
+               entries_[i].json_value;
+        out += i + 1 < entries_.size() ? ",\n" : "\n";
+    }
+    out += pad + "}";
+    return out;
+}
+
+std::string
+RunManifest::to_json() const
+{
+    return json_fragment(0) + "\n";
+}
+
+bool
+RunManifest::write(const std::string& path) const
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = to_json();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+}  // namespace dcb::obs

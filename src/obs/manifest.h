@@ -1,0 +1,76 @@
+#ifndef DCBENCH_OBS_MANIFEST_H_
+#define DCBENCH_OBS_MANIFEST_H_
+
+/**
+ * @file
+ * Run manifest: a flat, ordered record of everything needed to
+ * reproduce a run -- the effective configuration, seeds, sampling plan,
+ * build type and host parallelism. Written as its own JSON file
+ * (--manifest) and embedded verbatim inside the committed BENCH_*.json
+ * artifacts so each benchmark result carries its provenance.
+ *
+ * Values are typed (string / integer / double / bool) so the JSON stays
+ * faithful: integers print without a decimal point, bools as
+ * true/false, strings escaped. Insertion order is preserved -- a
+ * manifest reads top-to-bottom as "what was this run".
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcb::obs {
+
+/** Ordered, flat key/value run description with typed JSON export. */
+class RunManifest
+{
+  public:
+    /** Set (or overwrite, keeping position) one entry. */
+    void set(const std::string& key, const std::string& value);
+    void set(const std::string& key, const char* value);
+    void set(const std::string& key, std::uint64_t value);
+    void set(const std::string& key, std::int64_t value);
+    void set(const std::string& key, int value);
+    void set(const std::string& key, double value);
+    void set(const std::string& key, bool value);
+
+    /**
+     * Stamp build + host facts: dcbench build type (NDEBUG), compiler,
+     * C++ standard, and std::thread::hardware_concurrency.
+     */
+    void add_host_info();
+
+    bool contains(const std::string& key) const;
+    /** Value as its JSON literal text ("" when absent). */
+    std::string value_text(const std::string& key) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** The manifest as one flat JSON object (trailing newline). */
+    std::string to_json() const;
+    /**
+     * The same object indented for embedding inside a larger JSON
+     * document: every line prefixed with `indent` spaces, no trailing
+     * newline after the closing brace.
+     */
+    std::string json_fragment(int indent) const;
+
+    /** Write to `path`; false when the file cannot be opened. */
+    bool write(const std::string& path) const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string json_value;  ///< pre-rendered JSON literal
+    };
+
+    Entry* find(const std::string& key);
+    const Entry* find(const std::string& key) const;
+    void set_raw(const std::string& key, std::string json_value);
+
+    std::vector<Entry> entries_;
+};
+
+}  // namespace dcb::obs
+
+#endif  // DCBENCH_OBS_MANIFEST_H_

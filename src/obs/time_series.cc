@@ -1,0 +1,206 @@
+#include "obs/time_series.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include "obs/json.h"
+#include "util/assert.h"
+
+namespace dcb::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(std::vector<std::string> columns,
+                                       std::vector<bool> additive)
+    : columns_(std::move(columns)), additive_(std::move(additive))
+{
+    DCB_EXPECTS(!columns_.empty());
+    if (additive_.empty())
+        additive_.assign(columns_.size(), true);
+    DCB_EXPECTS(additive_.size() == columns_.size());
+}
+
+double
+TimeSeriesRecorder::fit_delta(double accounted, double target)
+{
+    double d = target - accounted;
+    // Integer-valued counters (the common case) are exact immediately;
+    // fractional accumulators converge in a few one-ulp nudges. The
+    // bounded loop guards the pathological case where the sum's ulp
+    // exceeds the delta's (then no nudge can move the sum and we accept
+    // the closest representable decomposition).
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 64 && accounted + d < target; ++i)
+        d = std::nextafter(d, inf);
+    for (int i = 0; i < 64 && accounted + d > target; ++i)
+        d = std::nextafter(d, -inf);
+    return d;
+}
+
+int
+TimeSeriesRecorder::column_index(const std::string& name) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        if (columns_[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+TimeSeriesRecorder::add_row(std::uint64_t first_op, std::uint64_t op_count,
+                            const double* values)
+{
+    IntervalRow row;
+    row.index = rows_.size();
+    row.first_op = first_op;
+    row.op_count = op_count;
+    row.values.assign(values, values + columns_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TimeSeriesRecorder::reset()
+{
+    rows_.clear();
+    totals_.clear();
+}
+
+void
+TimeSeriesRecorder::set_totals(const std::vector<double>& totals)
+{
+    DCB_EXPECTS(totals.size() == columns_.size());
+    totals_ = totals;
+}
+
+double
+TimeSeriesRecorder::sum(std::size_t col) const
+{
+    DCB_EXPECTS(col < columns_.size());
+    double s = 0.0;
+    for (const IntervalRow& row : rows_)
+        s += row.values[col];
+    return s;
+}
+
+double
+TimeSeriesRecorder::mean(std::size_t col) const
+{
+    if (rows_.empty())
+        return 0.0;
+    return sum(col) / static_cast<double>(rows_.size());
+}
+
+double
+TimeSeriesRecorder::variance(std::size_t col) const
+{
+    DCB_EXPECTS(col < columns_.size());
+    const std::size_t n = rows_.size();
+    if (n < 2)
+        return 0.0;
+    const double m = mean(col);
+    double acc = 0.0;
+    for (const IntervalRow& row : rows_) {
+        const double d = row.values[col] - m;
+        acc += d * d;
+    }
+    return acc / static_cast<double>(n - 1);
+}
+
+double
+TimeSeriesRecorder::stderr_of(std::size_t col) const
+{
+    const std::size_t n = rows_.size();
+    if (n < 2)
+        return 0.0;
+    return std::sqrt(variance(col) / static_cast<double>(n));
+}
+
+namespace {
+
+/** Create the parent directory of `path` if it names one. */
+void
+ensure_parent_dir(const std::string& path)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort
+}
+
+}  // namespace
+
+bool
+TimeSeriesRecorder::write_csv(const std::string& path) const
+{
+    ensure_parent_dir(path);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "interval,first_op,op_count");
+    for (const std::string& col : columns_)
+        std::fprintf(f, ",%s", col.c_str());
+    std::fprintf(f, "\n");
+    for (const IntervalRow& row : rows_) {
+        std::fprintf(f, "%llu,%llu,%llu",
+                     static_cast<unsigned long long>(row.index),
+                     static_cast<unsigned long long>(row.first_op),
+                     static_cast<unsigned long long>(row.op_count));
+        for (const double v : row.values)
+            std::fprintf(f, ",%s", json_double(v).c_str());
+        std::fprintf(f, "\n");
+    }
+    std::fclose(f);
+    return true;
+}
+
+std::string
+TimeSeriesRecorder::to_json() const
+{
+    std::string out = "{\n";
+    out += "  \"workload\": " + json_quote(workload_) + ",\n";
+    out += "  \"interval_ops\": " + json_double(
+        static_cast<double>(interval_ops_)) + ",\n";
+    out += "  \"columns\": [";
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        out += (i ? ", " : "") + json_quote(columns_[i]);
+    out += "],\n  \"additive\": [";
+    for (std::size_t i = 0; i < additive_.size(); ++i)
+        out += std::string(i ? ", " : "") + (additive_[i] ? "true" : "false");
+    out += "],\n  \"totals\": [";
+    for (std::size_t i = 0; i < totals_.size(); ++i)
+        out += (i ? ", " : "") + json_double(totals_[i]);
+    out += "],\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const IntervalRow& row = rows_[r];
+        out += "    {\"interval\": " +
+               json_double(static_cast<double>(row.index)) +
+               ", \"first_op\": " +
+               json_double(static_cast<double>(row.first_op)) +
+               ", \"op_count\": " +
+               json_double(static_cast<double>(row.op_count)) +
+               ", \"values\": [";
+        for (std::size_t i = 0; i < row.values.size(); ++i)
+            out += (i ? ", " : "") + json_double(row.values[i]);
+        out += "]}";
+        out += r + 1 < rows_.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+bool
+TimeSeriesRecorder::write_json(const std::string& path) const
+{
+    ensure_parent_dir(path);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = to_json();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+}  // namespace dcb::obs

@@ -1,0 +1,146 @@
+#ifndef DCBENCH_OBS_TIME_SERIES_H_
+#define DCBENCH_OBS_TIME_SERIES_H_
+
+/**
+ * @file
+ * Interval counter telemetry, a la `perf stat -I`.
+ *
+ * A TimeSeriesRecorder holds one delta-encoded time series: every
+ * `interval_ops` retired micro-ops the producer (cpu::Core) appends a
+ * row of per-interval counter deltas plus derived per-interval gauges
+ * (occupancy means, interval IPC). The defining invariant is
+ * **exact summation**: for every additive column, summing the rows in
+ * order reproduces the whole-run counter total bit-for-bit, so the
+ * interval series is a lossless decomposition of the final
+ * CounterReport rather than an approximation of it. Producers get that
+ * guarantee from fit_delta(), which nudges each emitted delta until the
+ * running floating-point sum lands exactly on the cumulative counter.
+ *
+ * The recorder is deliberately generic (named columns, no dependency on
+ * the cpu layer) so any subsystem can record interval series through it;
+ * per-column mean/variance/stderr accessors make per-metric interval
+ * variance a first-class recorded quantity for sample-plan tuning.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcb::obs {
+
+/** User-facing telemetry knobs (core::HarnessConfig::telemetry). */
+struct TelemetryConfig
+{
+    /** Retired ops per interval row; 0 disables telemetry entirely. */
+    std::uint64_t interval_ops = 0;
+    /**
+     * Output path prefix: each workload writes
+     * `<out_path><sanitized-name>.telemetry.{csv,json}`. A trailing '/'
+     * makes it a directory (created on demand); empty keeps the series
+     * in memory only (tests, programmatic consumers).
+     */
+    std::string out_path;
+    bool write_csv = true;
+    bool write_json = true;
+
+    bool enabled() const { return interval_ops > 0; }
+};
+
+/** One interval row: deltas (additive columns) and gauges (the rest). */
+struct IntervalRow
+{
+    std::uint64_t index = 0;     ///< interval ordinal, 0-based
+    std::uint64_t first_op = 0;  ///< first retired-op index covered
+    std::uint64_t op_count = 0;  ///< retired ops covered (last row may be short)
+    std::vector<double> values;  ///< one per column
+};
+
+/** Delta-encoded, named-column interval time series. */
+class TimeSeriesRecorder
+{
+  public:
+    /**
+     * @param columns  Column names, fixed for the recorder's lifetime.
+     * @param additive Per-column: true for delta columns that must sum
+     *                 exactly to the run total, false for gauges
+     *                 (occupancy means, rates). Empty = all additive.
+     */
+    explicit TimeSeriesRecorder(std::vector<std::string> columns,
+                                std::vector<bool> additive = {});
+
+    /**
+     * Nudge `target - accounted` so that `accounted + result` computes
+     * to exactly `target` in double arithmetic. For integer-valued
+     * counters the plain difference is already exact; for fractional
+     * accumulators (cycle counts) at most a few one-ulp steps are
+     * needed. This is what makes "rows sum exactly to the report" hold
+     * bit-for-bit instead of approximately.
+     */
+    static double fit_delta(double accounted, double target);
+
+    const std::vector<std::string>& columns() const { return columns_; }
+    const std::vector<bool>& additive() const { return additive_; }
+    /** Index of `name`, or -1 when absent. */
+    int column_index(const std::string& name) const;
+
+    /** Append one row; `values` must hold columns().size() doubles. */
+    void add_row(std::uint64_t first_op, std::uint64_t op_count,
+                 const double* values);
+
+    /** Drop all rows and totals (producer-side warmup counter reset). */
+    void reset();
+
+    /** Whole-run totals, recorded at flush for self-contained export. */
+    void set_totals(const std::vector<double>& totals);
+    const std::vector<double>& totals() const { return totals_; }
+
+    const std::vector<IntervalRow>& rows() const { return rows_; }
+    bool empty() const { return rows_.empty(); }
+
+    /** Left-to-right sum of one column over all rows. */
+    double sum(std::size_t col) const;
+    /** Across-interval mean of one column. */
+    double mean(std::size_t col) const;
+    /** Unbiased across-interval variance (0 with fewer than 2 rows). */
+    double variance(std::size_t col) const;
+    /** Standard error of the across-interval mean. */
+    double stderr_of(std::size_t col) const;
+
+    // --- Export -----------------------------------------------------------
+
+    /** Descriptive fields stamped into the export headers. */
+    void set_source(const std::string& workload, std::uint64_t interval_ops)
+    {
+        workload_ = workload;
+        interval_ops_ = interval_ops;
+    }
+    const std::string& workload() const { return workload_; }
+    std::uint64_t interval_ops() const { return interval_ops_; }
+
+    /**
+     * CSV: header `interval,first_op,op_count,<columns...>`, one row per
+     * interval, doubles formatted round-trip exact. Returns false when
+     * the file cannot be opened.
+     */
+    bool write_csv(const std::string& path) const;
+
+    /**
+     * JSON: {workload, interval_ops, columns, additive, totals, rows}.
+     * Self-contained for the external interval-sum checker. Returns
+     * false when the file cannot be opened.
+     */
+    bool write_json(const std::string& path) const;
+    std::string to_json() const;
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<bool> additive_;
+    std::vector<IntervalRow> rows_;
+    std::vector<double> totals_;
+    std::string workload_;
+    std::uint64_t interval_ops_ = 0;
+};
+
+}  // namespace dcb::obs
+
+#endif  // DCBENCH_OBS_TIME_SERIES_H_

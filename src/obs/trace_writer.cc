@@ -1,0 +1,160 @@
+#include "obs/trace_writer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/json.h"
+
+namespace dcb::obs {
+
+namespace {
+
+std::uint64_t
+steady_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter() : epoch_ns_(steady_ns()) {}
+
+double
+TraceWriter::now_us() const
+{
+    return static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
+}
+
+void
+TraceWriter::push(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceWriter::complete(const std::string& name, const std::string& cat,
+                      std::uint32_t pid, std::uint64_t tid, double ts_us,
+                      double dur_us, const std::string& args_json)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'X';
+    e.ts_us = ts_us;
+    e.dur_us = dur_us < 0.0 ? 0.0 : dur_us;
+    e.pid = pid;
+    e.tid = tid;
+    e.args_json = args_json;
+    push(std::move(e));
+}
+
+void
+TraceWriter::instant(const std::string& name, const std::string& cat,
+                     std::uint32_t pid, std::uint64_t tid, double ts_us,
+                     const std::string& args_json)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'i';
+    e.ts_us = ts_us;
+    e.pid = pid;
+    e.tid = tid;
+    e.args_json = args_json;
+    push(std::move(e));
+}
+
+void
+TraceWriter::name_process(std::uint32_t pid, const std::string& name)
+{
+    TraceEvent e;
+    e.name = "process_name";
+    e.ph = 'M';
+    e.pid = pid;
+    e.args_json = "{\"name\": " + json_quote(name) + "}";
+    push(std::move(e));
+}
+
+void
+TraceWriter::name_thread(std::uint32_t pid, std::uint64_t tid,
+                         const std::string& name)
+{
+    TraceEvent e;
+    e.name = "thread_name";
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.args_json = "{\"name\": " + json_quote(name) + "}";
+    push(std::move(e));
+}
+
+std::size_t
+TraceWriter::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::size_t
+TraceWriter::count_category(const std::string& cat) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const TraceEvent& e : events_)
+        if (e.cat == cat)
+            ++n;
+    return n;
+}
+
+std::string
+TraceWriter::to_json() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent& e = events_[i];
+        out += "  {\"name\": " + json_quote(e.name);
+        if (!e.cat.empty())
+            out += ", \"cat\": " + json_quote(e.cat);
+        out += ", \"ph\": \"";
+        out += e.ph;
+        out += "\", \"ts\": " + json_double(e.ts_us);
+        if (e.ph == 'X')
+            out += ", \"dur\": " + json_double(e.dur_us);
+        if (e.ph == 'i')
+            out += ", \"s\": \"t\"";  // instant scope: thread
+        out += ", \"pid\": " + std::to_string(e.pid) +
+               ", \"tid\": " + std::to_string(e.tid);
+        if (!e.args_json.empty())
+            out += ", \"args\": " + e.args_json;
+        out += "}";
+        out += i + 1 < events_.size() ? ",\n" : "\n";
+    }
+    out += "]}\n";
+    return out;
+}
+
+bool
+TraceWriter::write(const std::string& path) const
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = to_json();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+}  // namespace dcb::obs

@@ -1,0 +1,93 @@
+#ifndef DCBENCH_OBS_TRACE_WRITER_H_
+#define DCBENCH_OBS_TRACE_WRITER_H_
+
+/**
+ * @file
+ * Chrome trace-event / Perfetto-compatible span collector.
+ *
+ * Every layer of a run narrates its lifecycle here -- the harness opens
+ * a span per workload run, the core brackets its sampling segments
+ * (warmup/skip/warm/window), and the cluster scheduler records task
+ * attempts, retries, speculation, blacklisting and fault epochs -- so a
+ * full suite run opens as one timeline in chrome://tracing or
+ * ui.perfetto.dev.
+ *
+ * Two clock domains coexist as separate trace "processes": host wall
+ * time (kHostPid, microseconds since the writer was created) for
+ * everything the simulator actually executes, and simulated cluster
+ * time (kClusterPid, simulated seconds scaled to microseconds) for the
+ * discrete-event scheduler. The writer is thread-safe: parallel suite
+ * workers append concurrently.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dcb::obs {
+
+/** One trace event in the Chrome trace-event JSON schema. */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    char ph = 'X';      ///< X = complete, i = instant, M = metadata
+    double ts_us = 0.0;
+    double dur_us = 0.0;  ///< complete events only
+    std::uint32_t pid = 1;
+    std::uint64_t tid = 0;
+    /** Pre-rendered JSON args object ("{...}"); empty = none. */
+    std::string args_json;
+};
+
+/** Thread-safe collector of trace events with JSON export. */
+class TraceWriter
+{
+  public:
+    /** Host-wall-time rows (harness, core sampling segments). */
+    static constexpr std::uint32_t kHostPid = 1;
+    /** Simulated-cluster-time rows (scheduler, fault epochs). */
+    static constexpr std::uint32_t kClusterPid = 2;
+
+    TraceWriter();
+
+    /** Microseconds of host wall time since this writer was created. */
+    double now_us() const;
+
+    /** Complete event (a span with a duration). */
+    void complete(const std::string& name, const std::string& cat,
+                  std::uint32_t pid, std::uint64_t tid, double ts_us,
+                  double dur_us, const std::string& args_json = "");
+
+    /** Instant event (a point on the timeline). */
+    void instant(const std::string& name, const std::string& cat,
+                 std::uint32_t pid, std::uint64_t tid, double ts_us,
+                 const std::string& args_json = "");
+
+    /** Name a process or thread lane in the trace UI. */
+    void name_process(std::uint32_t pid, const std::string& name);
+    void name_thread(std::uint32_t pid, std::uint64_t tid,
+                     const std::string& name);
+
+    std::size_t size() const;
+    /** Events with category `cat` (test/checker convenience). */
+    std::size_t count_category(const std::string& cat) const;
+
+    /** The whole trace as `{"traceEvents": [...]}` JSON. */
+    std::string to_json() const;
+
+    /** Write to `path`; false when the file cannot be opened. */
+    bool write(const std::string& path) const;
+
+  private:
+    void push(TraceEvent event);
+
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::uint64_t epoch_ns_ = 0;  ///< steady_clock at construction
+};
+
+}  // namespace dcb::obs
+
+#endif  // DCBENCH_OBS_TRACE_WRITER_H_

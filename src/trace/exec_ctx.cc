@@ -253,6 +253,20 @@ ExecCtx::start_sampling(const sample::IntervalLayout& layout)
     seg_left_ = layout.warmup_ops;
     if (seg_left_ == 0)
         next_segment();
+    else
+        sink_.begin_sample_segment(SampleSegment::kWarmup);
+}
+
+SampleSegment
+ExecCtx::segment_of(SamplePhase phase)
+{
+    switch (phase) {
+      case SamplePhase::kWarmup: return SampleSegment::kWarmup;
+      case SamplePhase::kSkip: return SampleSegment::kSkip;
+      case SamplePhase::kWarm: return SampleSegment::kWarm;
+      case SamplePhase::kWindow: break;
+    }
+    return SampleSegment::kWindow;
 }
 
 void
@@ -303,8 +317,12 @@ ExecCtx::next_segment()
             seg_left_ = jittered(skip_ops_);
             break;
         }
-        if (seg_left_ != 0)
+        if (seg_left_ != 0) {
+            // Announce only the segment that actually runs; zero-length
+            // segments resolved by the loop never surface.
+            sink_.begin_sample_segment(segment_of(phase_));
             return;
+        }
     }
 }
 

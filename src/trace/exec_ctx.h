@@ -200,6 +200,8 @@ class ExecCtx
     void flush_warm();
     /** Advance the schedule when the current segment is exhausted. */
     void next_segment();
+    /** Observational segment label for a schedule phase. */
+    static SampleSegment segment_of(SamplePhase phase);
     /** Detailed-window bookkeeping after one emitted op. */
     void window_step()
     {

@@ -66,6 +66,18 @@ struct WarmSummary
     std::uint64_t total() const { return user_ops + kernel_ops; }
 };
 
+/**
+ * Phase of the interval-sampling schedule a delivered op belongs to.
+ * Purely observational taxonomy (telemetry spans); the schedule itself
+ * lives in trace::ExecCtx.
+ */
+enum class SampleSegment : std::uint8_t {
+    kWarmup,  ///< functional-warming lead-in
+    kSkip,    ///< fast-forward without warming
+    kWarm,    ///< pre-window functional warming
+    kWindow,  ///< detailed measurement window
+};
+
 /** Consumer of a micro-op stream (implemented by cpu::Core). */
 class OpSink
 {
@@ -127,6 +139,17 @@ class OpSink
      * reset now (the sampled-mode equivalent of the ramp-up discard).
      */
     virtual void sampling_warmup_done() {}
+
+    /**
+     * The sampling schedule entered a new (non-empty) segment; ops
+     * delivered from here belong to `segment`. Observational only --
+     * sinks that trace their timeline bracket host-time spans with it;
+     * the default ignores it.
+     */
+    virtual void begin_sample_segment(SampleSegment segment)
+    {
+        (void)segment;
+    }
 
     /**
      * The interval schedule the producer should run, or nullptr for

@@ -1,14 +1,95 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace dcb::util {
 
 namespace {
+
+LogLevel
+initial_level()
+{
+    const char* env = std::getenv("DCB_LOG");
+    LogLevel level = LogLevel::kWarn;
+    if (env != nullptr)
+        parse_log_level(env, &level);
+    return level;
+}
+
 // Atomic so parallel suite workers can log while the main thread
 // adjusts verbosity; fprintf(stderr) itself is thread-safe per POSIX.
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogLevel> g_level{initial_level()};
+std::atomic<bool> g_timestamps{false};
+
+std::uint64_t
+process_epoch_ns()
+{
+    static const std::uint64_t epoch = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return epoch;
+}
+
+// Touch the epoch during static init so timestamps measure from
+// process start, not from the first logged line.
+[[maybe_unused]] const std::uint64_t g_epoch_init = process_epoch_ns();
+
+/** One formatted line to stderr: "<tag>: [ts] [component] msg". */
+void
+emit(const char* tag, const std::string& component, const std::string& msg)
+{
+    std::string line(tag);
+    line += ": ";
+    if (g_timestamps.load(std::memory_order_relaxed)) {
+        const std::uint64_t now = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "[+%.6fs] ",
+                      static_cast<double>(now - process_epoch_ns()) / 1e9);
+        line += buf;
+    }
+    if (!component.empty())
+        line += "[" + component + "] ";
+    line += msg;
+    line += "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+/** Warning ring: fixed capacity, newest-wins, monotonic sequence. */
+struct WarningRing
+{
+    std::mutex mutex;
+    std::uint64_t next_seq = 1;
+    std::vector<std::pair<std::uint64_t, std::string>> ring;
+    std::size_t head = 0;  ///< insertion slot once the ring is full
+
+    void record(const std::string& msg)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (ring.size() < kWarningRingCapacity) {
+            ring.emplace_back(next_seq++, msg);
+            return;
+        }
+        ring[head] = {next_seq++, msg};
+        if (++head == ring.size())
+            head = 0;
+    }
+};
+
+WarningRing&
+warning_ring()
+{
+    static WarningRing ring;
+    return ring;
+}
+
 }  // namespace
 
 void
@@ -23,25 +104,98 @@ log_level()
     return g_level.load(std::memory_order_relaxed);
 }
 
+bool
+parse_log_level(const std::string& text, LogLevel* out)
+{
+    if (text == "quiet" || text == "0") {
+        *out = LogLevel::kQuiet;
+    } else if (text == "warn" || text == "1") {
+        *out = LogLevel::kWarn;
+    } else if (text == "inform" || text == "2") {
+        *out = LogLevel::kInform;
+    } else if (text == "debug" || text == "3") {
+        *out = LogLevel::kDebug;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+set_log_timestamps(bool on)
+{
+    g_timestamps.store(on, std::memory_order_relaxed);
+}
+
+bool
+log_timestamps()
+{
+    return g_timestamps.load(std::memory_order_relaxed);
+}
+
 void
 inform(const std::string& msg)
 {
+    inform(std::string(), msg);
+}
+
+void
+inform(const std::string& component, const std::string& msg)
+{
     if (log_level() >= LogLevel::kInform)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+        emit("info", component, msg);
 }
 
 void
 warn(const std::string& msg)
 {
+    warn(std::string(), msg);
+}
+
+void
+warn(const std::string& component, const std::string& msg)
+{
+    warning_ring().record(component.empty() ? msg
+                                            : "[" + component + "] " + msg);
     if (log_level() >= LogLevel::kWarn)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        emit("warn", component, msg);
 }
 
 void
 debug(const std::string& msg)
 {
+    debug(std::string(), msg);
+}
+
+void
+debug(const std::string& component, const std::string& msg)
+{
     if (log_level() >= LogLevel::kDebug)
-        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+        emit("debug", component, msg);
+}
+
+std::uint64_t
+warning_sequence()
+{
+    WarningRing& ring = warning_ring();
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    return ring.next_seq - 1;
+}
+
+std::vector<std::string>
+warnings_since(std::uint64_t since)
+{
+    WarningRing& ring = warning_ring();
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    // Rebuild in sequence order: the ring is [head..end) then [0..head).
+    std::vector<std::string> out;
+    const std::size_t n = ring.ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& entry = ring.ring[(ring.head + i) % n];
+        if (entry.first > since)
+            out.push_back(entry.second);
+    }
+    return out;
 }
 
 }  // namespace dcb::util

@@ -6,26 +6,69 @@
  * Minimal status-message facility in the spirit of gem5's inform()/warn():
  * inform() is normal operating status; warn() flags approximations the user
  * should know about. Neither stops execution.
+ *
+ * Observability extras:
+ *  - the `DCB_LOG` environment variable overrides the default level
+ *    ("quiet"|"warn"|"inform"|"debug" or 0..3) until set_log_level()
+ *    is called explicitly;
+ *  - set_log_timestamps(true) prefixes every line with monotonic
+ *    seconds since process start;
+ *  - two-argument overloads tag the message with a component
+ *    ("warn: [sched] ...");
+ *  - every warning also lands in a small ring buffer with a monotonic
+ *    sequence number, so a suite run can surface "what went wrong
+ *    recently" (SuiteResult::warnings) without scraping stderr. The
+ *    ring records warnings even when the print level suppresses them.
  */
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dcb::util {
 
 enum class LogLevel { kQuiet = 0, kWarn = 1, kInform = 2, kDebug = 3 };
 
-/** Set the global verbosity (default kWarn). */
+/** Set the global verbosity (default kWarn, or the DCB_LOG override). */
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/**
+ * Parse a level name ("quiet"|"warn"|"inform"|"debug", case-sensitive)
+ * or digit ("0".."3"). Returns false (and leaves *out alone) on
+ * anything else.
+ */
+bool parse_log_level(const std::string& text, LogLevel* out);
+
+/** Prefix messages with monotonic seconds since process start. */
+void set_log_timestamps(bool on);
+bool log_timestamps();
+
 /** Normal status message (suppressed below kInform). */
 void inform(const std::string& msg);
+void inform(const std::string& component, const std::string& msg);
 
 /** Approximation/irregularity warning (suppressed below kWarn). */
 void warn(const std::string& msg);
+void warn(const std::string& component, const std::string& msg);
 
 /** Developer diagnostics (suppressed below kDebug). */
 void debug(const std::string& msg);
+void debug(const std::string& component, const std::string& msg);
+
+/** Warnings retained by the ring (the newest ones win). */
+inline constexpr std::size_t kWarningRingCapacity = 64;
+
+/** Total warnings issued so far (monotonic; 0 = none yet). */
+std::uint64_t warning_sequence();
+
+/**
+ * Warnings issued after sequence number `since`, oldest first. Bounded
+ * by the ring capacity: with more than kWarningRingCapacity newer
+ * warnings only the most recent survive. `warnings_since(0)` is "every
+ * retained warning"; pair with warning_sequence() to scope a run.
+ */
+std::vector<std::string> warnings_since(std::uint64_t since);
 
 }  // namespace dcb::util
 

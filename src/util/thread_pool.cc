@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
+
 #include "util/assert.h"
 
 namespace dcb::util {
@@ -66,13 +68,32 @@ ThreadPool::worker_loop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        const auto start = std::chrono::steady_clock::now();
         task();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            ++tasks_completed_;
+            busy_seconds_ += elapsed.count();
             if (--in_flight_ == 0)
                 all_done_.notify_all();
         }
     }
+}
+
+std::uint64_t
+ThreadPool::tasks_completed() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return tasks_completed_;
+}
+
+double
+ThreadPool::busy_seconds() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return busy_seconds_;
 }
 
 }  // namespace dcb::util

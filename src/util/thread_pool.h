@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -53,15 +54,28 @@ class ThreadPool
         return static_cast<unsigned>(workers_.size());
     }
 
+    /** Tasks that have finished executing so far. */
+    std::uint64_t tasks_completed() const;
+
+    /**
+     * Total wall seconds workers spent inside tasks (summed across
+     * workers, so up to thread_count() x elapsed). busy / (threads x
+     * elapsed) is the pool's slot utilization -- the self-metric the
+     * suite runner reports.
+     */
+    double busy_seconds() const;
+
   private:
     void worker_loop();
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable work_available_;
     std::condition_variable all_done_;
     std::deque<std::function<void()>> queue_;
     std::size_t in_flight_ = 0;  ///< queued + currently executing
     bool shutting_down_ = false;
+    std::uint64_t tasks_completed_ = 0;
+    double busy_seconds_ = 0.0;
     std::vector<std::thread> workers_;
 };
 
