@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "util/atomic_file.h"
 
 namespace {
 
@@ -206,7 +207,8 @@ main(int argc, char** argv)
 
     // --- JSON dump ------------------------------------------------------
     const char* json_path = "BENCH_sampling.json";
-    if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::string json_temp;
+    if (std::FILE* f = util::open_file_atomic(json_path, &json_temp)) {
         std::fprintf(f, "{\n");
         std::fprintf(f, "  \"op_budget\": %llu,\n",
                      static_cast<unsigned long long>(
@@ -251,7 +253,10 @@ main(int argc, char** argv)
         std::fprintf(f, "  \"manifest\": %s\n",
                      bench::manifest().json_fragment(2).c_str());
         std::fprintf(f, "}\n");
-        std::fclose(f);
+        if (!util::commit_file_atomic(f, json_temp, json_path)) {
+            std::fprintf(stderr, "error: cannot write %s\n", json_path);
+            return 1;
+        }
         std::printf("wrote %s\n", json_path);
     } else {
         std::fprintf(stderr, "error: cannot write %s\n", json_path);

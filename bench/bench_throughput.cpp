@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "util/atomic_file.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -204,7 +205,8 @@ main(int argc, char** argv)
 
     // --- JSON dump ------------------------------------------------------
     const char* json_path = "BENCH_throughput.json";
-    if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::string json_temp;
+    if (std::FILE* f = util::open_file_atomic(json_path, &json_temp)) {
         std::fprintf(f, "{\n");
         std::fprintf(f, "  \"op_budget\": %llu,\n",
                      static_cast<unsigned long long>(config.run.op_budget));
@@ -239,7 +241,10 @@ main(int argc, char** argv)
         std::fprintf(f, "  \"manifest\": %s\n",
                      bench::manifest().json_fragment(2).c_str());
         std::fprintf(f, "}\n");
-        std::fclose(f);
+        if (!util::commit_file_atomic(f, json_temp, json_path)) {
+            std::fprintf(stderr, "error: cannot write %s\n", json_path);
+            return 1;
+        }
         std::printf("wrote %s\n", json_path);
     } else {
         std::fprintf(stderr, "error: cannot write %s\n", json_path);

@@ -196,13 +196,37 @@ run_suite(const std::vector<std::string>& names,
             try {
                 out.runs[i] = run_workload(names[i], config, i);
             } catch (const std::exception& e) {
-                // Pool tasks must not throw; report like a failed run.
+                // Keep the failure on its own slot; the suite goes on.
                 out.runs[i].status.ok = false;
                 out.runs[i].status.error = e.what();
+            } catch (...) {
+                out.runs[i].status.ok = false;
+                out.runs[i].status.error = "workload '" + names[i] +
+                                           "' failed mid-run with a "
+                                           "non-standard exception";
             }
         });
     }
     pool.wait_idle();
+    // Belt and suspenders: anything that still escaped a task (the pool
+    // captures instead of std::terminate) fails the suite cleanly.
+    if (const std::exception_ptr escaped = pool.first_exception()) {
+        std::string what = "unknown exception";
+        try {
+            std::rethrow_exception(escaped);
+        } catch (const std::exception& e) {
+            what = e.what();
+        } catch (...) {
+        }
+        for (RunResult& run : out.runs) {
+            if (run.status.ok && run.report.workload.empty()) {
+                run.status.ok = false;
+                run.status.error =
+                    "suite worker raised outside the run: " + what;
+            }
+        }
+        util::warn("harness", "pool task threw: " + what);
+    }
     out.wall_seconds = seconds_since(start);
     out.pool_tasks = pool.tasks_completed();
     out.pool_busy_seconds = pool.busy_seconds();

@@ -18,6 +18,14 @@ fault_kind_name(FaultKind kind)
       case FaultKind::kNetTimeout: return "net-timeout";
       case FaultKind::kNetDrop: return "net-drop";
       case FaultKind::kSlowNode: return "slow-node";
+      case FaultKind::kTaskHang: return "task-hang";
+      case FaultKind::kRackPowerLoss: return "rack-power-loss";
+      case FaultKind::kNetPartition: return "net-partition";
+      case FaultKind::kPartitionHeal: return "partition-heal";
+      case FaultKind::kMasterCrash: return "master-crash";
+      case FaultKind::kMasterFailover: return "master-failover";
+      case FaultKind::kWatchdogKill: return "watchdog-kill";
+      case FaultKind::kCascade: return "cascade";
     }
     return "unknown";
 }
@@ -29,7 +37,9 @@ FaultPlan::any_faults() const
            disk_write_error_prob > 0.0 || net_timeout_prob > 0.0 ||
            net_drop_prob > 0.0 ||
            (slow_node_fraction > 0.0 && slow_multiplier != 1.0) ||
-           node_crash_time_s >= 0.0;
+           node_crash_time_s >= 0.0 || task_hang_prob > 0.0 ||
+           rack_crash_time_s >= 0.0 || partition_time_s >= 0.0 ||
+           master_crash_time_s >= 0.0 || cascade_prob > 0.0;
 }
 
 std::string
@@ -46,6 +56,8 @@ validate(const FaultPlan& plan)
         {"net_timeout_prob", plan.net_timeout_prob},
         {"net_drop_prob", plan.net_drop_prob},
         {"slow_node_fraction", plan.slow_node_fraction},
+        {"task_hang_prob", plan.task_hang_prob},
+        {"cascade_prob", plan.cascade_prob},
     };
     for (const auto& p : probs) {
         if (p.value < 0.0 || p.value > 1.0)
@@ -55,6 +67,10 @@ validate(const FaultPlan& plan)
     if (plan.slow_multiplier < 1.0)
         return "FaultPlan.slow_multiplier must be >= 1 (slower, not "
                "faster)";
+    if (plan.partition_time_s >= 0.0 && plan.partition_duration_s <= 0.0)
+        return "FaultPlan.partition_duration_s must be positive when a "
+               "partition is scheduled (a zero-length partition never "
+               "heals anything)";
     return "";
 }
 
@@ -71,11 +87,15 @@ FaultLog::count(FaultKind kind) const
 std::string
 FaultLog::summary() const
 {
-    constexpr std::array<FaultKind, 7> kKinds = {
+    constexpr std::array<FaultKind, 15> kKinds = {
         FaultKind::kTaskCrash,      FaultKind::kNodeCrash,
         FaultKind::kDiskReadError,  FaultKind::kDiskWriteError,
         FaultKind::kNetTimeout,     FaultKind::kNetDrop,
-        FaultKind::kSlowNode,
+        FaultKind::kSlowNode,       FaultKind::kTaskHang,
+        FaultKind::kRackPowerLoss,  FaultKind::kNetPartition,
+        FaultKind::kPartitionHeal,  FaultKind::kMasterCrash,
+        FaultKind::kMasterFailover, FaultKind::kWatchdogKill,
+        FaultKind::kCascade,
     };
     std::string out;
     for (const FaultKind kind : kKinds) {
@@ -130,6 +150,41 @@ FaultInjector::task_crashes(std::uint32_t task, std::uint32_t attempt,
     if (crash_fraction != nullptr)
         *crash_fraction = f;
     log_.record({FaultKind::kTaskCrash, now_s_, 0, task, attempt});
+    return true;
+}
+
+bool
+FaultInjector::task_hangs(std::uint32_t task, std::uint32_t attempt)
+{
+    if (plan_.task_hang_prob <= 0.0)
+        return false;
+    if (rng_.next_double() >= plan_.task_hang_prob)
+        return false;
+    log_.record({FaultKind::kTaskHang, now_s_, 0, task, attempt});
+    return true;
+}
+
+bool
+FaultInjector::cascade_fires(std::uint64_t trigger,
+                             std::uint32_t node_count,
+                             std::uint32_t* victim)
+{
+    if (plan_.cascade_prob <= 0.0 || node_count == 0)
+        return false;
+    // Stateless like node_speed_multiplier: the decision is a pure
+    // function of (seed, trigger), so replays agree regardless of when
+    // the recovery window is examined.
+    const std::uint64_t h =
+        util::mix64(plan_.seed ^ util::mix64(0xCA5CADEULL + trigger));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= plan_.cascade_prob)
+        return false;
+    const auto node =
+        static_cast<std::uint32_t>(util::mix64(h) % node_count);
+    if (victim != nullptr)
+        *victim = node;
+    log_.record({FaultKind::kCascade, now_s_, node, 0, 0});
     return true;
 }
 

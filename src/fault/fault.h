@@ -33,6 +33,15 @@ enum class FaultKind : std::uint8_t {
     kNetTimeout,      ///< send(2) times out (TCP retransmit exhausted)
     kNetDrop,         ///< recv(2) loses the payload (connection reset)
     kSlowNode,        ///< a node runs every task slower (degraded disk)
+    // Correlated / cluster-scale kinds:
+    kTaskHang,        ///< an attempt stops progressing but never exits
+    kRackPowerLoss,   ///< every node in one rack crashes at once (PDU)
+    kNetPartition,    ///< one rack unreachable behind its uplink
+    kPartitionHeal,   ///< the partition ends; the rack is back
+    kMasterCrash,     ///< the JobTracker itself dies
+    kMasterFailover,  ///< a standby resumed from the last checkpoint
+    kWatchdogKill,    ///< scheduler deadline killed a hung/stranded task
+    kCascade,         ///< dependent fault fired inside a recovery window
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -64,6 +73,42 @@ struct FaultPlan
      */
     double node_crash_time_s = -1.0;
     std::uint32_t crash_node = 0;
+
+    // ---- Correlated faults (topology-aware; see fault/topology.h) ----
+    /**
+     * Probability that a task attempt hangs: it holds its slot and
+     * never completes, so only a scheduler watchdog can recover it.
+     */
+    double task_hang_prob = 0.0;
+    /**
+     * Rack power loss: at `rack_crash_time_s` on the task timeline
+     * every node of `crash_rack` dies at once and never returns.
+     * Negative disables.
+     */
+    double rack_crash_time_s = -1.0;
+    std::uint32_t crash_rack = 0;
+    /**
+     * Network partition: from `partition_time_s` for
+     * `partition_duration_s`, every node of `partition_rack` is
+     * unreachable (running work is stranded, completions cannot be
+     * reported, nothing new is scheduled there), then the partition
+     * heals and the rack rejoins. Negative start disables.
+     */
+    double partition_time_s = -1.0;
+    double partition_duration_s = 60.0;
+    std::uint32_t partition_rack = 0;
+    /**
+     * JobTracker failure: at `master_crash_time_s` the master dies;
+     * a standby resumes from the last periodic checkpoint after the
+     * scheduler's failover delay. Negative disables.
+     */
+    double master_crash_time_s = -1.0;
+    /**
+     * Cascades: each recovery window (partition heal, master failover)
+     * fires a dependent node crash with this probability -- the
+     * thundering-herd of rejoining work taking out a marginal machine.
+     */
+    double cascade_prob = 0.0;
 
     /** True when any fault can fire under this plan. */
     bool any_faults() const;
@@ -121,6 +166,24 @@ class FaultInjector
      */
     bool task_crashes(std::uint32_t task, std::uint32_t attempt,
                       double* crash_fraction);
+
+    /**
+     * Does this task attempt hang (run forever without finishing)?
+     * Consumes one draw only when task_hang_prob > 0, so plans without
+     * hangs keep their pre-existing decision streams.
+     */
+    bool task_hangs(std::uint32_t task, std::uint32_t attempt);
+
+    /**
+     * Does recovery window `trigger` (a caller-chosen stable id, e.g. a
+     * monotonically increasing recovery count) cascade into a dependent
+     * node crash? Stateless -- hashed from the seed and `trigger`, so
+     * the answer does not depend on call order. On true, `*victim`
+     * receives the crashing node in [0, node_count) and a kCascade
+     * event is logged.
+     */
+    bool cascade_fires(std::uint64_t trigger, std::uint32_t node_count,
+                       std::uint32_t* victim);
 
     /** Task-time multiplier of `node` (1.0, or slow_multiplier). */
     double node_speed_multiplier(std::uint32_t node);

@@ -1,0 +1,59 @@
+#include "fault/topology.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dcb::fault {
+
+Topology::Topology(std::uint32_t nodes, std::uint32_t racks)
+    : nodes_(std::max(nodes, 1u)),
+      racks_(std::clamp(racks, 1u, std::max(nodes, 1u)))
+{
+}
+
+std::uint32_t
+Topology::rack_begin(std::uint32_t rack) const
+{
+    DCB_EXPECTS(rack < racks_);
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(rack) * nodes_) / racks_);
+}
+
+std::uint32_t
+Topology::rack_end(std::uint32_t rack) const
+{
+    DCB_EXPECTS(rack < racks_);
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(rack + 1) * nodes_) / racks_);
+}
+
+std::uint32_t
+Topology::rack_size(std::uint32_t rack) const
+{
+    return rack_end(rack) - rack_begin(rack);
+}
+
+std::uint32_t
+Topology::rack_of(std::uint32_t node) const
+{
+    DCB_EXPECTS(node < nodes_);
+    // Inverse of the block boundaries floor(r*nodes/racks): the unique r
+    // with rack_begin(r) <= node < rack_end(r).
+    const auto r = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(node) * racks_ + racks_ - 1) / nodes_);
+    const std::uint32_t rack = std::min(r, racks_ - 1);
+    DCB_EXPECTS(rack_begin(rack) <= node && node < rack_end(rack));
+    return rack;
+}
+
+std::vector<std::uint32_t>
+Topology::nodes_in_rack(std::uint32_t rack) const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t n = rack_begin(rack); n < rack_end(rack); ++n)
+        out.push_back(n);
+    return out;
+}
+
+}  // namespace dcb::fault

@@ -1,0 +1,62 @@
+#ifndef DCBENCH_FAULT_TOPOLOGY_H_
+#define DCBENCH_FAULT_TOPOLOGY_H_
+
+/**
+ * @file
+ * Cluster topology for correlated faults: racks of nodes behind shared
+ * uplinks.
+ *
+ * The paper's cluster is racked hardware behind shared top-of-rack
+ * switches, so real failures are correlated -- a rack PDU trip takes
+ * every node in the rack down at once, and a ToR switch fault
+ * partitions the whole rack from the rest of the cluster. The topology
+ * maps node ids to racks deterministically (contiguous blocks, sized as
+ * evenly as integer division allows) so a fault plan can name a rack
+ * and every layer -- injector, scheduler, trace -- agrees on which
+ * nodes that means.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace dcb::fault {
+
+/** Racks -> nodes map; value type, cheap to copy. */
+class Topology
+{
+  public:
+    /** One rack holding every node (correlated faults degenerate to
+        whole-cluster faults). */
+    Topology() = default;
+
+    /**
+     * `nodes` slaves spread over `racks` racks in contiguous blocks:
+     * rack r owns [r*nodes/racks, (r+1)*nodes/racks). racks is clamped
+     * to [1, nodes] so every rack is nonempty.
+     */
+    Topology(std::uint32_t nodes, std::uint32_t racks);
+
+    std::uint32_t nodes() const { return nodes_; }
+    std::uint32_t racks() const { return racks_; }
+
+    /** Rack that owns `node` (node must be < nodes()). */
+    std::uint32_t rack_of(std::uint32_t node) const;
+
+    /** First node of `rack` (rack must be < racks()). */
+    std::uint32_t rack_begin(std::uint32_t rack) const;
+    /** One past the last node of `rack`. */
+    std::uint32_t rack_end(std::uint32_t rack) const;
+    /** Node count of `rack` (>= 1 by construction). */
+    std::uint32_t rack_size(std::uint32_t rack) const;
+
+    /** The node ids of `rack`, ascending. */
+    std::vector<std::uint32_t> nodes_in_rack(std::uint32_t rack) const;
+
+  private:
+    std::uint32_t nodes_ = 1;
+    std::uint32_t racks_ = 1;
+};
+
+}  // namespace dcb::fault
+
+#endif  // DCBENCH_FAULT_TOPOLOGY_H_

@@ -29,6 +29,12 @@ validate(const ClusterConfig& c)
     if (c.slaves < 1)
         return "ClusterConfig.slaves must be >= 1 (the cluster needs at "
                "least one slave)";
+    if (c.racks < 1)
+        return "ClusterConfig.racks must be >= 1 (every node lives in "
+               "some rack)";
+    if (c.racks > c.slaves)
+        return "ClusterConfig.racks must be <= slaves (empty racks make "
+               "correlated faults meaningless)";
     if (c.cores_per_node < 1)
         return "ClusterConfig.cores_per_node must be >= 1";
     if (c.map_slots < 1 || c.reduce_slots < 1)

@@ -61,6 +61,13 @@ struct JobSpec
 struct ClusterConfig
 {
     std::uint32_t slaves = 4;
+    /**
+     * Racks the slaves are spread over (contiguous blocks; see
+     * fault::Topology). Purely a fault domain: placement and timing are
+     * rack-oblivious, so racks only matters when the FaultPlan schedules
+     * a correlated (rack / partition) fault. Clamped to [1, slaves].
+     */
+    std::uint32_t racks = 1;
     std::uint32_t cores_per_node = 12;     ///< 2 sockets x 6 cores
     std::uint32_t map_slots = 24;          ///< per node (Section III-B)
     std::uint32_t reduce_slots = 12;

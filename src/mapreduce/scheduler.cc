@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "fault/topology.h"
 #include "util/assert.h"
+#include "util/rng.h"
 
 namespace dcb::mapreduce {
 
@@ -21,6 +23,8 @@ struct Node
 {
     bool alive = true;
     bool blacklisted = false;
+    /** Behind a network cut: unschedulable, completions unreportable. */
+    bool partitioned = false;
     std::uint32_t free_slots = 0;
     std::uint32_t failures = 0;  ///< failed attempts hosted, for blacklist
     double speed = 1.0;          ///< task-time multiplier (slow nodes > 1)
@@ -30,20 +34,79 @@ struct Node
 struct ClusterState
 {
     std::vector<Node> nodes;
+    fault::Topology topology;
     double crash_time = -1.0;  ///< scheduled node crash, task timeline
     std::uint32_t crash_node = 0;
     bool crash_fired = false;
+
+    // Correlated one-shot faults, shared across phases and iterations.
+    double rack_crash_time = -1.0;
+    std::uint32_t crash_rack = 0;
+    bool rack_crash_fired = false;
+
+    double partition_time = -1.0;
+    double partition_heal_time = -1.0;
+    std::uint32_t partition_rack = 0;
+    bool partition_fired = false;
+    bool partition_healed = false;
+
+    double master_crash_time = -1.0;
+    bool master_crash_fired = false;
+
+    /** Cascade victims waiting to crash (survive phase boundaries). */
+    struct PendingCrash
+    {
+        double time = 0.0;
+        std::uint32_t node = 0;
+        bool fired = false;
+    };
+    std::vector<PendingCrash> pending_crashes;
+    /** Stable trigger ids for cascade decisions (one per recovery
+        window, in the order the windows close). */
+    std::uint64_t recovery_windows = 0;
 
     std::uint32_t
     alive_slots(std::uint32_t per_node) const
     {
         std::uint32_t total = 0;
         for (const Node& node : nodes)
-            if (node.alive && !node.blacklisted)
+            if (node.alive && !node.blacklisted && !node.partitioned)
                 total += per_node;
         return total;
     }
 };
+
+/**
+ * Heal the active partition: the rack rejoins and its trackers are
+ * forgiven -- failures accumulated while the rack was unreachable say
+ * nothing about the machines themselves, so blacklists are lifted and
+ * failure counts reset (partition-aware blacklisting).
+ */
+void
+heal_partition(ClusterState& state, JobRun& stats,
+               fault::FaultInjector* injector, double now)
+{
+    if (!state.partition_fired || state.partition_healed)
+        return;
+    state.partition_healed = true;
+    const std::uint32_t rack = state.partition_rack;
+    for (std::uint32_t i = state.topology.rack_begin(rack);
+         i < state.topology.rack_end(rack); ++i) {
+        Node& node = state.nodes[i];
+        node.partitioned = false;
+        if (!node.alive)
+            continue;
+        if (node.blacklisted) {
+            node.blacklisted = false;
+            ++stats.nodes_unblacklisted;
+        }
+        node.failures = 0;
+    }
+    ++stats.partition_heals;
+    if (injector != nullptr)
+        injector->record(
+            {fault::FaultKind::kPartitionHeal, now, rack, 0, 0});
+}
 
 /** One task attempt in flight (or finished). */
 struct Attempt
@@ -64,14 +127,22 @@ struct TaskState
     std::uint32_t started = 0;  ///< attempts launched, incl. speculative
     std::vector<std::uint32_t> live_attempts;
     std::uint32_t completion_node = 0;
+    double completion_time = 0.0;  ///< for checkpoint restore decisions
 };
 
 enum class EventKind : std::uint8_t {
-    kFinish,     ///< attempt completes
-    kCrash,      ///< attempt dies (injected task crash)
-    kReady,      ///< task leaves retry backoff, may be launched
-    kNodeCrash,  ///< scheduled whole-node failure
-    kSpecCheck,  ///< is this attempt a straggler yet?
+    kFinish,         ///< attempt completes
+    kCrash,          ///< attempt dies (injected task crash)
+    kReady,          ///< task leaves retry backoff, may be launched
+    kNodeCrash,      ///< scheduled whole-node failure
+    kSpecCheck,      ///< is this attempt a straggler yet?
+    kWatchdog,       ///< per-attempt deadline check
+    kRackCrash,      ///< scheduled rack power loss
+    kPartition,      ///< partition epoch begins
+    kPartitionHeal,  ///< partition epoch ends, the rack rejoins
+    kMasterCrash,    ///< the JobTracker dies
+    kFailover,       ///< standby resumed; launches unfreeze
+    kCascadeCrash,   ///< dependent node crash (id = pending index)
 };
 
 struct Event
@@ -102,7 +173,10 @@ struct PhaseResult
 
 /**
  * Discrete-event simulation of one slot-scheduled task phase (map or
- * reduce wave) with Hadoop 1.x recovery behaviour.
+ * reduce wave) with Hadoop 1.x recovery behaviour plus the self-healing
+ * layer (watchdog, partitions, master failover, cascades, degradation).
+ * Every fault hook is armed only when the injector's plan can fire, so
+ * fault-free phases replay the pre-hardening event stream bit for bit.
  */
 /** Simulated cluster seconds as trace-timeline microseconds. */
 constexpr double kSimSecondsToUs = 1e6;
@@ -119,7 +193,10 @@ class PhaseSim
         : cfg_(cfg), cluster_(cluster), injector_(injector), stats_(stats),
           nominal_task_s_(nominal_task_s), slots_per_node_(slots_per_node),
           lose_outputs_(lose_outputs_on_crash), trace_(trace),
-          phase_label_(phase_label), tasks_(task_count)
+          phase_label_(phase_label),
+          faults_armed_(injector != nullptr &&
+                        injector->plan().any_faults()),
+          tasks_(task_count)
     {
     }
 
@@ -134,17 +211,39 @@ class PhaseSim
     /** Instant scheduler decision on a node's trace lane. */
     void trace_instant(const std::string& name, std::uint32_t node,
                        double time);
-    /** Pick the launch target: alive, not blacklisted, most free slots. */
+    /** Pick the launch target: alive, reachable, not blacklisted, most
+        free slots. */
     int pick_node(int exclude = -1) const;
     void launch(std::uint32_t task, std::uint32_t node, double now,
                 bool speculative);
     void release_slot(std::uint32_t node);
     void kill_attempt(std::uint32_t id, double now);
+    /** FAILED path: counts against the retry budget, may blacklist the
+        node, schedules the backoff retry. */
+    void fail_attempt(std::uint32_t id, double now, const char* outcome);
+    /** KILLED path: no budget charge, immediate requeue. */
+    void strand_attempt(std::uint32_t id, double now, const char* outcome);
+    /** Retry delay with degradation widening and seeded jitter. */
+    double backoff_for(std::uint32_t task, std::uint32_t failed) const;
+    /** Track fault pressure; flip into degraded mode past the ratio. */
+    void note_pressure(double now);
+    /** A recovery window closed: does it cascade into a node crash? */
+    void check_cascade(double now);
+    /** Take one node out for good; returns false if it was already
+        dead. Kills its attempts (KILLED) and loses its map output. */
+    bool kill_node(std::uint32_t idx, double now);
     void try_launch(double now);
     void on_finish(const Event& e);
     void on_crash(const Event& e);
     void on_spec_check(const Event& e);
     void on_node_crash(const Event& e);
+    void on_watchdog(const Event& e);
+    void on_rack_crash(const Event& e);
+    void on_partition(const Event& e);
+    void on_partition_heal(const Event& e);
+    void on_master_crash(const Event& e);
+    void on_failover(const Event& e);
+    void on_cascade_crash(const Event& e);
 
     const SchedulerConfig& cfg_;
     ClusterState& cluster_;
@@ -155,6 +254,9 @@ class PhaseSim
     bool lose_outputs_;
     obs::TraceWriter* trace_;
     const char* phase_label_;
+    /** True only when the plan has a fault that can fire: gates every
+        new event source so zero-fault runs stay bit-identical. */
+    bool faults_armed_;
 
     std::vector<TaskState> tasks_;
     std::vector<Attempt> attempts_;
@@ -162,6 +264,9 @@ class PhaseSim
     std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
     std::uint64_t seq_ = 0;
     std::uint32_t completed_ = 0;
+    std::uint32_t pressure_ = 0;  ///< failed + watchdog-killed attempts
+    bool degraded_ = false;
+    double frozen_until_ = -1.0;  ///< no launches during master failover
     bool failed_ = false;
     std::string error_;
 };
@@ -204,7 +309,8 @@ PhaseSim::pick_node(int exclude) const
     std::uint32_t best_free = 0;
     for (std::uint32_t i = 0; i < cluster_.nodes.size(); ++i) {
         const Node& node = cluster_.nodes[i];
-        if (!node.alive || node.blacklisted || node.free_slots == 0)
+        if (!node.alive || node.blacklisted || node.partitioned ||
+            node.free_slots == 0)
             continue;
         if (static_cast<int>(i) == exclude)
             continue;
@@ -249,11 +355,16 @@ PhaseSim::launch(std::uint32_t task, std::uint32_t node_idx, double now,
 
     double duration = nominal_task_s_ * node.speed;
     double crash_fraction = 1.0;
+    bool hangs = false;
     if (injector_ != nullptr) {
         injector_->set_now(now);
         if (injector_->task_crashes(task, t.started, &crash_fraction)) {
             a.crashes = true;
             duration *= crash_fraction;
+        } else if (injector_->task_hangs(task, t.started)) {
+            // The attempt holds its slot and never reports back; only
+            // the watchdog deadline can reclaim the task.
+            hangs = true;
         }
     }
     a.finish = now + duration;
@@ -261,9 +372,14 @@ PhaseSim::launch(std::uint32_t task, std::uint32_t node_idx, double now,
     const auto id = static_cast<std::uint32_t>(attempts_.size());
     attempts_.push_back(a);
     t.live_attempts.push_back(id);
-    push_event(a.finish, a.crashes ? EventKind::kCrash : EventKind::kFinish,
-               id);
-    if (cfg_.speculation && !speculative)
+    if (!hangs)
+        push_event(a.finish,
+                   a.crashes ? EventKind::kCrash : EventKind::kFinish, id);
+    if (faults_armed_)
+        push_event(now + cfg_.task_timeout_factor * nominal_task_s_ *
+                             node.speed,
+                   EventKind::kWatchdog, id);
+    if (cfg_.speculation && !speculative && !degraded_)
         push_event(now + cfg_.speculative_slowdown * nominal_task_s_,
                    EventKind::kSpecCheck, id);
     if (speculative)
@@ -284,9 +400,117 @@ PhaseSim::kill_attempt(std::uint32_t id, double now)
     live.erase(std::remove(live.begin(), live.end(), id), live.end());
 }
 
+double
+PhaseSim::backoff_for(std::uint32_t task, std::uint32_t failed) const
+{
+    double backoff =
+        cfg_.backoff_base_s *
+        std::pow(cfg_.backoff_factor, static_cast<double>(failed - 1));
+    if (degraded_)
+        backoff *= cfg_.degraded_backoff_factor;
+    if (faults_armed_ && cfg_.backoff_jitter > 0.0) {
+        // Stateless seeded jitter in [1-j, 1+j]: retries from one
+        // correlated burst fan out instead of re-colliding on the same
+        // instant, and replays agree because the factor is a pure
+        // function of (seed, task, failure count).
+        const std::uint64_t h = util::mix64(
+            injector_->plan().seed ^
+            util::mix64(0xB0FFULL + (std::uint64_t{task} << 8) + failed));
+        const double u =
+            static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+        backoff *= 1.0 + cfg_.backoff_jitter * (2.0 * u - 1.0);
+    }
+    return backoff;
+}
+
+void
+PhaseSim::note_pressure(double now)
+{
+    ++pressure_;
+    if (!faults_armed_ || degraded_)
+        return;
+    const double threshold = cfg_.degrade_failure_ratio *
+                             static_cast<double>(tasks_.size());
+    if (static_cast<double>(pressure_) <= threshold)
+        return;
+    // The cluster is failing faster than it is working: stop amplifying
+    // load (no more speculative copies) and widen every backoff.
+    degraded_ = true;
+    ++stats_.degraded_phases;
+    trace_instant("degraded-mode", 0, now);
+}
+
+void
+PhaseSim::fail_attempt(std::uint32_t id, double now, const char* outcome)
+{
+    Attempt& a = attempts_[id];
+    a.live = false;
+    release_slot(a.node);
+    stats_.wasted_task_s += now - a.start;
+    trace_attempt(a, now, outcome);
+    TaskState& t = tasks_[a.task];
+    auto& live = t.live_attempts;
+    live.erase(std::remove(live.begin(), live.end(), id), live.end());
+
+    ++t.failed;
+    ++stats_.task_failures;
+    note_pressure(now);
+
+    // Blacklist chronically failing nodes, but never more than 25% of
+    // the cluster (Hadoop's mapred.cluster.*.blacklist.percent): a
+    // cluster-wide fault burst must not take every tracker out of
+    // service and deadlock the job.
+    Node& node = cluster_.nodes[a.node];
+    ++node.failures;
+    std::uint32_t blacklisted = 0;
+    for (const Node& n : cluster_.nodes)
+        if (n.blacklisted)
+            ++blacklisted;
+    if (!node.blacklisted &&
+        node.failures >= cfg_.blacklist_task_failures &&
+        4 * (blacklisted + 1) <= cluster_.nodes.size()) {
+        node.blacklisted = true;
+        ++stats_.nodes_blacklisted;
+        trace_instant("blacklist n" + std::to_string(a.node), a.node,
+                      now);
+    }
+
+    if (t.failed >= cfg_.max_attempts) {
+        failed_ = true;
+        error_ = "task " + std::to_string(a.task) + " failed " +
+                 std::to_string(t.failed) + " attempts (max_attempts=" +
+                 std::to_string(cfg_.max_attempts) + ")";
+        return;
+    }
+    // A surviving speculative copy makes the retry unnecessary.
+    if (!t.live_attempts.empty())
+        return;
+    const double backoff = backoff_for(a.task, t.failed);
+    push_event(now + backoff, EventKind::kReady, a.task);
+    trace_instant("retry t" + std::to_string(a.task), a.node,
+                  now + backoff);
+}
+
+void
+PhaseSim::strand_attempt(std::uint32_t id, double now, const char* outcome)
+{
+    Attempt& a = attempts_[id];
+    a.live = false;
+    release_slot(a.node);
+    stats_.wasted_task_s += now - a.start;
+    trace_attempt(a, now, outcome);
+    TaskState& t = tasks_[a.task];
+    auto& live = t.live_attempts;
+    live.erase(std::remove(live.begin(), live.end(), id), live.end());
+    if (!t.done && t.live_attempts.empty())
+        push_event(now, EventKind::kReady, a.task);
+}
+
 void
 PhaseSim::try_launch(double now)
 {
+    if (now < frozen_until_)
+        return;  // the JobTracker is failing over; nothing launches
     while (!ready_.empty()) {
         const int node = pick_node();
         if (node < 0)
@@ -305,6 +529,14 @@ PhaseSim::on_finish(const Event& e)
     Attempt& a = attempts_[e.id];
     if (!a.live)
         return;  // killed earlier; stale event
+    // A completion behind a network cut cannot be reported: it is held
+    // until the heal (the watchdog may reclaim the task first, in which
+    // case this event goes stale).
+    if (cluster_.nodes[a.node].partitioned) {
+        push_event(std::max(cluster_.partition_heal_time, e.time),
+                   EventKind::kFinish, e.id);
+        return;
+    }
     TaskState& t = tasks_[a.task];
     a.live = false;
     release_slot(a.node);
@@ -315,6 +547,7 @@ PhaseSim::on_finish(const Event& e)
         return;
     t.done = true;
     t.completion_node = a.node;
+    t.completion_time = e.time;
     ++completed_;
     // First finisher wins; kill the losing copies.
     for (const std::uint32_t other : std::vector<std::uint32_t>(live)) {
@@ -329,57 +562,21 @@ PhaseSim::on_crash(const Event& e)
     Attempt& a = attempts_[e.id];
     if (!a.live)
         return;
-    TaskState& t = tasks_[a.task];
-    a.live = false;
-    release_slot(a.node);
-    stats_.wasted_task_s += e.time - a.start;
-    trace_attempt(a, e.time, "crash");
-    auto& live = t.live_attempts;
-    live.erase(std::remove(live.begin(), live.end(), e.id), live.end());
-
-    ++t.failed;
-    ++stats_.task_failures;
-
-    // Blacklist chronically failing nodes, but never more than 25% of
-    // the cluster (Hadoop's mapred.cluster.*.blacklist.percent): a
-    // cluster-wide fault burst must not take every tracker out of
-    // service and deadlock the job.
-    Node& node = cluster_.nodes[a.node];
-    ++node.failures;
-    std::uint32_t blacklisted = 0;
-    for (const Node& n : cluster_.nodes)
-        if (n.blacklisted)
-            ++blacklisted;
-    if (!node.blacklisted &&
-        node.failures >= cfg_.blacklist_task_failures &&
-        4 * (blacklisted + 1) <= cluster_.nodes.size()) {
-        node.blacklisted = true;
-        ++stats_.nodes_blacklisted;
-        trace_instant("blacklist n" + std::to_string(a.node), a.node,
-                      e.time);
-    }
-
-    if (t.failed >= cfg_.max_attempts) {
-        failed_ = true;
-        error_ = "task " + std::to_string(a.task) + " failed " +
-                 std::to_string(t.failed) + " attempts (max_attempts=" +
-                 std::to_string(cfg_.max_attempts) + ")";
+    // A crash behind the cut is just as invisible as a completion: the
+    // failure report surfaces at the heal (or the watchdog acts first).
+    if (cluster_.nodes[a.node].partitioned) {
+        push_event(std::max(cluster_.partition_heal_time, e.time),
+                   EventKind::kCrash, e.id);
         return;
     }
-    // A surviving speculative copy makes the retry unnecessary.
-    if (!t.live_attempts.empty())
-        return;
-    const double backoff =
-        cfg_.backoff_base_s *
-        std::pow(cfg_.backoff_factor, static_cast<double>(t.failed - 1));
-    push_event(e.time + backoff, EventKind::kReady, a.task);
-    trace_instant("retry t" + std::to_string(a.task), a.node,
-                  e.time + backoff);
+    fail_attempt(e.id, e.time, "crash");
 }
 
 void
 PhaseSim::on_spec_check(const Event& e)
 {
+    if (degraded_)
+        return;  // degraded mode sheds speculation
     const Attempt& a = attempts_[e.id];
     if (!a.live || tasks_[a.task].done)
         return;
@@ -398,23 +595,16 @@ PhaseSim::on_spec_check(const Event& e)
                e.id);
 }
 
-void
-PhaseSim::on_node_crash(const Event& e)
+bool
+PhaseSim::kill_node(std::uint32_t idx, double now)
 {
-    if (cluster_.crash_fired)
-        return;
-    cluster_.crash_fired = true;
-    const std::uint32_t idx = cluster_.crash_node;
     Node& node = cluster_.nodes[idx];
     if (!node.alive)
-        return;
+        return false;
     node.alive = false;
     node.free_slots = 0;
     ++stats_.nodes_lost;
-    trace_instant("node-crash n" + std::to_string(idx), idx, e.time);
-    if (injector_ != nullptr)
-        injector_->record(
-            {fault::FaultKind::kNodeCrash, e.time, idx, 0, 0});
+    trace_instant("node-crash n" + std::to_string(idx), idx, now);
 
     // Running attempts on the node are KILLED, not FAILED: they are
     // re-queued immediately and do not count against max_attempts.
@@ -423,13 +613,13 @@ PhaseSim::on_node_crash(const Event& e)
         if (!a.live || a.node != idx)
             continue;
         a.live = false;
-        stats_.wasted_task_s += e.time - a.start;
-        trace_attempt(a, e.time, "node-lost");
+        stats_.wasted_task_s += now - a.start;
+        trace_attempt(a, now, "node-lost");
         TaskState& t = tasks_[a.task];
         auto& live = t.live_attempts;
         live.erase(std::remove(live.begin(), live.end(), id), live.end());
         if (!t.done && t.live_attempts.empty())
-            push_event(e.time, EventKind::kReady, a.task);
+            push_event(now, EventKind::kReady, a.task);
     }
 
     // Completed map output stored on the node is gone; those tasks must
@@ -444,10 +634,192 @@ PhaseSim::on_node_crash(const Event& e)
             ++stats_.maps_reexecuted;
             stats_.wasted_task_s += nominal_task_s_;
             trace_instant("map-output-lost t" + std::to_string(task), idx,
-                          e.time);
-            push_event(e.time, EventKind::kReady, task);
+                          now);
+            push_event(now, EventKind::kReady, task);
         }
     }
+    return true;
+}
+
+void
+PhaseSim::on_node_crash(const Event& e)
+{
+    if (cluster_.crash_fired)
+        return;
+    cluster_.crash_fired = true;
+    if (kill_node(cluster_.crash_node, e.time) && injector_ != nullptr)
+        injector_->record({fault::FaultKind::kNodeCrash, e.time,
+                           cluster_.crash_node, 0, 0});
+}
+
+void
+PhaseSim::on_watchdog(const Event& e)
+{
+    Attempt& a = attempts_[e.id];
+    if (!a.live || tasks_[a.task].done)
+        return;  // completed or already reclaimed; deadline is moot
+    const Node& node = cluster_.nodes[a.node];
+    ++stats_.watchdog_kills;
+    if (injector_ != nullptr)
+        injector_->record({fault::FaultKind::kWatchdogKill, e.time,
+                           a.node, a.task, tasks_[a.task].started});
+    if (!node.alive || node.partitioned) {
+        // Stranded, not at fault: KILLED and requeued immediately, the
+        // same grace Hadoop extends to tasks lost with their tracker.
+        strand_attempt(e.id, e.time, "watchdog-kill");
+        return;
+    }
+    // Hung on a healthy node: the task itself is suspect, so the kill
+    // is FAILED and counts against the retry budget (fail_attempt also
+    // feeds the degradation pressure counter).
+    fail_attempt(e.id, e.time, "watchdog-kill");
+}
+
+void
+PhaseSim::on_rack_crash(const Event& e)
+{
+    if (cluster_.rack_crash_fired)
+        return;
+    cluster_.rack_crash_fired = true;
+    const std::uint32_t rack = cluster_.crash_rack;
+    bool any = false;
+    for (std::uint32_t i = cluster_.topology.rack_begin(rack);
+         i < cluster_.topology.rack_end(rack); ++i)
+        any = kill_node(i, e.time) || any;
+    if (any) {
+        ++stats_.racks_lost;
+        if (injector_ != nullptr)
+            injector_->record({fault::FaultKind::kRackPowerLoss, e.time,
+                               rack, 0, 0});
+    }
+}
+
+void
+PhaseSim::on_partition(const Event& e)
+{
+    if (cluster_.partition_fired)
+        return;
+    cluster_.partition_fired = true;
+    const std::uint32_t rack = cluster_.partition_rack;
+    for (std::uint32_t i = cluster_.topology.rack_begin(rack);
+         i < cluster_.topology.rack_end(rack); ++i)
+        if (cluster_.nodes[i].alive)
+            cluster_.nodes[i].partitioned = true;
+    ++stats_.partitions;
+    trace_instant("partition r" + std::to_string(rack),
+                  cluster_.topology.rack_begin(rack), e.time);
+    if (injector_ != nullptr)
+        injector_->record({fault::FaultKind::kNetPartition, e.time, rack,
+                           0, 0});
+    push_event(std::max(cluster_.partition_heal_time, e.time),
+               EventKind::kPartitionHeal, rack);
+}
+
+void
+PhaseSim::on_partition_heal(const Event& e)
+{
+    if (!cluster_.partition_fired || cluster_.partition_healed)
+        return;
+    heal_partition(cluster_, stats_, injector_, e.time);
+    trace_instant("partition-heal r" +
+                      std::to_string(cluster_.partition_rack),
+                  cluster_.topology.rack_begin(cluster_.partition_rack),
+                  e.time);
+    check_cascade(e.time);
+}
+
+void
+PhaseSim::check_cascade(double now)
+{
+    if (injector_ == nullptr)
+        return;
+    std::uint32_t victim = 0;
+    const std::uint64_t trigger = cluster_.recovery_windows++;
+    if (!injector_->cascade_fires(
+            trigger, static_cast<std::uint32_t>(cluster_.nodes.size()),
+            &victim))
+        return;
+    // The thundering herd of rejoining work takes a marginal machine
+    // down shortly after the recovery window closes.
+    ++stats_.cascades_triggered;
+    const auto idx =
+        static_cast<std::uint32_t>(cluster_.pending_crashes.size());
+    cluster_.pending_crashes.push_back({now + 1.0, victim, false});
+    push_event(now + 1.0, EventKind::kCascadeCrash, idx);
+}
+
+void
+PhaseSim::on_cascade_crash(const Event& e)
+{
+    auto& pending = cluster_.pending_crashes[e.id];
+    if (pending.fired)
+        return;
+    pending.fired = true;
+    if (kill_node(pending.node, e.time) && injector_ != nullptr)
+        injector_->record({fault::FaultKind::kNodeCrash, e.time,
+                           pending.node, 0, 0});
+}
+
+void
+PhaseSim::on_master_crash(const Event& e)
+{
+    if (cluster_.master_crash_fired)
+        return;
+    cluster_.master_crash_fired = true;
+    ++stats_.master_failovers;
+    const double interval = cfg_.checkpoint_interval_s;
+    const double checkpoint = std::floor(e.time / interval) * interval;
+    stats_.checkpoints_taken =
+        static_cast<std::uint32_t>(std::floor(e.time / interval));
+    trace_instant("master-crash", 0, e.time);
+    if (injector_ != nullptr)
+        injector_->record(
+            {fault::FaultKind::kMasterCrash, e.time, 0, 0, 0});
+
+    // Everything in flight dies with the master: KILLED, requeued.
+    for (std::uint32_t id = 0; id < attempts_.size(); ++id) {
+        Attempt& a = attempts_[id];
+        if (!a.live)
+            continue;
+        a.live = false;
+        release_slot(a.node);
+        stats_.wasted_task_s += e.time - a.start;
+        trace_attempt(a, e.time, "master-lost");
+        TaskState& t = tasks_[a.task];
+        auto& live = t.live_attempts;
+        live.erase(std::remove(live.begin(), live.end(), id), live.end());
+        if (!t.done && live.empty())
+            push_event(e.time, EventKind::kReady, a.task);
+    }
+    // Completions after the last periodic checkpoint were never
+    // persisted; the standby's job history ends at the checkpoint, so
+    // those tasks run again (committed earlier phases are untouched).
+    for (std::uint32_t task = 0; task < tasks_.size(); ++task) {
+        TaskState& t = tasks_[task];
+        if (!t.done)
+            continue;
+        if (t.completion_time > checkpoint) {
+            t.done = false;
+            --completed_;
+            ++stats_.tasks_lost_to_failover;
+            stats_.wasted_task_s += nominal_task_s_;
+            push_event(e.time, EventKind::kReady, task);
+        } else {
+            ++stats_.tasks_restored;
+        }
+    }
+    frozen_until_ = e.time + cfg_.failover_delay_s;
+    push_event(frozen_until_, EventKind::kFailover, 0);
+}
+
+void
+PhaseSim::on_failover(const Event& e)
+{
+    trace_instant("master-failover", 0, e.time);
+    if (injector_ != nullptr)
+        injector_->record(
+            {fault::FaultKind::kMasterFailover, e.time, 0, 0, 0});
+    check_cascade(e.time);
 }
 
 PhaseResult
@@ -468,6 +840,36 @@ PhaseSim::run(double start_time)
         cluster_.crash_node < cluster_.nodes.size())
         push_event(std::max(cluster_.crash_time, start_time),
                    EventKind::kNodeCrash, cluster_.crash_node);
+    if (faults_armed_) {
+        if (!cluster_.rack_crash_fired && cluster_.rack_crash_time >= 0.0)
+            push_event(std::max(cluster_.rack_crash_time, start_time),
+                       EventKind::kRackCrash, cluster_.crash_rack);
+        if (!cluster_.partition_fired && cluster_.partition_time >= 0.0)
+            push_event(std::max(cluster_.partition_time, start_time),
+                       EventKind::kPartition, cluster_.partition_rack);
+        if (cluster_.partition_fired && !cluster_.partition_healed)
+            push_event(std::max(cluster_.partition_heal_time, start_time),
+                       EventKind::kPartitionHeal,
+                       cluster_.partition_rack);
+        if (!cluster_.master_crash_fired &&
+            cluster_.master_crash_time >= 0.0)
+            push_event(std::max(cluster_.master_crash_time, start_time),
+                       EventKind::kMasterCrash, 0);
+        for (std::uint32_t i = 0; i < cluster_.pending_crashes.size();
+             ++i)
+            if (!cluster_.pending_crashes[i].fired)
+                push_event(std::max(cluster_.pending_crashes[i].time,
+                                    start_time),
+                           EventKind::kCascadeCrash, i);
+    }
+
+    // Structural no-hang guarantee: even a pathological plan cannot spin
+    // the loop forever -- the budget is far above what max_attempts
+    // tries of every task plus bookkeeping can legitimately generate.
+    const std::uint64_t budget =
+        1000ull * (static_cast<std::uint64_t>(tasks_.size()) + 16ull) *
+        std::max<std::uint64_t>(1, cfg_.max_attempts);
+    std::uint64_t processed = 0;
 
     double now = start_time;
     try_launch(now);
@@ -476,6 +878,12 @@ PhaseSim::run(double start_time)
             failed_ = true;
             error_ = "no schedulable nodes left (dead or blacklisted) "
                      "with tasks still pending";
+            break;
+        }
+        if (++processed > budget) {
+            failed_ = true;
+            error_ = "event budget exceeded (" + std::to_string(budget) +
+                     " events): scheduler livelock";
             break;
         }
         const Event e = events_.top();
@@ -489,6 +897,13 @@ PhaseSim::run(double start_time)
           case EventKind::kReady: ready_.push_back(e.id); break;
           case EventKind::kSpecCheck: on_spec_check(e); break;
           case EventKind::kNodeCrash: on_node_crash(e); break;
+          case EventKind::kWatchdog: on_watchdog(e); break;
+          case EventKind::kRackCrash: on_rack_crash(e); break;
+          case EventKind::kPartition: on_partition(e); break;
+          case EventKind::kPartitionHeal: on_partition_heal(e); break;
+          case EventKind::kMasterCrash: on_master_crash(e); break;
+          case EventKind::kFailover: on_failover(e); break;
+          case EventKind::kCascadeCrash: on_cascade_crash(e); break;
         }
         try_launch(now);
     }
@@ -514,7 +929,45 @@ validate(const SchedulerConfig& config)
                "of every on-time task would double the cluster load)";
     if (config.blacklist_task_failures < 1)
         return "SchedulerConfig.blacklist_task_failures must be >= 1";
+    if (config.task_timeout_factor <= config.speculative_slowdown)
+        return "SchedulerConfig.task_timeout_factor must exceed "
+               "speculative_slowdown (speculation gets first shot at "
+               "stragglers before the watchdog kills them)";
+    if (config.backoff_jitter < 0.0 || config.backoff_jitter >= 1.0)
+        return "SchedulerConfig.backoff_jitter must be in [0, 1) (full "
+               "jitter could produce a zero or negative backoff)";
+    if (config.checkpoint_interval_s <= 0.0)
+        return "SchedulerConfig.checkpoint_interval_s must be positive";
+    if (config.failover_delay_s < 0.0)
+        return "SchedulerConfig.failover_delay_s must be >= 0";
+    if (config.degrade_failure_ratio <= 0.0)
+        return "SchedulerConfig.degrade_failure_ratio must be positive "
+               "(zero would degrade every phase on its first failure)";
+    if (config.degraded_backoff_factor < 1.0)
+        return "SchedulerConfig.degraded_backoff_factor must be >= 1 "
+               "(degradation widens backoff, never shrinks it)";
     return "";
+}
+
+TaskCounts
+expected_task_counts(const JobSpec& job, const ClusterConfig& cluster)
+{
+    // Mirrors the task-population math in ClusterScheduler::run below
+    // (and the analytic model): this is the contract the chaos harness
+    // holds completed jobs to.
+    const double input_bytes = job.input_gb * kGiB;
+    const double tasks = std::max(
+        1.0,
+        input_bytes / (static_cast<double>(cluster.split_mb) * kMiB));
+    const double reduce_tasks = std::min(
+        static_cast<double>(cluster.slaves) * cluster.reduce_slots,
+        tasks);
+    TaskCounts counts;
+    counts.maps = static_cast<std::uint64_t>(std::ceil(tasks)) *
+                  job.iterations;
+    counts.reduces = static_cast<std::uint64_t>(std::ceil(reduce_tasks)) *
+                     job.iterations;
+    return counts;
 }
 
 ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
@@ -607,6 +1060,7 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
     // ---- Cluster state shared across phases and iterations. ------------
     ClusterState state;
     state.nodes.resize(c.slaves);
+    state.topology = fault::Topology(c.slaves, c.racks);
     if (injector != nullptr) {
         const fault::FaultPlan& plan = injector->plan();
         for (std::uint32_t i = 0; i < c.slaves; ++i) {
@@ -619,6 +1073,20 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
             state.crash_time = plan.node_crash_time_s;
             state.crash_node = plan.crash_node;
         }
+        if (plan.rack_crash_time_s >= 0.0 &&
+            plan.crash_rack < state.topology.racks()) {
+            state.rack_crash_time = plan.rack_crash_time_s;
+            state.crash_rack = plan.crash_rack;
+        }
+        if (plan.partition_time_s >= 0.0 &&
+            plan.partition_rack < state.topology.racks()) {
+            state.partition_time = plan.partition_time_s;
+            state.partition_heal_time =
+                plan.partition_time_s + plan.partition_duration_s;
+            state.partition_rack = plan.partition_rack;
+        }
+        if (plan.master_crash_time_s >= 0.0)
+            state.master_crash_time = plan.master_crash_time_s;
     }
 
     // Trace lanes: one per node plus a phase lane past the last node.
@@ -637,8 +1105,8 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
 
     // The event clock tracks task execution only; fixed overheads and
     // the Amdahl residue are added per iteration, exactly as the
-    // analytic model does. FaultPlan.node_crash_time_s is interpreted on
-    // this task timeline.
+    // analytic model does. FaultPlan times (node/rack crash, partition,
+    // master crash) are interpreted on this task timeline.
     double clock = 0.0;
     double map_wasted_s = 0.0;
     double reduce_wasted_s = 0.0;
@@ -661,6 +1129,8 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
         if (map_res.failed) {
             r.completed = false;
             r.error = "map phase: " + map_res.error;
+        } else {
+            r.maps_completed += map_count;
         }
 
         // ---- Shuffle: receiver-link bound, half overlapped with map. ----
@@ -668,46 +1138,114 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
         if (!map_res.failed) {
             shuffle_i = std::max(0.0, shuffle_raw_s - 0.5 * map_i);
             double shuffle_end = clock + shuffle_i;
-            // A node lost mid-shuffle takes its finished map output with
-            // it: the survivors re-execute those maps and re-serve their
-            // partitions before reducers can finish fetching.
+
+            // Nodes lost inside the shuffle window take their finished
+            // map output with them: the survivors re-execute those maps
+            // and re-serve the partitions before reducers can finish
+            // fetching.
+            auto lose_nodes = [&](const std::vector<std::uint32_t>& dead)
+            {
+                std::uint32_t lost = 0;
+                for (const std::uint32_t idx : dead) {
+                    Node& node = state.nodes[idx];
+                    if (!node.alive)
+                        continue;
+                    node.alive = false;
+                    node.free_slots = 0;
+                    ++r.nodes_lost;
+                    for (const TaskState& task : map_sim.tasks())
+                        if (task.done && task.completion_node == idx)
+                            ++lost;
+                }
+                if (lost == 0)
+                    return;
+                const double alive_slots = state.alive_slots(c.map_slots);
+                if (alive_slots == 0) {
+                    r.completed = false;
+                    r.error = "node loss mid-shuffle left no "
+                              "schedulable nodes";
+                    return;
+                }
+                const double reexec_s =
+                    std::ceil(lost / alive_slots) * map_task_s;
+                const double reshuffle_s = shuffle_raw_s * lost / tasks;
+                r.maps_reexecuted += lost;
+                r.wasted_task_s += lost * map_task_s;
+                map_wasted_s += lost * map_task_s;
+                shuffle_i += reexec_s + reshuffle_s;
+                shuffle_end += reexec_s + reshuffle_s;
+            };
+
             if (!state.crash_fired && state.crash_time >= 0.0 &&
                 state.crash_time > clock &&
                 state.crash_time <= shuffle_end) {
                 state.crash_fired = true;
-                Node& dead = state.nodes[state.crash_node];
-                dead.alive = false;
-                dead.free_slots = 0;
-                ++r.nodes_lost;
                 if (injector != nullptr)
                     injector->record({fault::FaultKind::kNodeCrash,
                                       state.crash_time, state.crash_node,
                                       0, 0});
-                std::uint32_t lost = 0;
+                lose_nodes({state.crash_node});
+            }
+            if (r.completed && !state.rack_crash_fired &&
+                state.rack_crash_time >= 0.0 &&
+                state.rack_crash_time > clock &&
+                state.rack_crash_time <= shuffle_end) {
+                state.rack_crash_fired = true;
+                ++r.racks_lost;
+                if (injector != nullptr)
+                    injector->record({fault::FaultKind::kRackPowerLoss,
+                                      state.rack_crash_time,
+                                      state.crash_rack, 0, 0});
+                lose_nodes(
+                    state.topology.nodes_in_rack(state.crash_rack));
+            }
+
+            // A partition epoch overlapping the shuffle: map output
+            // behind the cut cannot be fetched until the heal, so the
+            // shuffle stalls for it; the heal then forgives the rack.
+            if (r.completed && !state.partition_fired &&
+                state.partition_time >= 0.0 &&
+                state.partition_time > clock &&
+                state.partition_time <= shuffle_end) {
+                state.partition_fired = true;
+                for (const std::uint32_t i :
+                     state.topology.nodes_in_rack(state.partition_rack))
+                    if (state.nodes[i].alive)
+                        state.nodes[i].partitioned = true;
+                ++r.partitions;
+                if (injector != nullptr)
+                    injector->record({fault::FaultKind::kNetPartition,
+                                      state.partition_time,
+                                      state.partition_rack, 0, 0});
+            }
+            if (r.completed && state.partition_fired &&
+                !state.partition_healed) {
+                bool hostage = false;
                 for (const TaskState& task : map_sim.tasks())
                     if (task.done &&
-                        task.completion_node == state.crash_node)
-                        ++lost;
-                if (lost > 0) {
-                    const double alive_slots =
-                        state.alive_slots(c.map_slots);
-                    if (alive_slots == 0) {
-                        r.completed = false;
-                        r.error = "node crash mid-shuffle left no "
-                                  "schedulable nodes";
-                    } else {
-                        const double reexec_s =
-                            std::ceil(lost / alive_slots) * map_task_s;
-                        const double reshuffle_s =
-                            shuffle_raw_s * lost / tasks;
-                        r.maps_reexecuted += lost;
-                        r.wasted_task_s += lost * map_task_s;
-                        map_wasted_s += lost * map_task_s;
-                        shuffle_i += reexec_s + reshuffle_s;
-                        shuffle_end += reexec_s + reshuffle_s;
+                        state.nodes[task.completion_node].partitioned)
+                        hostage = true;
+                if (hostage && state.partition_heal_time > shuffle_end) {
+                    shuffle_i += state.partition_heal_time - shuffle_end;
+                    shuffle_end = state.partition_heal_time;
+                }
+                if (state.partition_heal_time <= shuffle_end) {
+                    heal_partition(state, r, injector,
+                                   state.partition_heal_time);
+                    std::uint32_t victim = 0;
+                    const std::uint64_t trigger =
+                        state.recovery_windows++;
+                    if (injector != nullptr &&
+                        injector->cascade_fires(trigger, c.slaves,
+                                                &victim)) {
+                        ++r.cascades_triggered;
+                        state.pending_crashes.push_back(
+                            {state.partition_heal_time + 1.0, victim,
+                             false});
                     }
                 }
             }
+
             if (trace != nullptr)
                 trace->complete("shuffle it" + std::to_string(it),
                                 "phase", obs::TraceWriter::kClusterPid,
@@ -736,6 +1274,8 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
             if (red_res.failed) {
                 r.completed = false;
                 r.error = "reduce phase: " + red_res.error;
+            } else {
+                r.reduces_completed += reduce_count;
             }
         }
 

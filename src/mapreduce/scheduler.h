@@ -25,10 +25,36 @@
  *    FAILED) and, until the shuffle has completed, loses its finished
  *    map output, which is re-executed on the surviving nodes.
  *
+ * On top of the 1.x semantics the scheduler is self-healing against the
+ * correlated, topology-aware fault kinds (fault/topology.h):
+ *
+ *  - a per-task watchdog kills attempts that exceed their deadline
+ *    (task_timeout_factor x speed-adjusted nominal time): hung tasks on
+ *    healthy nodes are FAILED (count against the retry budget), tasks
+ *    stranded on dead or partitioned nodes are KILLED and requeued
+ *    immediately;
+ *  - retry backoff carries deterministic seeded jitter so a correlated
+ *    failure burst does not re-collide on the same instant;
+ *  - a network partition makes a rack unschedulable and defers its
+ *    completions until the heal; healed nodes are un-blacklisted and
+ *    their failure counts forgiven (partition-aware blacklisting);
+ *  - rack power loss is a node crash over the whole rack at once;
+ *  - a JobTracker (master) crash loses in-flight attempts and any
+ *    completions after the last periodic checkpoint; a standby resumes
+ *    deterministically from that checkpoint after failover_delay_s;
+ *  - recovery windows (partition heal, master failover) can cascade
+ *    into dependent node crashes under FaultPlan.cascade_prob;
+ *  - under heavy fault pressure (failed + watchdog-killed attempts
+ *    above degrade_failure_ratio of a phase's tasks) the scheduler
+ *    degrades gracefully: speculation is shed and backoff widened
+ *    instead of thrashing the remaining slots.
+ *
  * Per-task service times are derived from the same Table I rates the
  * analytic model uses, so with a zero fault plan the two agree to within
  * task-wave quantization (ceil(tasks/slots) vs tasks/slots) -- this is
- * regression-checked in tests/scheduler_test.cc.
+ * regression-checked in tests/scheduler_test.cc, and the zero-fault
+ * event path is additionally golden-hash guarded: every fault hook is
+ * armed only when the injector's plan can actually fire.
  */
 
 #include <cstdint>
@@ -56,6 +82,34 @@ struct SchedulerConfig
     /** Failed attempts on one node before it is blacklisted for the
         rest of the job (mapred.max.tracker.failures). */
     std::uint32_t blacklist_task_failures = 4;
+
+    // ---- Self-healing knobs (armed only under a live fault plan) ----
+    /**
+     * Watchdog deadline: an attempt still running past this multiple of
+     * its speed-adjusted nominal task time is killed and rescheduled
+     * (mapred.task.timeout analogue). Must exceed speculative_slowdown
+     * so speculation gets first shot at stragglers.
+     */
+    double task_timeout_factor = 6.0;
+    /** Retry backoff jitter: each backoff is scaled by a deterministic
+        seeded factor in [1-jitter, 1+jitter] so correlated failure
+        bursts fan out instead of re-colliding. */
+    double backoff_jitter = 0.25;
+    /** JobTracker checkpoint period on the task timeline (simulated
+        seconds); a master crash resumes from the last multiple. */
+    double checkpoint_interval_s = 30.0;
+    /** Pause before the standby JobTracker takes over after a master
+        crash; nothing launches during the failover window. */
+    double failover_delay_s = 10.0;
+    /**
+     * Graceful degradation: once failed + watchdog-killed attempts in a
+     * phase exceed this fraction of its task population, speculation is
+     * shed and every subsequent backoff is widened by
+     * degraded_backoff_factor -- the scheduler stops amplifying load on
+     * a cluster that is already failing.
+     */
+    double degrade_failure_ratio = 0.05;
+    double degraded_backoff_factor = 4.0;
 };
 
 std::string validate(const SchedulerConfig& config);
@@ -84,7 +138,52 @@ struct JobRun
     double wasted_task_s = 0.0;
     /** Extra wall-clock versus the same run with no faults. */
     double recovery_s = 0.0;
+
+    // ---- Correlated-fault / self-healing accounting -------------------
+    /** Attempts killed by the per-task deadline watchdog. */
+    std::uint32_t watchdog_kills = 0;
+    /** Racks lost to power faults (their nodes also count in
+        nodes_lost). */
+    std::uint32_t racks_lost = 0;
+    /** Partition epochs begun / healed. */
+    std::uint32_t partitions = 0;
+    std::uint32_t partition_heals = 0;
+    /** Blacklists cleared because the node's partition healed. */
+    std::uint32_t nodes_unblacklisted = 0;
+    /** Master crashes survived via checkpoint failover. */
+    std::uint32_t master_failovers = 0;
+    /** Checkpoints the JobTracker had taken when it crashed. */
+    std::uint32_t checkpoints_taken = 0;
+    /** Task completions preserved by / redone after the failover. */
+    std::uint32_t tasks_restored = 0;
+    std::uint32_t tasks_lost_to_failover = 0;
+    /** Dependent faults fired inside recovery windows. */
+    std::uint32_t cascades_triggered = 0;
+    /** Phases that entered degraded mode (speculation shed). */
+    std::uint32_t degraded_phases = 0;
+    /**
+     * Final task completions per phase kind, summed over iterations.
+     * The chaos invariant: a completed job has produced exactly the
+     * analytic-model population (expected_task_counts).
+     */
+    std::uint64_t maps_completed = 0;
+    std::uint64_t reduces_completed = 0;
 };
+
+/** The analytic-model task population of one job on one cluster. */
+struct TaskCounts
+{
+    std::uint64_t maps = 0;     ///< map completions a full job must make
+    std::uint64_t reduces = 0;  ///< reduce completions, ditto
+};
+
+/**
+ * What a completed job must have produced (both counts include the
+ * iterations multiplier). Chaos-harness invariant anchor: recovery may
+ * re-execute work, but the final completion counts are exact.
+ */
+TaskCounts expected_task_counts(const JobSpec& job,
+                                const ClusterConfig& cluster);
 
 /** The discrete-event scheduler; stateless across run() calls. */
 class ClusterScheduler

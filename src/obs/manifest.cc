@@ -1,10 +1,10 @@
 #include "obs/manifest.h"
 
 #include <cstdio>
-#include <filesystem>
 #include <thread>
 
 #include "obs/json.h"
+#include "util/atomic_file.h"
 
 namespace dcb::obs {
 
@@ -137,19 +137,7 @@ RunManifest::to_json() const
 bool
 RunManifest::write(const std::string& path) const
 {
-    const std::filesystem::path parent =
-        std::filesystem::path(path).parent_path();
-    if (!parent.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(parent, ec);
-    }
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    const std::string text = to_json();
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-    return true;
+    return util::write_file_atomic(path, to_json());
 }
 
 }  // namespace dcb::obs

@@ -2,11 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
 #include <limits>
 
 #include "obs/json.h"
 #include "util/assert.h"
+#include "util/atomic_file.h"
 
 namespace dcb::obs {
 
@@ -117,42 +117,30 @@ TimeSeriesRecorder::stderr_of(std::size_t col) const
 
 namespace {
 
-/** Create the parent directory of `path` if it names one. */
-void
-ensure_parent_dir(const std::string& path)
-{
-    const std::filesystem::path parent =
-        std::filesystem::path(path).parent_path();
-    if (parent.empty())
-        return;
-    std::error_code ec;
-    std::filesystem::create_directories(parent, ec);  // best effort
-}
-
 }  // namespace
+
+std::string
+TimeSeriesRecorder::to_csv() const
+{
+    std::string out = "interval,first_op,op_count";
+    for (const std::string& col : columns_)
+        out += "," + col;
+    out += "\n";
+    for (const IntervalRow& row : rows_) {
+        out += std::to_string(row.index) + "," +
+               std::to_string(row.first_op) + "," +
+               std::to_string(row.op_count);
+        for (const double v : row.values)
+            out += "," + json_double(v);
+        out += "\n";
+    }
+    return out;
+}
 
 bool
 TimeSeriesRecorder::write_csv(const std::string& path) const
 {
-    ensure_parent_dir(path);
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    std::fprintf(f, "interval,first_op,op_count");
-    for (const std::string& col : columns_)
-        std::fprintf(f, ",%s", col.c_str());
-    std::fprintf(f, "\n");
-    for (const IntervalRow& row : rows_) {
-        std::fprintf(f, "%llu,%llu,%llu",
-                     static_cast<unsigned long long>(row.index),
-                     static_cast<unsigned long long>(row.first_op),
-                     static_cast<unsigned long long>(row.op_count));
-        for (const double v : row.values)
-            std::fprintf(f, ",%s", json_double(v).c_str());
-        std::fprintf(f, "\n");
-    }
-    std::fclose(f);
-    return true;
+    return util::write_file_atomic(path, to_csv());
 }
 
 std::string
@@ -193,14 +181,7 @@ TimeSeriesRecorder::to_json() const
 bool
 TimeSeriesRecorder::write_json(const std::string& path) const
 {
-    ensure_parent_dir(path);
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    const std::string text = to_json();
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-    return true;
+    return util::write_file_atomic(path, to_json());
 }
 
 }  // namespace dcb::obs

@@ -123,6 +123,7 @@ class TimeSeriesRecorder
      * the file cannot be opened.
      */
     bool write_csv(const std::string& path) const;
+    std::string to_csv() const;
 
     /**
      * JSON: {workload, interval_ops, columns, additive, totals, rows}.

@@ -1,0 +1,66 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace dcb::util {
+
+void
+ensure_parent_dir(const std::string& path)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort
+}
+
+std::FILE*
+open_file_atomic(const std::string& path, std::string* temp_path)
+{
+    ensure_parent_dir(path);
+    // The temp file must live in the destination directory: rename(2)
+    // is only atomic within one filesystem, and a sibling always is.
+    *temp_path = path + ".tmp-" + std::to_string(::getpid());
+    return std::fopen(temp_path->c_str(), "wb");
+}
+
+bool
+commit_file_atomic(std::FILE* file, const std::string& temp_path,
+                   const std::string& path)
+{
+    const bool flushed = std::fflush(file) == 0;
+    const bool closed = std::fclose(file) == 0;
+    if (!(flushed && closed) ||
+        std::rename(temp_path.c_str(), path.c_str()) != 0) {
+        std::remove(temp_path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+write_file_atomic(const std::string& path, std::string_view contents)
+{
+    std::string temp_path;
+    std::FILE* f = open_file_atomic(path, &temp_path);
+    if (f == nullptr)
+        return false;
+    if (std::fwrite(contents.data(), 1, contents.size(), f) !=
+        contents.size()) {
+        std::fclose(f);
+        std::remove(temp_path.c_str());
+        return false;
+    }
+    return commit_file_atomic(f, temp_path, path);
+}
+
+}  // namespace dcb::util

@@ -1,0 +1,51 @@
+#ifndef DCBENCH_UTIL_ATOMIC_FILE_H_
+#define DCBENCH_UTIL_ATOMIC_FILE_H_
+
+/**
+ * @file
+ * Crash-safe file output: write-to-temp + atomic rename.
+ *
+ * Every committed artifact the suite produces (telemetry CSV/JSON,
+ * traces, manifests, BENCH_*.json) is either the complete new file or
+ * the previous one -- never a truncated hybrid. The contents are first
+ * written to a sibling temp file in the destination directory, flushed,
+ * and then renamed over the target; POSIX rename(2) within one
+ * directory is atomic, so a run interrupted mid-write leaves at worst a
+ * stray *.tmp-* file, not a half-written artifact.
+ */
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dcb::util {
+
+/** Create `path`'s parent directory if it names one (best effort). */
+void ensure_parent_dir(const std::string& path);
+
+/**
+ * Replace `path` with `contents` atomically. Creates the parent
+ * directory when missing. Returns false (and removes the temp file)
+ * when the temp file cannot be created, fully written, or renamed.
+ */
+bool write_file_atomic(const std::string& path, std::string_view contents);
+
+/**
+ * Streaming variant for fprintf-style producers: opens the sibling temp
+ * file for writing and stores its name in `*temp_path`. Pair with
+ * commit_file_atomic; nullptr when the temp file cannot be created.
+ */
+std::FILE* open_file_atomic(const std::string& path,
+                            std::string* temp_path);
+
+/**
+ * Flush + close `file` and rename `temp_path` over `path`. Returns
+ * false (and removes the temp file) when any step fails, so `path` is
+ * never left half-written.
+ */
+bool commit_file_atomic(std::FILE* file, const std::string& temp_path,
+                        const std::string& path);
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_ATOMIC_FILE_H_

@@ -1,9 +1,9 @@
 #include "util/csv.h"
 
-#include <cstdio>
 #include <sstream>
 
 #include "util/assert.h"
+#include "util/atomic_file.h"
 #include "util/log.h"
 
 namespace dcb::util {
@@ -58,15 +58,11 @@ CsvWriter::to_string() const
 bool
 CsvWriter::write_file(const std::string& path) const
 {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        warn("cannot open CSV output file: " + path);
+    if (!write_file_atomic(path, to_string())) {
+        warn("cannot write CSV output file: " + path);
         return false;
     }
-    const std::string s = to_string();
-    const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
-    std::fclose(f);
-    return ok;
+    return true;
 }
 
 }  // namespace dcb::util

@@ -69,17 +69,41 @@ ThreadPool::worker_loop()
             queue_.pop_front();
         }
         const auto start = std::chrono::steady_clock::now();
-        task();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            // An escaped exception on a worker thread would call
+            // std::terminate; capture it instead so the suite run can
+            // fail cleanly and the pool stays usable.
+            error = std::current_exception();
+        }
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            if (error != nullptr && first_exception_ == nullptr)
+                first_exception_ = error;
             ++tasks_completed_;
             busy_seconds_ += elapsed.count();
             if (--in_flight_ == 0)
                 all_done_.notify_all();
         }
     }
+}
+
+std::exception_ptr
+ThreadPool::first_exception() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return first_exception_;
+}
+
+void
+ThreadPool::clear_exception()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    first_exception_ = nullptr;
 }
 
 std::uint64_t

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -43,11 +44,27 @@ class ThreadPool
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    /** Enqueue a task. Tasks must not throw (wrap and capture instead). */
+    /**
+     * Enqueue a task. A task that throws does not terminate the
+     * process: the worker catches the exception, the first one is
+     * retained for first_exception(), and the pool keeps draining the
+     * queue (callers that need per-task diagnostics should still catch
+     * inside the task).
+     */
     void submit(std::function<void()> task);
 
     /** Block until every submitted task has finished executing. */
     void wait_idle();
+
+    /**
+     * The first exception any task threw, or nullptr. Sticky until
+     * clear_exception(); the pool itself stays fully usable after a
+     * throwing task.
+     */
+    std::exception_ptr first_exception() const;
+
+    /** Forget a captured exception so the pool can be reused cleanly. */
+    void clear_exception();
 
     unsigned thread_count() const
     {
@@ -74,6 +91,7 @@ class ThreadPool
     std::deque<std::function<void()>> queue_;
     std::size_t in_flight_ = 0;  ///< queued + currently executing
     bool shutting_down_ = false;
+    std::exception_ptr first_exception_;
     std::uint64_t tasks_completed_ = 0;
     double busy_seconds_ = 0.0;
     std::vector<std::thread> workers_;

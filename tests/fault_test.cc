@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "fault/topology.h"
 
 namespace dcb::fault {
 namespace {
@@ -196,6 +197,176 @@ TEST(FaultLog, EventsCarryTimestampsFromSetNow)
     EXPECT_DOUBLE_EQ(e.time_s, 42.5);
     EXPECT_EQ(e.task, 7u);
     EXPECT_EQ(e.attempt, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Correlated faults: topology, hangs, cascades
+// ---------------------------------------------------------------------
+
+TEST(Topology, ContiguousBlocksCoverEveryNodeExactlyOnce)
+{
+    for (const std::uint32_t nodes : {1u, 5u, 8u, 16u, 17u}) {
+        for (const std::uint32_t racks : {1u, 2u, 3u, 4u}) {
+            const Topology topo(nodes, racks);
+            ASSERT_GE(topo.racks(), 1u);
+            ASSERT_LE(topo.racks(), nodes);
+            std::uint32_t covered = 0;
+            for (std::uint32_t r = 0; r < topo.racks(); ++r) {
+                ASSERT_GE(topo.rack_size(r), 1u);
+                ASSERT_EQ(topo.rack_end(r) - topo.rack_begin(r),
+                          topo.rack_size(r));
+                // rack_of agrees with the block boundaries.
+                for (std::uint32_t n = topo.rack_begin(r);
+                     n < topo.rack_end(r); ++n)
+                    ASSERT_EQ(topo.rack_of(n), r)
+                        << nodes << " nodes / " << racks << " racks";
+                covered += topo.rack_size(r);
+            }
+            ASSERT_EQ(covered, topo.nodes());
+            // Blocks are contiguous and ascending.
+            for (std::uint32_t r = 1; r < topo.racks(); ++r)
+                ASSERT_EQ(topo.rack_begin(r), topo.rack_end(r - 1));
+        }
+    }
+}
+
+TEST(Topology, DefaultIsOneRackHoldingEverything)
+{
+    const Topology topo;
+    EXPECT_EQ(topo.racks(), 1u);
+    EXPECT_EQ(topo.rack_of(0), 0u);
+}
+
+TEST(Topology, NodesInRackListsTheBlock)
+{
+    const Topology topo(8, 2);
+    const std::vector<std::uint32_t> rack1 = topo.nodes_in_rack(1);
+    ASSERT_EQ(rack1.size(), 4u);
+    EXPECT_EQ(rack1.front(), 4u);
+    EXPECT_EQ(rack1.back(), 7u);
+}
+
+TEST(FaultPlan, AnyFaultsDetectsEveryCorrelatedKnob)
+{
+    FaultPlan plan;
+    plan.task_hang_prob = 0.01;
+    EXPECT_TRUE(plan.any_faults());
+
+    plan = FaultPlan{};
+    plan.rack_crash_time_s = 10.0;
+    EXPECT_TRUE(plan.any_faults());
+
+    plan = FaultPlan{};
+    plan.partition_time_s = 10.0;
+    EXPECT_TRUE(plan.any_faults());
+
+    plan = FaultPlan{};
+    plan.master_crash_time_s = 10.0;
+    EXPECT_TRUE(plan.any_faults());
+
+    // cascade_prob alone cannot fire -- there is no recovery window
+    // without another fault -- but a plan carrying it is not fault-free.
+    plan = FaultPlan{};
+    plan.cascade_prob = 1.0;
+    EXPECT_TRUE(plan.any_faults());
+}
+
+TEST(FaultPlan, ValidationRejectsBadCorrelatedKnobs)
+{
+    FaultPlan plan;
+    plan.task_hang_prob = 1.5;
+    EXPECT_NE(validate(plan), "");
+
+    plan = FaultPlan{};
+    plan.cascade_prob = -0.1;
+    EXPECT_NE(validate(plan), "");
+
+    plan = FaultPlan{};
+    plan.partition_time_s = 10.0;
+    plan.partition_duration_s = 0.0;  // never heals: rejected
+    EXPECT_NE(validate(plan), "");
+}
+
+TEST(FaultInjector, HangsOnlyConsumeDrawsWhenArmed)
+{
+    // A plan without hangs must keep its exact pre-hang decision
+    // stream: task_hangs() is free when task_hang_prob == 0.
+    FaultPlan crashes_only;
+    crashes_only.task_crash_prob = 0.3;
+
+    auto stream = [](const FaultPlan& plan, bool ask_hangs) {
+        FaultInjector injector(plan);
+        std::vector<bool> out;
+        double fraction = 0.0;
+        for (std::uint32_t i = 0; i < 128; ++i) {
+            out.push_back(injector.task_crashes(i, 1, &fraction));
+            if (ask_hangs)
+                injector.task_hangs(i, 1);
+        }
+        return out;
+    };
+    EXPECT_EQ(stream(crashes_only, false), stream(crashes_only, true));
+
+    FaultInjector hangless(crashes_only);
+    for (std::uint32_t i = 0; i < 32; ++i)
+        EXPECT_FALSE(hangless.task_hangs(i, 1));
+
+    FaultPlan all_hang;
+    all_hang.task_hang_prob = 1.0;
+    FaultInjector injector(all_hang);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(injector.task_hangs(i, 1));
+    EXPECT_EQ(injector.log().count(FaultKind::kTaskHang), 8u);
+}
+
+TEST(FaultInjector, CascadesAreStatelessDeterministicAndInRange)
+{
+    FaultPlan plan;
+    plan.cascade_prob = 0.5;
+    FaultInjector injector(plan);
+
+    std::uint32_t fired = 0;
+    for (std::uint64_t trigger = 0; trigger < 64; ++trigger) {
+        std::uint32_t victim = 0xFFFFFFFFu;
+        const bool fire = injector.cascade_fires(trigger, 8, &victim);
+        if (fire) {
+            ++fired;
+            EXPECT_LT(victim, 8u) << "trigger " << trigger;
+        }
+        // Stateless: the same trigger answers the same way regardless
+        // of the interleaved draws above.
+        std::uint32_t victim2 = 0xFFFFFFFFu;
+        EXPECT_EQ(injector.cascade_fires(trigger, 8, &victim2), fire);
+        if (fire) {
+            EXPECT_EQ(victim2, victim);
+        }
+    }
+    // ~50% of 64 windows, generous bounds.
+    EXPECT_GT(fired, 16u);
+    EXPECT_LT(fired, 48u);
+
+    FaultPlan none;
+    FaultInjector quiet(none);
+    std::uint32_t victim = 0;
+    for (std::uint64_t trigger = 0; trigger < 16; ++trigger)
+        EXPECT_FALSE(quiet.cascade_fires(trigger, 8, &victim));
+}
+
+TEST(FaultKind, EveryKindHasAName)
+{
+    for (const FaultKind kind :
+         {FaultKind::kTaskCrash, FaultKind::kNodeCrash,
+          FaultKind::kDiskReadError, FaultKind::kDiskWriteError,
+          FaultKind::kNetTimeout, FaultKind::kNetDrop,
+          FaultKind::kSlowNode, FaultKind::kTaskHang,
+          FaultKind::kRackPowerLoss, FaultKind::kNetPartition,
+          FaultKind::kPartitionHeal, FaultKind::kMasterCrash,
+          FaultKind::kMasterFailover, FaultKind::kWatchdogKill,
+          FaultKind::kCascade}) {
+        const char* name = fault_kind_name(kind);
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+    }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -96,6 +97,76 @@ TEST(ThreadPool, CanSubmitFromWorkerAfterWait)
         pool.submit([&total] { total.fetch_add(1); });
     pool.wait_idle();
     EXPECT_EQ(total.load(), 20);
+}
+
+// ---------------------------------------------------------------------
+// Exception safety
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, ThrowingTaskDoesNotTerminateAndIsCaptured)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    pool.wait_idle();
+    const std::exception_ptr error = pool.first_exception();
+    ASSERT_NE(error, nullptr);
+    try {
+        std::rethrow_exception(error);
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndQueueKeepsDraining)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(1);  // single worker forces submission order
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.submit([] { throw std::runtime_error("second"); });
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait_idle();
+    // Tasks after the throwers still ran: the pool did not wedge.
+    EXPECT_EQ(done.load(), 20);
+    ASSERT_NE(pool.first_exception(), nullptr);
+    try {
+        std::rethrow_exception(pool.first_exception());
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "first");  // sticky: second didn't replace
+    }
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterClearException)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("transient"); });
+    pool.wait_idle();
+    ASSERT_NE(pool.first_exception(), nullptr);
+
+    pool.clear_exception();
+    EXPECT_EQ(pool.first_exception(), nullptr);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 10);
+    EXPECT_EQ(pool.first_exception(), nullptr);
+}
+
+TEST(ThreadPool, NonStandardExceptionsAreCapturedToo)
+{
+    ThreadPool pool(1);
+    pool.submit([] { throw 42; });
+    pool.wait_idle();
+    const std::exception_ptr error = pool.first_exception();
+    ASSERT_NE(error, nullptr);
+    try {
+        std::rethrow_exception(error);
+        FAIL() << "expected a rethrow";
+    } catch (int v) {
+        EXPECT_EQ(v, 42);
+    }
 }
 
 }  // namespace

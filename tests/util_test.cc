@@ -4,8 +4,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/csv.h"
 #include "util/histogram.h"
 #include "util/rng.h"
@@ -313,6 +318,65 @@ TEST(Csv, EscapesSpecialCharacters)
     const std::string s = csv.to_string();
     EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
     EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe artifact writes
+// ---------------------------------------------------------------------
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(AtomicFile, WritesAndReplacesWithoutLeavingTempFiles)
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "dcb_atomic_test")
+            .string();
+    std::filesystem::remove_all(dir);
+    const std::string path = dir + "/nested/out.txt";
+
+    ASSERT_TRUE(write_file_atomic(path, "first"));  // creates parents
+    EXPECT_EQ(slurp(path), "first");
+    ASSERT_TRUE(write_file_atomic(path, "second"));
+    EXPECT_EQ(slurp(path), "second");
+
+    // The temp file was renamed away, not left beside the artifact.
+    std::size_t entries = 0;
+    for (const auto& e :
+         std::filesystem::directory_iterator(dir + "/nested")) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFile, StreamingVariantCommitsOrCleansUp)
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "dcb_atomic_stream")
+            .string();
+    std::filesystem::remove_all(dir);
+    const std::string path = dir + "/report.json";
+
+    std::string temp_path;
+    std::FILE* f = open_file_atomic(path, &temp_path);
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(temp_path, path);
+    // Mid-write the destination does not exist yet: a crash here would
+    // leave the previous artifact (none) untouched.
+    std::fprintf(f, "{\"ok\": %d}\n", 1);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    ASSERT_TRUE(commit_file_atomic(f, temp_path, path));
+    EXPECT_EQ(slurp(path), "{\"ok\": 1}\n");
+    EXPECT_FALSE(std::filesystem::exists(temp_path));
+    std::filesystem::remove_all(dir);
 }
 
 }  // namespace
