@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Cluster-scale benchmark of the sharded multi-job engine: a 512-node /
+ * 32-rack cluster serving 16 concurrent fair-share jobs, run through
+ * the serial reference (threads=1) and the sharded parallel engine,
+ * verified bit-identical, timed, and written to BENCH_cluster.json
+ * (atomic write) with per-shard utilization.
+ *
+ * The same scenario is then re-run under a correlated-fault plan (node
+ * crash, rack power loss, partition + heal, master failover, hangs,
+ * crashes, cascades) and held to the same serial/sharded/replay
+ * bit-identity -- the chaos machinery at 512-node scale.
+ *
+ * Usage: ./bench_cluster [--nodes N] [--racks N] [--jobs N]
+ *                        [--threads N] [--check-speedup X]
+ *                        [--dump-serial FILE] [--dump-sharded FILE]
+ *                        [--json FILE]
+ *
+ *   --threads 0 (default) uses one worker per hardware thread, capped
+ *   at the rack count. --check-speedup X fails the run when the sharded
+ *   wall-clock speedup is below X -- skipped with a note on hosts with
+ *   fewer than 4 hardware threads, where the parallel region is
+ *   starved (same policy as bench_throughput). --dump-* write the
+ *   canonical MultiJobResult dumps so CI can byte-diff serial vs
+ *   sharded across invocations.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.h"
+#include "mapreduce/fairshare.h"
+#include "obs/manifest.h"
+#include "util/atomic_file.h"
+
+namespace {
+
+using namespace dcb;
+using Clock = std::chrono::steady_clock;
+
+double
+seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** The benchmark fleet: job j is a pure function of (j, job_count). */
+std::vector<mapreduce::JobSubmission>
+make_fleet(std::uint32_t job_count)
+{
+    std::vector<mapreduce::JobSubmission> subs;
+    subs.reserve(job_count);
+    for (std::uint32_t j = 0; j < job_count; ++j) {
+        mapreduce::JobSubmission sub;
+        sub.spec.name = "fleet";
+        sub.spec.input_gb = 192.0 + 48.0 * (j % 5);
+        sub.spec.total_instructions_g = 30.0 * sub.spec.input_gb;
+        sub.spec.map_output_ratio = (j % 3 == 0) ? 0.8 : 0.2;
+        if (j % 4 == 3)
+            sub.spec.iterations = 2;  // iterative (Mahout-style) jobs
+        sub.submit_time_s = 4.0 * j;  // staggered arrivals
+        sub.weight = 1.0 + (j % 3);
+        subs.push_back(sub);
+    }
+    return subs;
+}
+
+bool
+write_text(const std::string& path, const std::string& text)
+{
+    std::string temp;
+    std::FILE* f = util::open_file_atomic(path.c_str(), &temp);
+    if (f == nullptr)
+        return false;
+    std::fwrite(text.data(), 1, text.size(), f);
+    return util::commit_file_atomic(f, temp, path.c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::uint32_t nodes = 512;
+    std::uint32_t racks = 32;
+    std::uint32_t jobs = 16;
+    unsigned threads = 0;
+    double check_speedup = -1.0;
+    std::string dump_serial_path;
+    std::string dump_sharded_path;
+    std::string json_path = "BENCH_cluster.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char* flag) -> const char* {
+            const std::size_t len = std::strlen(flag);
+            if (arg.compare(0, len, flag) == 0 && arg.size() > len &&
+                arg[len] == '=')
+                return arg.c_str() + len + 1;
+            if (arg == flag && i + 1 < argc)
+                return argv[++i];
+            return nullptr;
+        };
+        if (const char* v = value("--nodes"))
+            nodes = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (const char* v = value("--racks"))
+            racks = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (const char* v = value("--jobs"))
+            jobs = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (const char* v = value("--threads"))
+            threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        else if (const char* v = value("--check-speedup"))
+            check_speedup = std::strtod(v, nullptr);
+        else if (const char* v = value("--dump-serial"))
+            dump_serial_path = v;
+        else if (const char* v = value("--dump-sharded"))
+            dump_sharded_path = v;
+        else if (const char* v = value("--json"))
+            json_path = v;
+    }
+    const unsigned hardware_threads = std::thread::hardware_concurrency();
+    if (threads == 0)
+        threads = std::max(1u, hardware_threads);
+    threads = std::min(threads, racks);
+
+    mapreduce::ClusterConfig cluster;
+    cluster.slaves = nodes;
+    cluster.racks = racks;
+    const std::vector<mapreduce::JobSubmission> fleet = make_fleet(jobs);
+    mapreduce::FairShareConfig fair;
+    fair.attempt_jitter_sigma = 0.25;  // realistic duration spread
+    const mapreduce::MultiJobScheduler scheduler(fair);
+
+    std::printf("cluster bench: %u nodes / %u racks / %u jobs, "
+                "sharded at %u threads (%u hardware)\n\n",
+                nodes, racks, jobs, threads, hardware_threads);
+
+    // --- Fault-free: the speedup measurement -------------------------
+    mapreduce::MultiJobOptions serial_opt;
+    serial_opt.threads = 1;
+    const auto serial_start = Clock::now();
+    const mapreduce::MultiJobResult serial =
+        scheduler.run(fleet, cluster, serial_opt);
+    const double serial_seconds = seconds_since(serial_start);
+    if (!serial.ok) {
+        std::fprintf(stderr, "error: %s\n", serial.error.c_str());
+        return 1;
+    }
+
+    mapreduce::MultiJobOptions sharded_opt;
+    sharded_opt.threads = threads;
+    const auto sharded_start = Clock::now();
+    const mapreduce::MultiJobResult sharded =
+        scheduler.run(fleet, cluster, sharded_opt);
+    const double sharded_seconds = seconds_since(sharded_start);
+
+    const std::string serial_dump = serial.dump();
+    const bool identical = serial_dump == sharded.dump();
+    const double speedup =
+        sharded_seconds > 0.0 ? serial_seconds / sharded_seconds : 0.0;
+    std::uint64_t completed = 0;
+    for (const mapreduce::JobOutcome& job : serial.jobs)
+        completed += job.completed ? 1 : 0;
+    std::printf("fault-free: makespan %.1f sim-s, %" PRIu64 "/%u jobs "
+                "completed, %" PRIu64 " events over %" PRIu64 " epochs\n",
+                serial.makespan_s, completed, jobs, serial.events,
+                serial.epochs);
+    std::printf("wall clock: %.3f s serial, %.3f s at %u threads "
+                "(speedup %.2fx)\n",
+                serial_seconds, sharded_seconds, threads, speedup);
+    std::printf("sharded results bit-identical to serial: %s\n\n",
+                identical ? "yes" : "NO -- BUG");
+
+    // --- Correlated faults at scale: bit-identity only ---------------
+    fault::FaultPlan plan;
+    plan.seed = 0xC1A05C41EULL;
+    plan.task_crash_prob = 0.01;
+    plan.task_hang_prob = 0.004;
+    plan.slow_node_fraction = 0.08;
+    plan.slow_multiplier = 1.7;
+    plan.node_crash_time_s = 60.0;
+    plan.crash_node = nodes / 3;
+    plan.rack_crash_time_s = 120.0;
+    plan.crash_rack = racks / 2;
+    plan.partition_time_s = 80.0;
+    plan.partition_duration_s = 45.0;
+    plan.partition_rack = racks / 4;
+    plan.master_crash_time_s = 100.0;
+    plan.cascade_prob = 0.4;
+
+    const auto run_chaos = [&](unsigned t) {
+        fault::FaultInjector injector(plan);
+        mapreduce::MultiJobOptions options;
+        options.threads = t;
+        options.injector = &injector;
+        return scheduler.run(fleet, cluster, options);
+    };
+    const auto chaos_serial_start = Clock::now();
+    const mapreduce::MultiJobResult chaos_serial = run_chaos(1);
+    const double chaos_serial_seconds =
+        seconds_since(chaos_serial_start);
+    const auto chaos_sharded_start = Clock::now();
+    const mapreduce::MultiJobResult chaos_sharded = run_chaos(threads);
+    const double chaos_sharded_seconds =
+        seconds_since(chaos_sharded_start);
+    const bool chaos_identical =
+        chaos_serial.dump() == chaos_sharded.dump();
+    const mapreduce::ClusterOutcome& co = chaos_serial.cluster;
+    std::printf("chaos: makespan %.1f sim-s; nodes lost %u, racks lost "
+                "%u, partitions %u (heals %u), failovers %u, cascades "
+                "%u, blacklisted %u\n",
+                chaos_serial.makespan_s, co.nodes_lost, co.racks_lost,
+                co.partitions, co.partition_heals, co.master_failovers,
+                co.cascades_triggered, co.nodes_blacklisted);
+    std::printf("chaos wall clock: %.3f s serial, %.3f s at %u threads; "
+                "bit-identical: %s\n\n",
+                chaos_serial_seconds, chaos_sharded_seconds, threads,
+                chaos_identical ? "yes" : "NO -- BUG");
+
+    // --- Artifacts ---------------------------------------------------
+    if (!dump_serial_path.empty() &&
+        !write_text(dump_serial_path, serial_dump)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     dump_serial_path.c_str());
+        return 1;
+    }
+    if (!dump_sharded_path.empty() &&
+        !write_text(dump_sharded_path, sharded.dump())) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     dump_sharded_path.c_str());
+        return 1;
+    }
+
+    if (json_path != "none") {
+        obs::RunManifest manifest;
+        manifest.add_host_info();
+        manifest.set("bench", "bench_cluster");
+        manifest.set("nodes", std::uint64_t{nodes});
+        manifest.set("racks", std::uint64_t{racks});
+        manifest.set("jobs", std::uint64_t{jobs});
+        manifest.set("threads", std::uint64_t{threads});
+        manifest.set("hardware_concurrency",
+                     std::uint64_t{hardware_threads});
+
+        std::string out = "{\n";
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "  \"nodes\": %u,\n  \"racks\": %u,\n"
+                      "  \"jobs\": %u,\n  \"threads\": %u,\n"
+                      "  \"hardware_concurrency\": %u,\n",
+                      nodes, racks, jobs, threads, hardware_threads);
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "  \"makespan_s\": %.6f,\n  \"events\": %" PRIu64
+                      ",\n  \"epochs\": %" PRIu64 ",\n",
+                      serial.makespan_s, serial.events, serial.epochs);
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "  \"serial_seconds\": %.6f,\n"
+                      "  \"sharded_seconds\": %.6f,\n"
+                      "  \"speedup\": %.4f,\n"
+                      "  \"bit_identical\": %s,\n",
+                      serial_seconds, sharded_seconds, speedup,
+                      identical ? "true" : "false");
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "  \"chaos_serial_seconds\": %.6f,\n"
+                      "  \"chaos_sharded_seconds\": %.6f,\n"
+                      "  \"chaos_bit_identical\": %s,\n"
+                      "  \"chaos_nodes_lost\": %u,\n"
+                      "  \"chaos_master_failovers\": %u,\n",
+                      chaos_serial_seconds, chaos_sharded_seconds,
+                      chaos_identical ? "true" : "false", co.nodes_lost,
+                      co.master_failovers);
+        out += buf;
+        out += "  \"shards\": [\n";
+        for (std::size_t s = 0; s < sharded.shards.size(); ++s) {
+            const mapreduce::ShardStats& st = sharded.shards[s];
+            const mapreduce::ShardUtil& ut = sharded.shard_util[s];
+            std::snprintf(
+                buf, sizeof buf,
+                "    {\"shard\": %zu, \"events\": %" PRIu64
+                ", \"heartbeats\": %" PRIu64
+                ", \"slot_busy_s\": %.3f, \"uplink_wait_s\": %.3f, "
+                "\"busy_seconds\": %.6f, \"barrier_wait_seconds\": "
+                "%.6f}%s\n",
+                s, st.events_processed, ut.progress_heartbeats,
+                ut.slot_busy_s, ut.uplink_wait_s, st.busy_seconds,
+                st.barrier_wait_seconds,
+                s + 1 < sharded.shards.size() ? "," : "");
+            out += buf;
+        }
+        out += "  ],\n";
+        out += "  \"manifest\": " + manifest.json_fragment(2) + "\n";
+        out += "}\n";
+        if (!write_text(json_path, out)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (check_speedup > 0.0) {
+        if (hardware_threads < 4) {
+            std::printf("speedup check skipped: %u hardware threads "
+                        "starve the parallel region\n",
+                        hardware_threads);
+        } else if (speedup < check_speedup) {
+            std::fprintf(stderr,
+                         "FAIL: cluster speedup %.2fx below required "
+                         "%.2fx\n",
+                         speedup, check_speedup);
+            return 1;
+        }
+    }
+    return identical && chaos_identical ? 0 : 1;
+}

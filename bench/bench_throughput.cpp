@@ -165,6 +165,7 @@ main(int argc, char** argv)
                     reports_equal(serial_suite.runs[i].report,
                                   parallel_suite.runs[i].report);
     }
+    bench::stamp_pool_stats(parallel_suite);
     const double speedup = parallel_seconds > 0.0
                                ? serial_seconds / parallel_seconds
                                : 0.0;
@@ -232,6 +233,22 @@ main(int argc, char** argv)
         std::fprintf(f, "  \"suite_speedup\": %.4f,\n", speedup);
         std::fprintf(f, "  \"parallel_bit_identical\": %s,\n",
                      identical ? "true" : "false");
+        // Per-worker load split of the parallel suite, mirroring the
+        // per-shard utilization the cluster bench reports.
+        std::fprintf(f, "  \"workers\": [\n");
+        for (std::size_t i = 0;
+             i < parallel_suite.worker_tasks.size(); ++i) {
+            std::fprintf(
+                f,
+                "    {\"worker\": %zu, \"tasks\": %llu, "
+                "\"busy_seconds\": %.6f}%s\n",
+                i,
+                static_cast<unsigned long long>(
+                    parallel_suite.worker_tasks[i]),
+                parallel_suite.worker_busy_seconds[i],
+                i + 1 < parallel_suite.worker_tasks.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
         std::fprintf(f, "  \"obs_seconds_jobs1\": %.6f,\n", obs_seconds);
         std::fprintf(f, "  \"obs_overhead\": %.4f,\n", obs_overhead);
         std::fprintf(f, "  \"obs_trace_events\": %zu,\n",

@@ -49,6 +49,7 @@
 #include "core/report.h"
 #include "fault/fault.h"
 #include "fault/topology.h"
+#include "mapreduce/fairshare.h"
 #include "mapreduce/scheduler.h"
 #include "obs/manifest.h"
 #include "obs/trace_writer.h"
@@ -299,6 +300,113 @@ run_scenario(const Scenario& s, const mapreduce::SchedulerConfig& policy,
     return run;
 }
 
+/**
+ * Parity mode (--engine sharded): drive the scenario's fault plan
+ * through the multi-job fair-share scheduler on the sharded engine
+ * instead of the serial ClusterScheduler. Two staggered submissions of
+ * the scenario workload share the cluster, so the fair-share grant
+ * path, the uplink link servers and the multi-job fault recovery all
+ * run under the same chaos the serial sweep applies -- and the serial
+ * (threads=1) run, the sharded (threads=4) run and a fresh-injector
+ * replay must produce byte-identical MultiJobResult dumps.
+ */
+bool
+run_scenario_sharded(const Scenario& s,
+                     const mapreduce::FairShareConfig& fair,
+                     SweepState& state)
+{
+    const mapreduce::MultiJobScheduler scheduler(fair);
+    const auto workload = workloads::make_workload(s.workload);
+
+    std::vector<mapreduce::JobSubmission> subs(2);
+    subs[0].spec = workload->info().cluster_spec;
+    subs[0].weight = 2.0;
+    subs[1].spec = subs[0].spec;
+    subs[1].submit_time_s = 15.0;
+
+    const auto run_once = [&](unsigned threads) {
+        fault::FaultInjector injector(s.plan);
+        mapreduce::MultiJobOptions options;
+        options.threads = threads;
+        options.injector = &injector;
+        return scheduler.run(subs, s.cluster, options);
+    };
+    const mapreduce::MultiJobResult serial = run_once(1);
+    const mapreduce::MultiJobResult sharded = run_once(4);
+    const mapreduce::MultiJobResult replay = run_once(4);
+
+    KindTally& tally = state.kinds[s.id % kKindCount];
+    ++tally.scenarios;
+    check(state, s, serial.ok, "config rejected: " + serial.error);
+    if (!serial.ok)
+        return false;
+
+    check(state, s,
+          std::isfinite(serial.makespan_s) && serial.makespan_s >= 0.0,
+          "non-finite simulated time");
+    const std::string dump = serial.dump();
+    if (dump != sharded.dump()) {
+        ++state.replay_mismatches;
+        check(state, s, false, "sharded run diverged from serial");
+    }
+    if (dump != replay.dump()) {
+        ++state.replay_mismatches;
+        check(state, s, false, "replay diverged from the original run");
+    }
+
+    bool all_completed = true;
+    for (std::size_t j = 0; j < subs.size(); ++j) {
+        const mapreduce::JobOutcome& job = serial.jobs[j];
+        if (job.completed) {
+            const mapreduce::TaskCounts want =
+                mapreduce::expected_task_counts(subs[j].spec, s.cluster);
+            check(state, s, job.error.empty(),
+                  "completed but carries error text: " + job.error);
+            check(state, s,
+                  job.maps_completed == want.maps &&
+                      job.reduces_completed == want.reduces,
+                  "completed job " + std::to_string(j) +
+                      " task counts off the analytic model");
+        } else {
+            all_completed = false;
+            check(state, s, !job.error.empty(),
+                  "failed without an error message");
+        }
+        check(state, s, job.max_task_attempts <= fair.max_attempts,
+              "a task used " + std::to_string(job.max_task_attempts) +
+                  " attempts (max " + std::to_string(fair.max_attempts) +
+                  ")");
+    }
+    check(state, s,
+          serial.cluster.nodes_blacklisted <=
+              s.cluster.slaves / 4 + serial.cluster.nodes_unblacklisted,
+          "blacklisted " +
+              std::to_string(serial.cluster.nodes_blacklisted) +
+              " nodes on a " + std::to_string(s.cluster.slaves) +
+              "-slave cluster (cap 25%)");
+    if (!all_completed)
+        check(state, s, s.plan.any_faults(),
+              "job failed under a fault-free plan");
+
+    if (all_completed)
+        ++tally.completed;
+    else
+        ++tally.failed_clean;
+    mapreduce::JobRun& t = state.totals;
+    t.watchdog_kills += serial.jobs[0].watchdog_kills +
+                        serial.jobs[1].watchdog_kills;
+    t.nodes_lost += serial.cluster.nodes_lost;
+    t.racks_lost += serial.cluster.racks_lost;
+    t.partitions += serial.cluster.partitions;
+    t.partition_heals += serial.cluster.partition_heals;
+    t.nodes_blacklisted += serial.cluster.nodes_blacklisted;
+    t.nodes_unblacklisted += serial.cluster.nodes_unblacklisted;
+    t.master_failovers += serial.cluster.master_failovers;
+    t.tasks_lost_to_failover += serial.cluster.tasks_lost_to_failover;
+    t.cascades_triggered += serial.cluster.cascades_triggered;
+    return all_completed;
+}
+
 std::string
 sweep_json(const SweepState& state, std::uint32_t scenarios,
            std::uint64_t base_seed, std::uint32_t completed,
@@ -382,8 +490,10 @@ main(int argc, char** argv)
     std::uint64_t base_seed = kDefaultBaseSeed;
     std::int64_t only_scenario = -1;
     bool check_invariants = false;
+    bool sharded_engine = false;
     std::string trace_path;
-    std::string json_path = "BENCH_chaos.json";
+    std::string json_path;
+    bool json_path_set = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&](const char* flag) -> const char* {
@@ -405,14 +515,95 @@ main(int argc, char** argv)
             only_scenario = std::strtol(v, nullptr, 10);
         else if (const char* v = value("--trace-out"))
             trace_path = v;
-        else if (const char* v = value("--json"))
+        else if (const char* v = value("--engine")) {
+            if (std::string(v) == "sharded") {
+                sharded_engine = true;
+            } else if (std::string(v) != "serial") {
+                std::fprintf(stderr,
+                             "error: --engine must be serial or "
+                             "sharded, got \"%s\"\n",
+                             v);
+                return 2;
+            }
+        } else if (const char* v = value("--json")) {
             json_path = v;
+            json_path_set = true;
+        }
     }
+    // The committed BENCH_chaos.json describes the serial sweep; the
+    // sharded parity mode writes no JSON unless asked.
+    if (!json_path_set)
+        json_path = sharded_engine ? "none" : "BENCH_chaos.json";
 
     const mapreduce::SchedulerConfig policy;  // hardened defaults
+    const mapreduce::FairShareConfig fair;    // multi-job analogue
     SweepState state;
     std::uint32_t completed = 0;
     std::uint32_t failed_clean = 0;
+
+    if (sharded_engine) {
+        // Parity sweep: every scenario through the multi-job fair-share
+        // scheduler, serial vs sharded vs replay, same invariants.
+        const std::uint32_t first =
+            only_scenario >= 0 ? static_cast<std::uint32_t>(only_scenario)
+                               : 0;
+        const std::uint32_t last =
+            only_scenario >= 0 ? first + 1 : scenarios;
+        for (std::uint32_t id = first; id < last; ++id) {
+            const Scenario s = make_scenario(id, base_seed);
+            if (run_scenario_sharded(s, fair, state))
+                ++completed;
+            else
+                ++failed_clean;
+        }
+
+        util::Table table({"fault kind", "scenarios", "completed",
+                           "failed clean"});
+        table.set_title("chaos parity sweep (sharded engine): " +
+                        std::to_string(last - first) +
+                        " scenarios x {serial, sharded, replay}");
+        for (std::uint32_t k = 0; k < kKindCount; ++k)
+            table.add_row({kKindNames[k],
+                           std::to_string(state.kinds[k].scenarios),
+                           std::to_string(state.kinds[k].completed),
+                           std::to_string(state.kinds[k].failed_clean)});
+        table.print();
+
+        const mapreduce::JobRun& t = state.totals;
+        std::printf("\n%u/%u scenarios completed every job, %u failed "
+                    "clean; watchdog kills %u, racks lost %u, "
+                    "partitions %u (heals %u), master failovers %u, "
+                    "cascades %u\n",
+                    completed, last - first, failed_clean,
+                    t.watchdog_kills, t.racks_lost, t.partitions,
+                    t.partition_heals, t.master_failovers,
+                    t.cascades_triggered);
+        for (const std::string& v : state.violations)
+            std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", v.c_str());
+
+        if (only_scenario < 0) {
+            core::shape_check("zero invariant violations across the "
+                              "parity sweep",
+                              state.violations.empty());
+            core::shape_check("serial, sharded and replay runs are "
+                              "bit-identical",
+                              state.replay_mismatches == 0);
+            const bool all_kinds_survive = [&] {
+                for (const KindTally& tally : state.kinds)
+                    if (tally.completed == 0)
+                        return false;
+                return true;
+            }();
+            core::shape_check("every fault kind has scenarios where "
+                              "both jobs complete",
+                              all_kinds_survive);
+            core::shape_check("multi-job recovery machinery fired "
+                              "(heals + failovers)",
+                              t.partition_heals > 0 &&
+                                  t.master_failovers > 0);
+        }
+        return check_invariants && !state.violations.empty() ? 1 : 0;
+    }
 
     if (only_scenario >= 0) {
         // Single-scenario mode: CI replays this twice and byte-diffs the

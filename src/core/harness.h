@@ -105,6 +105,15 @@ struct SuiteResult
     double pool_busy_seconds = 0.0;  ///< summed in-task worker time
     /** Busy fraction of pool slots: busy / (jobs x wall); 0 = serial. */
     double pool_utilization = 0.0;
+    /**
+     * Per-worker execution tallies (empty for serial runs): the spread
+     * across entries is the pool's load imbalance. Bench JSON and run
+     * manifests embed these next to the aggregate pool metrics, the
+     * same way the sharded cluster engine reports per-shard events
+     * processed and barrier-wait seconds.
+     */
+    std::vector<std::uint64_t> worker_tasks;
+    std::vector<double> worker_busy_seconds;
     /** util::warn messages issued during the suite (bounded ring). */
     std::vector<std::string> warnings;
 

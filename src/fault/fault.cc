@@ -110,6 +110,57 @@ FaultLog::summary() const
     return out.empty() ? "no faults" : out;
 }
 
+namespace {
+
+/** Hash to a uniform double in [0, 1). */
+double
+hash01(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+double
+planned_speed_multiplier(const FaultPlan& plan, std::uint32_t node)
+{
+    if (plan.slow_node_fraction <= 0.0 || plan.slow_multiplier == 1.0)
+        return 1.0;
+    // Stateless: hash the node id against the seed so the answer does
+    // not depend on when (or how often) a scheduler asks.
+    const std::uint64_t h = util::mix64(plan.seed ^
+                                        (0x510Bu + std::uint64_t{node}));
+    return hash01(h) < plan.slow_node_fraction ? plan.slow_multiplier
+                                               : 1.0;
+}
+
+bool
+planned_task_crash(const FaultPlan& plan, std::uint64_t attempt_key,
+                   double* crash_fraction)
+{
+    if (plan.task_crash_prob <= 0.0)
+        return false;
+    const std::uint64_t h =
+        util::mix64(plan.seed ^ util::mix64(0xC7A54ULL ^ attempt_key));
+    if (hash01(h) >= plan.task_crash_prob)
+        return false;
+    // Same support as the injector's stream draw: crash mid-attempt,
+    // never exactly at the start or end.
+    if (crash_fraction != nullptr)
+        *crash_fraction = 0.05 + 0.9 * hash01(util::mix64(h));
+    return true;
+}
+
+bool
+planned_task_hang(const FaultPlan& plan, std::uint64_t attempt_key)
+{
+    if (plan.task_hang_prob <= 0.0)
+        return false;
+    const std::uint64_t h =
+        util::mix64(plan.seed ^ util::mix64(0x4A4CULL ^ attempt_key));
+    return hash01(h) < plan.task_hang_prob;
+}
+
 FaultInjector::FaultInjector(const FaultPlan& plan)
     : plan_(plan), rng_(plan.seed)
 {
@@ -191,15 +242,7 @@ FaultInjector::cascade_fires(std::uint64_t trigger,
 double
 FaultInjector::node_speed_multiplier(std::uint32_t node)
 {
-    if (plan_.slow_node_fraction <= 0.0 || plan_.slow_multiplier == 1.0)
-        return 1.0;
-    // Stateless: hash the node id against the seed so the answer does
-    // not depend on when (or how often) the scheduler asks.
-    const std::uint64_t h = util::mix64(plan_.seed ^
-                                        (0x510Bu + std::uint64_t{node}));
-    const double u =
-        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
-    return u < plan_.slow_node_fraction ? plan_.slow_multiplier : 1.0;
+    return planned_speed_multiplier(plan_, node);
 }
 
 bool

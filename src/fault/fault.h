@@ -117,6 +117,29 @@ struct FaultPlan
 /** Empty string when the plan is sane, else a clear error message. */
 std::string validate(const FaultPlan& plan);
 
+// ---- Stateless plan-keyed draws (shared with the sharded engine) ----
+//
+// The injector's should_* stream is order-dependent (one RNG draw per
+// call), which is fine for the serial scheduler but unusable inside
+// parallel shards. These free functions are pure functions of the plan
+// and a caller-chosen key, so any shard can evaluate them in any order
+// and serial/sharded runs agree bit for bit. The injector's own
+// stateless paths (slow nodes, cascades) delegate to them.
+
+/** Slow-node multiplier of `node` under `plan` (1.0 or slow_multiplier). */
+double planned_speed_multiplier(const FaultPlan& plan, std::uint32_t node);
+
+/**
+ * Does the attempt identified by `attempt_key` crash? On true,
+ * `*crash_fraction` (when non-null) is the fraction of the attempt's
+ * runtime completed before the crash, in [0.05, 0.95].
+ */
+bool planned_task_crash(const FaultPlan& plan, std::uint64_t attempt_key,
+                        double* crash_fraction);
+
+/** Does the attempt identified by `attempt_key` hang? */
+bool planned_task_hang(const FaultPlan& plan, std::uint64_t attempt_key);
+
 /** One injected fault, for the post-run log. */
 struct FaultEvent
 {

@@ -949,50 +949,9 @@ validate(const SchedulerConfig& config)
     return "";
 }
 
-TaskCounts
-expected_task_counts(const JobSpec& job, const ClusterConfig& cluster)
+TaskProfile
+derive_task_profile(const JobSpec& job, const ClusterConfig& c)
 {
-    // Mirrors the task-population math in ClusterScheduler::run below
-    // (and the analytic model): this is the contract the chaos harness
-    // holds completed jobs to.
-    const double input_bytes = job.input_gb * kGiB;
-    const double tasks = std::max(
-        1.0,
-        input_bytes / (static_cast<double>(cluster.split_mb) * kMiB));
-    const double reduce_tasks = std::min(
-        static_cast<double>(cluster.slaves) * cluster.reduce_slots,
-        tasks);
-    TaskCounts counts;
-    counts.maps = static_cast<std::uint64_t>(std::ceil(tasks)) *
-                  job.iterations;
-    counts.reduces = static_cast<std::uint64_t>(std::ceil(reduce_tasks)) *
-                     job.iterations;
-    return counts;
-}
-
-ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
-    : config_(config)
-{
-}
-
-JobRun
-ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
-                      fault::FaultInjector* injector,
-                      obs::TraceWriter* trace,
-                      const std::string& job_name) const
-{
-    JobRun r;
-    for (const std::string& err :
-         {validate(c), validate(job), validate(config_),
-          injector != nullptr ? fault::validate(injector->plan())
-                              : std::string()}) {
-        if (!err.empty()) {
-            r.completed = false;
-            r.error = err;
-            return r;
-        }
-    }
-
     const double n = c.slaves;
     const double input_bytes = job.input_gb * kGiB;
     const double inter_bytes = input_bytes * job.map_output_ratio;
@@ -1056,6 +1015,85 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
     const double task_overhead = waves * c.task_overhead_s +
                                  c.job_overhead_s;
     const double par = 1.0 - job.serial_fraction;
+
+    TaskProfile p;
+    p.map_count = map_count;
+    p.reduce_count = reduce_count;
+    p.tasks = tasks;
+    p.reduce_tasks = reduce_tasks;
+    p.map_task_s = map_task_s;
+    p.reduce_task_s = reduce_task_s;
+    p.shuffle_raw_s = shuffle_raw_s;
+    p.task_overhead_s = task_overhead;
+    p.serial_s = serial_s;
+    p.par = par;
+    p.inter_bytes = inter_bytes;
+    p.output_bytes = output_bytes;
+    p.replicas_remote = replicas_remote;
+    return p;
+}
+
+TaskCounts
+expected_task_counts(const JobSpec& job, const ClusterConfig& cluster)
+{
+    // Mirrors the task-population math in ClusterScheduler::run below
+    // (and the analytic model): this is the contract the chaos harness
+    // holds completed jobs to.
+    const double input_bytes = job.input_gb * kGiB;
+    const double tasks = std::max(
+        1.0,
+        input_bytes / (static_cast<double>(cluster.split_mb) * kMiB));
+    const double reduce_tasks = std::min(
+        static_cast<double>(cluster.slaves) * cluster.reduce_slots,
+        tasks);
+    TaskCounts counts;
+    counts.maps = static_cast<std::uint64_t>(std::ceil(tasks)) *
+                  job.iterations;
+    counts.reduces = static_cast<std::uint64_t>(std::ceil(reduce_tasks)) *
+                     job.iterations;
+    return counts;
+}
+
+ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
+    : config_(config)
+{
+}
+
+JobRun
+ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
+                      fault::FaultInjector* injector,
+                      obs::TraceWriter* trace,
+                      const std::string& job_name) const
+{
+    JobRun r;
+    for (const std::string& err :
+         {validate(c), validate(job), validate(config_),
+          injector != nullptr ? fault::validate(injector->plan())
+                              : std::string()}) {
+        if (!err.empty()) {
+            r.completed = false;
+            r.error = err;
+            return r;
+        }
+    }
+
+    // Task populations and per-task service rates: one derivation
+    // (derive_task_profile) shared with the sharded multi-job engine,
+    // so both engines run identical nominal task times.
+    const TaskProfile profile = derive_task_profile(job, c);
+    const double n = c.slaves;
+    const double inter_bytes = profile.inter_bytes;
+    const double output_bytes = profile.output_bytes;
+    const double tasks = profile.tasks;
+    const std::uint32_t map_count = profile.map_count;
+    const double map_task_s = profile.map_task_s;
+    const double shuffle_raw_s = profile.shuffle_raw_s;
+    const double replicas_remote = profile.replicas_remote;
+    const double reduce_task_s = profile.reduce_task_s;
+    const std::uint32_t reduce_count = profile.reduce_count;
+    const double serial_s = profile.serial_s;
+    const double task_overhead = profile.task_overhead_s;
+    const double par = profile.par;
 
     // ---- Cluster state shared across phases and iterations. ------------
     ClusterState state;

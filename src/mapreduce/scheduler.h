@@ -178,6 +178,35 @@ struct TaskCounts
 };
 
 /**
+ * Per-iteration task population and service rates of one job on one
+ * cluster, derived from the same Table I rates the analytic model uses.
+ * This is the single source of per-task timing truth: the serial
+ * discrete-event scheduler (this file) and the sharded multi-job engine
+ * (fairshare.h) both consume it, so a job's nominal task times agree
+ * across engines to the last bit.
+ */
+struct TaskProfile
+{
+    std::uint32_t map_count = 0;     ///< integral map tasks per iteration
+    std::uint32_t reduce_count = 0;  ///< integral reduce tasks per iter
+    double tasks = 0.0;              ///< real-valued map population
+    double reduce_tasks = 0.0;       ///< real-valued reduce population
+    double map_task_s = 0.0;         ///< nominal per-task map seconds
+    double reduce_task_s = 0.0;      ///< nominal per-task reduce seconds
+    double shuffle_raw_s = 0.0;      ///< unoverlapped all-to-all shuffle
+    double task_overhead_s = 0.0;    ///< per-iteration fixed overhead
+    double serial_s = 0.0;           ///< Amdahl residue per iteration
+    double par = 0.0;                ///< 1 - serial_fraction
+    double inter_bytes = 0.0;        ///< whole-job intermediate bytes
+    double output_bytes = 0.0;       ///< whole-job output bytes
+    double replicas_remote = 0.0;    ///< off-node HDFS replicas
+};
+
+/** Derive the profile; inputs must already validate clean. */
+TaskProfile derive_task_profile(const JobSpec& job,
+                                const ClusterConfig& cluster);
+
+/**
  * What a completed job must have produced (both counts include the
  * iterations multiplier). Chaos-harness invariant anchor: recovery may
  * re-execute work, but the final completion counts are exact.

@@ -12,7 +12,8 @@ SetAssocCache::SetAssocCache(const CacheGeometry& geometry,
       line_shift_(std::countr_zero(geometry.line_bytes)),
       num_sets_(geometry.num_sets()),
       pow2_sets_(std::has_single_bit(geometry.num_sets())),
-      lines_(geometry.num_lines()), rng_(rng_seed)
+      set_div_(geometry.num_sets()), lines_(geometry.num_lines()),
+      rng_(rng_seed)
 {
     DCB_EXPECTS(std::has_single_bit(
         static_cast<std::uint64_t>(geometry.line_bytes)));
@@ -29,14 +30,18 @@ SetAssocCache::set_index(std::uint64_t line_addr) const
     // Modulo indexing handles non-power-of-two set counts (the E5645's
     // 12 MB L3 has 12288 sets; real hardware hashes the index). For the
     // pow2 sets the mask selects exactly the same bits, so the fast path
-    // produces bit-identical placement.
-    return pow2_sets_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
+    // produces bit-identical placement; the non-pow2 fallback goes
+    // through a precomputed-reciprocal divmod (util::FastDiv) instead
+    // of a hardware divide, with identical results (util_test asserts
+    // equality against `%` exhaustively around the index space).
+    return pow2_sets_ ? (line_addr & set_mask_) : set_div_.rem(line_addr);
 }
 
 std::uint64_t
 SetAssocCache::tag_of(std::uint64_t line_addr) const
 {
-    return pow2_sets_ ? (line_addr >> set_shift_) : (line_addr / num_sets_);
+    return pow2_sets_ ? (line_addr >> set_shift_)
+                      : set_div_.quot(line_addr);
 }
 
 SetAssocCache::Line*

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mem/config.h"
+#include "util/fastdiv.h"
 #include "util/rng.h"
 
 namespace dcb::mem {
@@ -107,6 +108,9 @@ class SetAssocCache
     bool pow2_sets_;
     std::uint32_t set_shift_ = 0;  ///< log2(num_sets_) when pow2
     std::uint64_t set_mask_ = 0;   ///< num_sets_ - 1 when pow2
+    /** Reciprocal divmod for the non-pow2 fallback (12288-set L3):
+        same index/tag as `%` and `/` without the per-access divide. */
+    util::FastDiv set_div_;
     std::vector<Line> lines_;  ///< sets * ways, row-major by set
     /** Last line touched by access(); lines_ never reallocates. */
     Line* memo_line_ = nullptr;

@@ -1,0 +1,68 @@
+#ifndef DCBENCH_UTIL_FASTDIV_H_
+#define DCBENCH_UTIL_FASTDIV_H_
+
+/**
+ * @file
+ * Division by a run-constant divisor via a precomputed reciprocal.
+ *
+ * The cache model indexes sets with `line_addr % num_sets`; every
+ * power-of-two structure uses shift+mask, but the Table III L3 has
+ * 12288 sets, so its fallback paid a 64-bit hardware divide on every
+ * non-memoized access. FastDiv replaces the divide with one high
+ * multiply against floor((2^64-1)/d) plus a bounded fix-up: the
+ * estimate q = mulhi(n, magic) undershoots floor(n/d) by at most 2
+ * for every 64-bit n (magic underestimates 2^64/d by less than
+ * (1+d)/2^64 relative), so two compare-and-increments restore the
+ * exact quotient and the remainder follows by one multiply-subtract.
+ * Exactness for all inputs is asserted against `%` in util_test.
+ */
+
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace dcb::util {
+
+/** Exact n/d and n%d without a divide; d fixed at construction. */
+class FastDiv
+{
+  public:
+    /** Identity divisor so default-constructed members are harmless. */
+    FastDiv() = default;
+
+    explicit FastDiv(std::uint64_t divisor)
+        : divisor_(divisor), magic_(~std::uint64_t{0} / divisor)
+    {
+        DCB_EXPECTS(divisor != 0);
+    }
+
+    std::uint64_t divisor() const { return divisor_; }
+
+    /** floor(n / d), exact for every 64-bit n. */
+    std::uint64_t quot(std::uint64_t n) const
+    {
+        using u128 = unsigned __int128;
+        std::uint64_t q = static_cast<std::uint64_t>(
+            (static_cast<u128>(n) * magic_) >> 64);
+        // magic = floor((2^64-1)/d) underestimates 2^64/d, so q can
+        // undershoot the true quotient -- by at most 2 -- and never
+        // overshoots; each correction step is one mul + compare.
+        while (n - q * divisor_ >= divisor_)
+            ++q;
+        return q;
+    }
+
+    /** n % d, exact for every 64-bit n. */
+    std::uint64_t rem(std::uint64_t n) const
+    {
+        return n - quot(n) * divisor_;
+    }
+
+  private:
+    std::uint64_t divisor_ = 1;
+    std::uint64_t magic_ = ~std::uint64_t{0};
+};
+
+}  // namespace dcb::util
+
+#endif  // DCBENCH_UTIL_FASTDIV_H_

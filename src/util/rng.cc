@@ -112,4 +112,14 @@ Rng::fork()
     return Rng(next_u64());
 }
 
+Rng
+Rng::stream(std::uint64_t seed, std::uint64_t stream)
+{
+    // Two avalanche rounds keep nearby (seed, stream) pairs -- shard 0
+    // vs shard 1 of the same run -- from seeding correlated xoshiro
+    // states; SplitMix64 inside the Rng constructor adds a third.
+    return Rng(mix64(seed ^ mix64(0x5AADED5EEDULL +
+                                  stream * 0x9e3779b97f4a7c15ULL)));
+}
+
 }  // namespace dcb::util

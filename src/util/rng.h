@@ -71,6 +71,17 @@ class Rng
     /** Fork a statistically independent child stream. */
     Rng fork();
 
+    /**
+     * Statistically independent stream `stream` of `seed`, stable
+     * across calls: stream_rng(s, k) always yields the same generator,
+     * and distinct k give uncorrelated sequences. This is the per-shard
+     * RNG primitive of the sharded cluster engine -- each event-queue
+     * shard draws from its own stream, so parallel shard execution
+     * never races on generator state and serial/sharded runs agree bit
+     * for bit regardless of worker interleaving.
+     */
+    static Rng stream(std::uint64_t seed, std::uint64_t stream);
+
   private:
     static std::uint64_t rotl(std::uint64_t x, int k)
     {

@@ -18,9 +18,10 @@ effective_thread_count(unsigned requested)
 ThreadPool::ThreadPool(unsigned threads)
 {
     DCB_EXPECTS(threads >= 1);
+    worker_stats_.resize(threads);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -54,7 +55,7 @@ ThreadPool::wait_idle()
 }
 
 void
-ThreadPool::worker_loop()
+ThreadPool::worker_loop(unsigned index)
 {
     for (;;) {
         std::function<void()> task;
@@ -86,6 +87,8 @@ ThreadPool::worker_loop()
                 first_exception_ = error;
             ++tasks_completed_;
             busy_seconds_ += elapsed.count();
+            ++worker_stats_[index].tasks;
+            worker_stats_[index].busy_seconds += elapsed.count();
             if (--in_flight_ == 0)
                 all_done_.notify_all();
         }
@@ -118,6 +121,13 @@ ThreadPool::busy_seconds() const
 {
     std::unique_lock<std::mutex> lock(mutex_);
     return busy_seconds_;
+}
+
+std::vector<ThreadPool::WorkerStats>
+ThreadPool::worker_stats() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return worker_stats_;
 }
 
 }  // namespace dcb::util

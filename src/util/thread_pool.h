@@ -82,8 +82,23 @@ class ThreadPool
      */
     double busy_seconds() const;
 
+    /** Per-worker execution tallies, for load-imbalance reporting. */
+    struct WorkerStats
+    {
+        std::uint64_t tasks = 0;
+        double busy_seconds = 0.0;
+    };
+
+    /**
+     * One entry per worker, index-stable for the pool's lifetime.
+     * The spread across entries is the pool's load imbalance; the suite
+     * runner and the sharded cluster engine surface it through
+     * SuiteResult / run manifests.
+     */
+    std::vector<WorkerStats> worker_stats() const;
+
   private:
-    void worker_loop();
+    void worker_loop(unsigned index);
 
     mutable std::mutex mutex_;
     std::condition_variable work_available_;
@@ -94,6 +109,7 @@ class ThreadPool
     std::exception_ptr first_exception_;
     std::uint64_t tasks_completed_ = 0;
     double busy_seconds_ = 0.0;
+    std::vector<WorkerStats> worker_stats_;
     std::vector<std::thread> workers_;
 };
 

@@ -203,5 +203,40 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(32768ULL, 8u),
                       std::make_tuple(12288ULL * 64, 16u)));  // non-pow2 sets
 
+/**
+ * The Table III L3 indexes 12288 sets through FastDiv instead of `%`;
+ * this pins the indexing to modulo semantics behaviorally. In a
+ * direct-mapped 12288-set cache, two addresses conflict (second access
+ * evicts the first) exactly when their line addresses are congruent
+ * mod 12288 -- including line addresses far above 2^32, where a broken
+ * reciprocal would first diverge.
+ */
+TEST(Cache, NonPow2SetIndexMatchesModuloSemantics)
+{
+    constexpr std::uint64_t kSets = 12288;
+    constexpr std::uint64_t kLine = 64;
+    SetAssocCache cache(geometry(kSets * kLine, 1), Replacement::kLru);
+
+    util::Rng rng(2026);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint64_t line_a = rng.next_u64() >> 8;
+        const std::uint64_t addr_a = line_a * kLine;
+        // Same set, different tag: must evict.
+        const std::uint64_t addr_conflict = (line_a + kSets) * kLine;
+        // Different set: must coexist.
+        const std::uint64_t addr_neighbor = (line_a + 1) * kLine;
+
+        cache.flush();
+        EXPECT_FALSE(cache.access(addr_a));
+        EXPECT_FALSE(cache.access(addr_conflict));
+        EXPECT_FALSE(cache.access(addr_a)) << "line " << line_a;
+
+        cache.flush();
+        EXPECT_FALSE(cache.access(addr_a));
+        EXPECT_FALSE(cache.access(addr_neighbor));
+        EXPECT_TRUE(cache.access(addr_a)) << "line " << line_a;
+    }
+}
+
 }  // namespace
 }  // namespace dcb::mem

@@ -1,0 +1,383 @@
+/** @file Tests for the sharded engine and the multi-job scheduler:
+    deterministic merge order, serial-vs-sharded bit-identity with and
+    without correlated faults, per-shard RNG independence. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "mapreduce/fairshare.h"
+#include "mapreduce/scheduler.h"
+#include "mapreduce/shard_engine.h"
+#include "util/rng.h"
+
+namespace dcb::mapreduce {
+namespace {
+
+// ---- Raw engine ------------------------------------------------------
+
+/**
+ * Messages from different shards at identical times must arrive in
+ * (time, from_shard, seq) order regardless of which worker ran which
+ * shard -- the engine's total merge order.
+ */
+TEST(ShardEngine, CrossShardTieBreakOrder)
+{
+    for (const unsigned threads : {1u, 4u}) {
+        ShardedEngine engine(4, 1.0, 42);
+        // Same event time everywhere; two messages per shard so the
+        // per-shard seq tie-break is exercised too.
+        for (std::uint32_t s = 0; s < 4; ++s)
+            engine.seed_event(s, 0.5, 1);
+        std::vector<ShardMessage> got;
+        engine.run(
+            [](std::uint32_t shard, const ShardEvent& ev, ShardApi& api) {
+                api.send(ev.time, 1, shard, 0);
+                api.send(ev.time, 1, shard, 1);
+            },
+            [&got](double, const std::vector<ShardMessage>& inbox,
+                   Coordinator&) {
+                got.insert(got.end(), inbox.begin(), inbox.end());
+                return true;
+            },
+            threads);
+        ASSERT_EQ(got.size(), 8u) << threads << " threads";
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].from_shard, i / 2) << i;
+            EXPECT_EQ(got[i].b, i % 2) << i;
+        }
+    }
+}
+
+/** Local events at the same instant run in push order (seq). */
+TEST(ShardEngine, SameShardSeqTieBreak)
+{
+    ShardedEngine engine(1, 1.0, 7);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        engine.seed_event(0, 2.25, 1, i);
+    std::vector<std::uint32_t> order;
+    engine.run(
+        [&order](std::uint32_t, const ShardEvent& ev, ShardApi&) {
+            order.push_back(ev.a);
+        },
+        [](double, const std::vector<ShardMessage>&, Coordinator&) {
+            return true;
+        },
+        1);
+    EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+/**
+ * A stochastic multi-epoch model must be bit-identical between a
+ * 1-thread run and an oversubscribed 8-thread run: every handler draws
+ * from its shard's private stream and pushes follow-up events, so any
+ * cross-shard interleaving difference would show up in the messages.
+ */
+TEST(ShardEngine, SerialVsThreadedBitIdentical)
+{
+    const auto run_model = [](unsigned threads) {
+        ShardedEngine engine(16, 0.5, 99);
+        for (std::uint32_t s = 0; s < 16; ++s)
+            engine.seed_event(s, 0.1 * (s % 3), 1, 20);
+        std::vector<ShardMessage> got;
+        engine.run(
+            [](std::uint32_t, const ShardEvent& ev, ShardApi& api) {
+                const double draw = api.rng().next_double();
+                api.send(api.now(), 2, ev.a, 0, 0, 0, draw);
+                if (ev.a > 0)
+                    api.push(api.now() + 0.3 + draw, 1, ev.a - 1);
+            },
+            [&got](double, const std::vector<ShardMessage>& inbox,
+                   Coordinator&) {
+                got.insert(got.end(), inbox.begin(), inbox.end());
+                return true;
+            },
+            threads);
+        return got;
+    };
+    const std::vector<ShardMessage> serial = run_model(1);
+    const std::vector<ShardMessage> threaded = run_model(8);
+    ASSERT_EQ(serial.size(), threaded.size());
+    ASSERT_GT(serial.size(), 100u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].time, threaded[i].time) << i;
+        EXPECT_EQ(serial[i].from_shard, threaded[i].from_shard) << i;
+        EXPECT_EQ(serial[i].seq, threaded[i].seq) << i;
+        EXPECT_EQ(serial[i].x, threaded[i].x) << i;  // exact, not near
+    }
+}
+
+/** Epochs snap to the lookahead grid and skip empty cells wholesale. */
+TEST(ShardEngine, EpochGridSkipsEmptyCells)
+{
+    ShardedEngine engine(2, 1.0, 1);
+    engine.seed_event(0, 0.5, 1);
+    engine.seed_event(1, 100.25, 1);
+    const EngineResult result = engine.run(
+        [](std::uint32_t, const ShardEvent&, ShardApi&) {},
+        [](double, const std::vector<ShardMessage>&, Coordinator&) {
+            return true;
+        },
+        1);
+    EXPECT_EQ(result.epochs, 2u);
+    EXPECT_EQ(result.events, 2u);
+    EXPECT_DOUBLE_EQ(result.end_time_s, 101.0);
+}
+
+/** Per-shard streams: reproducible per stream id, distinct across ids. */
+TEST(ShardEngine, PerShardRngStreamsIndependent)
+{
+    util::Rng a0 = util::Rng::stream(1234, 0);
+    util::Rng a1 = util::Rng::stream(1234, 0);
+    util::Rng b = util::Rng::stream(1234, 1);
+    util::Rng c = util::Rng::stream(1235, 0);
+    bool b_differs = false;
+    bool c_differs = false;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t ref = a0.next_u64();
+        EXPECT_EQ(ref, a1.next_u64());
+        b_differs |= ref != b.next_u64();
+        c_differs |= ref != c.next_u64();
+    }
+    EXPECT_TRUE(b_differs);  // distinct stream ids diverge
+    EXPECT_TRUE(c_differs);  // distinct seeds diverge
+}
+
+// ---- Multi-job fair-share scheduler ---------------------------------
+
+ClusterConfig
+cluster_256x16()
+{
+    ClusterConfig cluster;
+    cluster.slaves = 256;
+    cluster.racks = 16;
+    return cluster;
+}
+
+JobSpec
+small_job(const std::string& name, double input_gb)
+{
+    JobSpec spec;
+    spec.name = name;
+    spec.input_gb = input_gb;
+    spec.total_instructions_g = 40.0 * input_gb;
+    return spec;
+}
+
+std::vector<JobSubmission>
+mixed_submissions()
+{
+    std::vector<JobSubmission> subs;
+    for (std::uint32_t j = 0; j < 6; ++j) {
+        JobSubmission sub;
+        sub.spec = small_job("job", 4.0 + j);
+        sub.submit_time_s = 5.0 * j;
+        sub.weight = 1.0 + (j % 3);
+        subs.push_back(sub);
+    }
+    subs[2].spec.iterations = 2;  // one iterative (Mahout-style) job
+    subs[4].spec.map_output_ratio = 0.8;  // one shuffle-heavy job
+    return subs;
+}
+
+fault::FaultPlan
+chaos_plan()
+{
+    fault::FaultPlan plan;
+    plan.seed = 0xC0FFEE;
+    plan.task_crash_prob = 0.03;
+    plan.task_hang_prob = 0.01;
+    plan.slow_node_fraction = 0.1;
+    plan.slow_multiplier = 1.8;
+    plan.node_crash_time_s = 40.0;
+    plan.crash_node = 7;
+    plan.rack_crash_time_s = 90.0;
+    plan.crash_rack = 3;
+    plan.partition_time_s = 50.0;
+    plan.partition_duration_s = 30.0;
+    plan.partition_rack = 5;
+    plan.master_crash_time_s = 70.0;
+    plan.cascade_prob = 0.5;
+    return plan;
+}
+
+MultiJobResult
+run_multi(unsigned threads, const fault::FaultPlan* plan)
+{
+    const MultiJobScheduler scheduler;
+    MultiJobOptions options;
+    options.threads = threads;
+    fault::FaultInjector injector(plan != nullptr ? *plan
+                                                  : fault::FaultPlan{});
+    if (plan != nullptr)
+        options.injector = &injector;
+    return scheduler.run(mixed_submissions(), cluster_256x16(), options);
+}
+
+/**
+ * The tentpole guarantee, fault-free: a 256-node multi-job run is
+ * bit-identical (full canonical dump) between the serial reference and
+ * the sharded parallel engine, and every job produces exactly the
+ * analytic-model task population.
+ */
+TEST(MultiJob, FaultFreeSerialVsShardedBitIdentical)
+{
+    const MultiJobResult serial = run_multi(1, nullptr);
+    const MultiJobResult sharded = run_multi(8, nullptr);
+    ASSERT_TRUE(serial.ok) << serial.error;
+    ASSERT_TRUE(serial.all_completed());
+    EXPECT_EQ(serial.dump(), sharded.dump());
+    const ClusterConfig cluster = cluster_256x16();
+    const std::vector<JobSubmission> subs = mixed_submissions();
+    for (std::size_t j = 0; j < subs.size(); ++j) {
+        const TaskCounts want =
+            expected_task_counts(subs[j].spec, cluster);
+        EXPECT_EQ(serial.jobs[j].maps_completed, want.maps) << j;
+        EXPECT_EQ(serial.jobs[j].reduces_completed, want.reduces) << j;
+        EXPECT_EQ(serial.jobs[j].task_failures, 0u) << j;
+        EXPECT_EQ(serial.jobs[j].wasted_task_s, 0.0) << j;
+    }
+    // Fault-free runs never pay fault machinery.
+    EXPECT_EQ(serial.cluster.nodes_lost, 0u);
+    EXPECT_EQ(serial.cluster.master_failovers, 0u);
+}
+
+/**
+ * Same guarantee under the full correlated-fault gauntlet: node crash,
+ * rack power loss, partition + heal, master failover, hangs, crashes,
+ * slow nodes and cascades -- serial, sharded and a replay agree byte
+ * for byte, and the fault machinery demonstrably fired.
+ */
+TEST(MultiJob, CorrelatedFaultsSerialVsShardedBitIdentical)
+{
+    const fault::FaultPlan plan = chaos_plan();
+    const MultiJobResult serial = run_multi(1, &plan);
+    const MultiJobResult sharded = run_multi(8, &plan);
+    const MultiJobResult replay = run_multi(1, &plan);
+    ASSERT_TRUE(serial.ok) << serial.error;
+    EXPECT_EQ(serial.dump(), sharded.dump());
+    EXPECT_EQ(serial.dump(), replay.dump());
+    EXPECT_GE(serial.cluster.nodes_lost, 17u);  // rack (>=16) + node
+    EXPECT_EQ(serial.cluster.racks_lost, 1u);
+    EXPECT_EQ(serial.cluster.partitions, 1u);
+    EXPECT_EQ(serial.cluster.partition_heals, 1u);
+    EXPECT_EQ(serial.cluster.master_failovers, 1u);
+    std::uint32_t failures = 0;
+    for (const JobOutcome& job : serial.jobs)
+        failures += job.task_failures;
+    EXPECT_GT(failures, 0u);
+}
+
+/** Hung attempts hold their slot until the watchdog reclaims them;
+    the cluster still finishes all its work. */
+TEST(MultiJob, WatchdogReclaimsHungAttempts)
+{
+    fault::FaultPlan plan;
+    plan.seed = 77;
+    plan.task_hang_prob = 0.05;
+    const MultiJobResult result = run_multi(4, &plan);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_TRUE(result.all_completed());
+    std::uint32_t kills = 0;
+    for (const JobOutcome& job : result.jobs)
+        kills += job.watchdog_kills;
+    EXPECT_GT(kills, 0u);
+}
+
+/**
+ * Weighted fair share: two identical contending jobs, weights 1 and 4.
+ * The heavy job holds ~4x the slots, so it must finish first.
+ */
+TEST(MultiJob, WeightsBiasSlotShare)
+{
+    ClusterConfig cluster;
+    cluster.slaves = 8;
+    cluster.racks = 2;
+    std::vector<JobSubmission> subs(2);
+    subs[0].spec = small_job("light", 24.0);
+    subs[0].weight = 1.0;
+    subs[1].spec = small_job("heavy", 24.0);
+    subs[1].weight = 4.0;
+    const MultiJobScheduler scheduler;
+    const MultiJobResult result = scheduler.run(subs, cluster);
+    ASSERT_TRUE(result.all_completed()) << result.error;
+    EXPECT_LT(result.jobs[1].finish_s, result.jobs[0].finish_s);
+}
+
+/** Co-located shuffle-heavy maps queue on the shared rack uplink. */
+TEST(MultiJob, SharedUplinksAccumulateContention)
+{
+    ClusterConfig cluster;
+    cluster.slaves = 64;
+    cluster.racks = 4;
+    std::vector<JobSubmission> subs(2);
+    for (JobSubmission& sub : subs) {
+        sub.spec = small_job("shuffle-heavy", 16.0);
+        sub.spec.map_output_ratio = 1.0;
+    }
+    FairShareConfig config;
+    config.uplink_oversubscription = 16.0;
+    const MultiJobScheduler scheduler(config);
+    const MultiJobResult result = scheduler.run(subs, cluster);
+    ASSERT_TRUE(result.all_completed()) << result.error;
+    double wait = 0.0;
+    for (const JobOutcome& job : result.jobs)
+        wait += job.uplink_wait_s;
+    EXPECT_GT(wait, 0.0);
+    double shard_wait = 0.0;
+    for (const ShardUtil& util : result.shard_util)
+        shard_wait += util.uplink_wait_s;
+    EXPECT_DOUBLE_EQ(shard_wait, wait);
+}
+
+/** Per-shard utilization is populated and consistent with the cluster
+    total; heartbeat counts are part of the deterministic dump. */
+TEST(MultiJob, ShardUtilizationSurfaced)
+{
+    const MultiJobResult result = run_multi(2, nullptr);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_EQ(result.shard_util.size(), 16u);
+    ASSERT_EQ(result.shards.size(), 16u);
+    double busy = 0.0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t events = 0;
+    for (std::size_t s = 0; s < result.shard_util.size(); ++s) {
+        busy += result.shard_util[s].slot_busy_s;
+        heartbeats += result.shard_util[s].progress_heartbeats;
+        events += result.shards[s].events_processed;
+    }
+    EXPECT_DOUBLE_EQ(busy, result.cluster.slot_busy_s);
+    EXPECT_GT(heartbeats, 0u);
+    EXPECT_EQ(events, result.events);
+    EXPECT_NE(result.dump().find("heartbeats="), std::string::npos);
+}
+
+/** Config and submission errors are reported, never fatal. */
+TEST(MultiJob, ValidationErrorsAreReported)
+{
+    const ClusterConfig cluster = cluster_256x16();
+    std::vector<JobSubmission> subs(1);
+    subs[0].spec = small_job("ok", 4.0);
+
+    FairShareConfig bad;
+    bad.heartbeat_s = 0.0;
+    EXPECT_FALSE(MultiJobScheduler(bad).run(subs, cluster).ok);
+
+    FairShareConfig lax;
+    lax.task_timeout_factor = 2.0;  // inside the jitter clamp
+    EXPECT_FALSE(MultiJobScheduler(lax).run(subs, cluster).ok);
+
+    EXPECT_FALSE(MultiJobScheduler().run({}, cluster).ok);
+
+    subs[0].weight = 0.0;
+    const MultiJobResult bad_weight =
+        MultiJobScheduler().run(subs, cluster);
+    EXPECT_FALSE(bad_weight.ok);
+    EXPECT_NE(bad_weight.error.find("weight"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcb::mapreduce

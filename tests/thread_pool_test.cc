@@ -169,5 +169,38 @@ TEST(ThreadPool, NonStandardExceptionsAreCapturedToo)
     }
 }
 
+/** Per-worker tallies: every task lands on exactly one worker, and the
+    busy time of a worker that ran something is nonzero. */
+TEST(ThreadPool, WorkerStatsAccountForEveryTask)
+{
+    ThreadPool pool(3);
+    ASSERT_EQ(pool.worker_stats().size(), 3u);
+    constexpr int kTasks = 60;
+    std::atomic<int> ran{0};
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&ran] {
+            const auto until = std::chrono::steady_clock::now() +
+                               std::chrono::microseconds(200);
+            while (std::chrono::steady_clock::now() < until) {
+            }
+            ran.fetch_add(1);
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), kTasks);
+    const std::vector<ThreadPool::WorkerStats> stats =
+        pool.worker_stats();
+    ASSERT_EQ(stats.size(), 3u);
+    std::uint64_t tasks = 0;
+    for (const ThreadPool::WorkerStats& w : stats) {
+        tasks += w.tasks;
+        if (w.tasks > 0)
+            EXPECT_GT(w.busy_seconds, 0.0);
+        else
+            EXPECT_EQ(w.busy_seconds, 0.0);
+    }
+    EXPECT_EQ(tasks, static_cast<std::uint64_t>(kTasks));
+}
+
 }  // namespace
 }  // namespace dcb::util

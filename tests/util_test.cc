@@ -12,6 +12,7 @@
 
 #include "util/atomic_file.h"
 #include "util/csv.h"
+#include "util/fastdiv.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -377,6 +378,48 @@ TEST(AtomicFile, StreamingVariantCommitsOrCleansUp)
     EXPECT_EQ(slurp(path), "{\"ok\": 1}\n");
     EXPECT_FALSE(std::filesystem::exists(temp_path));
     std::filesystem::remove_all(dir);
+}
+
+/**
+ * FastDiv must agree with the hardware `/` and `%` for every divisor it
+ * will ever see -- the claim its magic-number derivation makes is
+ * exactness for all 64-bit n, so the sweep leans on adversarial edges
+ * (around the divisor, around 2^32, the top of the range) plus a random
+ * spray, for divisors including the L3's 12288 sets.
+ */
+TEST(FastDiv, MatchesHardwareDivideExactly)
+{
+    const std::uint64_t divisors[] = {
+        1,    2,     3,     5,          7,
+        64,   641,   12288, 12289,      (1ULL << 32) - 1,
+        (1ULL << 32) + 1,   0x123456789ABCDEFULL,
+        ~0ULL - 1,          ~0ULL,
+    };
+    Rng rng(0xD1A1DEULL);
+    for (const std::uint64_t d : divisors) {
+        const FastDiv div(d);
+        EXPECT_EQ(div.divisor(), d);
+        std::vector<std::uint64_t> inputs = {
+            0,  1,  d - 1, d,  d + 1, 2 * d, 2 * d + 1,
+            (1ULL << 32) - 1, 1ULL << 32, (1ULL << 32) + 1,
+            ~0ULL - d, ~0ULL - 1, ~0ULL,
+        };
+        for (int i = 0; i < 2000; ++i)
+            inputs.push_back(rng.next_u64());
+        for (const std::uint64_t n : inputs) {
+            ASSERT_EQ(div.quot(n), n / d) << "n=" << n << " d=" << d;
+            ASSERT_EQ(div.rem(n), n % d) << "n=" << n << " d=" << d;
+        }
+    }
+}
+
+/** The default-constructed identity divisor is exact too. */
+TEST(FastDiv, DefaultIsIdentity)
+{
+    const FastDiv div;
+    EXPECT_EQ(div.divisor(), 1u);
+    EXPECT_EQ(div.quot(~0ULL), ~0ULL);
+    EXPECT_EQ(div.rem(12345u), 0u);
 }
 
 }  // namespace
