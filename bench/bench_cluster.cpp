@@ -25,6 +25,8 @@
  *   sharded across invocations.
  */
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -37,6 +39,7 @@
 #include "fault/fault.h"
 #include "mapreduce/fairshare.h"
 #include "obs/manifest.h"
+#include "obs/quantile.h"
 #include "util/atomic_file.h"
 
 namespace {
@@ -69,6 +72,16 @@ make_fleet(std::uint32_t job_count)
         subs.push_back(sub);
     }
     return subs;
+}
+
+/** Peak RSS in bytes (ru_maxrss is KiB on Linux). */
+std::uint64_t
+peak_rss_bytes()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
 }
 
 bool
@@ -173,8 +186,12 @@ main(int argc, char** argv)
     std::printf("wall clock: %.3f s serial, %.3f s at %u threads "
                 "(speedup %.2fx)\n",
                 serial_seconds, sharded_seconds, threads, speedup);
-    std::printf("sharded results bit-identical to serial: %s\n\n",
+    std::printf("sharded results bit-identical to serial: %s\n",
                 identical ? "yes" : "NO -- BUG");
+    const obs::LatencyStats& att = serial.attempt_durations;
+    std::printf("attempt durations (n=%" PRIu64 "): p50 %.1f s, "
+                "p95 %.1f s, p99 %.1f s, p999 %.1f s\n\n",
+                att.count, att.p50, att.p95, att.p99, att.p999);
 
     // --- Correlated faults at scale: bit-identity only ---------------
     fault::FaultPlan plan;
@@ -296,6 +313,14 @@ main(int argc, char** argv)
             out += buf;
         }
         out += "  ],\n";
+        out += "  \"attempt_durations\": " +
+               obs::latency_stats_json(att) + ",\n";
+        std::snprintf(buf, sizeof buf,
+                      "  \"attempt_sketch_tuples\": %zu,\n"
+                      "  \"peak_rss_bytes\": %llu,\n",
+                      serial.attempt_sketch.tuples().size(),
+                      static_cast<unsigned long long>(peak_rss_bytes()));
+        out += buf;
         out += "  \"manifest\": " + manifest.json_fragment(2) + "\n";
         out += "}\n";
         if (!write_text(json_path, out)) {

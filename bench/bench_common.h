@@ -12,8 +12,11 @@
  *               [--sample[=ratio]] [--sample-window N] [--sample-warm N]
  *               [--sample-discard N] [--sample-warmup N] [--sample-full]
  *               [--obs-interval N] [--obs-out PREFIX]
+ *               [--obs-extent-rows N]
  *               [--trace-out FILE] [--manifest FILE]
  */
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -114,6 +117,20 @@ stamp_pool_stats(const core::SuiteResult& suite)
         m.set("pool_imbalance", busy_max / busy_min);
 }
 
+/**
+ * Peak resident-set size of this process in bytes (getrusage; Linux
+ * reports ru_maxrss in KiB). The benches record it next to recorder
+ * byte counts so telemetry memory regressions show up in BENCH_*.json.
+ */
+inline std::uint64_t
+peak_rss_bytes()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+}
+
 /** Default per-workload op budget for figure benches. */
 inline constexpr std::uint64_t kDefaultBudget = 2'000'000;
 
@@ -144,6 +161,9 @@ inline constexpr double kDefaultFullSampleRatio = 0.15;
  *                      <prefix><workload>.telemetry.{csv,json}
  *   --obs-out PREFIX   telemetry file prefix (default "obs/";
  *                      --obs-out= keeps telemetry in memory only)
+ *   --obs-extent-rows N  rows buffered per columnar telemetry extent
+ *                      before sealing to the .dcx spill file (0 keeps
+ *                      every row in memory; default 4096)
  *   --trace-out FILE   collect a Chrome trace-event / Perfetto JSON
  *                      timeline of the whole process into FILE
  *   --manifest FILE    write the run manifest (config echo, seeds,
@@ -219,6 +239,13 @@ config_from_args(int argc, char** argv)
         } else if (std::strncmp(argv[i], "--obs-interval=", 15) == 0) {
             config.telemetry.interval_ops =
                 std::strtoull(argv[i] + 15, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--obs-extent-rows") == 0 &&
+                   i + 1 < argc) {
+            config.telemetry.extent_rows = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strncmp(argv[i], "--obs-extent-rows=", 18) == 0) {
+            config.telemetry.extent_rows = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 18, nullptr, 10));
         } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
             config.telemetry.out_path = argv[++i];
             obs_out_seen = true;
@@ -276,8 +303,11 @@ config_from_args(int argc, char** argv)
         m.set("sampling_full_warming", config.sampling.full_warming);
     }
     m.set("obs_interval_ops", config.telemetry.interval_ops);
-    if (config.telemetry.enabled())
+    if (config.telemetry.enabled()) {
         m.set("obs_out", config.telemetry.out_path);
+        m.set("obs_extent_rows",
+              static_cast<std::uint64_t>(config.telemetry.extent_rows));
+    }
     if (!sinks.trace_path.empty())
         m.set("trace_out", sinks.trace_path);
     m.add_host_info();

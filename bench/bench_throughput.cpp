@@ -199,10 +199,27 @@ main(int argc, char** argv)
     }
     const double obs_overhead =
         serial_seconds > 0.0 ? obs_seconds / serial_seconds - 1.0 : 0.0;
+    // Recorder memory accounting: total telemetry rows collected and the
+    // largest in-memory buffer any recorder held (with spilling armed
+    // this is bounded by one extent regardless of run length).
+    std::uint64_t obs_rows = 0;
+    std::uint64_t obs_peak_recorder_bytes = 0;
+    for (const core::RunResult& run : obs_suite.runs) {
+        if (run.telemetry == nullptr)
+            continue;
+        obs_rows += run.telemetry->total_rows();
+        obs_peak_recorder_bytes = std::max(
+            obs_peak_recorder_bytes, run.telemetry->peak_buffered_bytes());
+    }
     std::printf("observability on (interval %llu ops + tracing): %.3f s, "
                 "overhead %+.1f%%, reports bit-identical: %s\n",
                 static_cast<unsigned long long>(obs_interval), obs_seconds,
                 100.0 * obs_overhead, obs_identical ? "yes" : "NO -- BUG");
+    std::printf("telemetry rows %llu, peak recorder buffer %llu bytes, "
+                "peak process rss %llu bytes\n",
+                static_cast<unsigned long long>(obs_rows),
+                static_cast<unsigned long long>(obs_peak_recorder_bytes),
+                static_cast<unsigned long long>(bench::peak_rss_bytes()));
 
     // --- JSON dump ------------------------------------------------------
     const char* json_path = "BENCH_throughput.json";
@@ -255,6 +272,14 @@ main(int argc, char** argv)
                      obs_trace.size());
         std::fprintf(f, "  \"obs_bit_identical\": %s,\n",
                      obs_identical ? "true" : "false");
+        std::fprintf(f, "  \"obs_telemetry_rows\": %llu,\n",
+                     static_cast<unsigned long long>(obs_rows));
+        std::fprintf(f, "  \"obs_peak_recorder_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         obs_peak_recorder_bytes));
+        std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         bench::peak_rss_bytes()));
         std::fprintf(f, "  \"manifest\": %s\n",
                      bench::manifest().json_fragment(2).c_str());
         std::fprintf(f, "}\n");

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate dcbench observability artifacts (CI gate).
 
-Three subcommands, all exiting nonzero with a diagnostic on failure:
+Five subcommands, all exiting nonzero with a diagnostic on failure:
 
   check_obs.py telemetry FILE [FILE...]
       Every additive column of each <workload>.telemetry.json must sum
@@ -9,6 +9,24 @@ Three subcommands, all exiting nonzero with a diagnostic on failure:
       the whole-run total -- the recorder's delta encoding guarantees
       it, and this is the independent check that it held on disk.
       Gauge (non-additive) columns must be finite and non-negative.
+
+  check_obs.py extents DCXFILE [TELEMETRY_JSON]
+      Independently re-implements the columnar extent decoder
+      (src/obs/extent.h): parses the DCXTELE1 header, decodes every
+      extent's delta+zigzag+varint / raw64 / RLE-wrapped blocks,
+      verifies each extent's FNV-1a checksum over the exact on-disk
+      bytes, re-accumulates every additive column left-to-right and
+      compares against the footer running sums BIT-FOR-BIT (the
+      sum-induction invariant), and verifies the trailer counts and
+      checksum. With TELEMETRY_JSON given, additionally cross-checks
+      the decoded row count and the final running sums against the
+      exported JSON's rows/totals.
+
+  check_obs.py sketch BENCH_TELEMETRY_JSON
+      Validates the quantile-sketch gates recorded by bench_telemetry:
+      every percentile's rank error and the max rank error must be
+      within the sketch epsilon (+1/n slack), and the sharded merge
+      must have been byte-identical.
 
   check_obs.py trace FILE [CATEGORY...]
       FILE must parse as Chrome trace-event JSON with a traceEvents
@@ -26,6 +44,7 @@ bit for bit.
 
 import json
 import math
+import struct
 import sys
 
 
@@ -75,6 +94,228 @@ def check_telemetry(paths):
               f"exactly, {ops:.0f} ops covered")
 
 
+# --- Columnar extent decoding (mirror of src/obs/extent.cc) ----------
+
+FNV_OFFSET = 14695981039346656037
+FNV_PRIME = 1099511628211
+MASK64 = (1 << 64) - 1
+EXTENT_MAGIC = 0x31545845   # "EXT1"
+TRAILER_MAGIC = 0x31444E45  # "END1"
+RLE_FLAG = 0x80
+
+
+def fnv1a(data, seed=FNV_OFFSET):
+    h = seed
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def get_varint(data, pos):
+    """LEB128 decode; returns (value, next_pos)."""
+    out = 0
+    shift = 0
+    while shift < 64:
+        if pos >= len(data):
+            fail("truncated varint")
+        b = data[pos]
+        pos += 1
+        out |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return out, pos
+        shift += 7
+    fail("overlong varint")
+
+
+def zigzag_decode(v):
+    return (v >> 1) ^ -(v & 1)
+
+
+def rle_decode(data):
+    """PackBits-style: c < 128 copies c+1 literals, else repeats the
+    next byte c-125 times."""
+    out = bytearray()
+    i = 0
+    while i < len(data):
+        c = data[i]
+        i += 1
+        if c < 128:
+            n = c + 1
+            if i + n > len(data):
+                fail("corrupt RLE stream (literal run past end)")
+            out += data[i:i + n]
+            i += n
+        else:
+            if i >= len(data):
+                fail("corrupt RLE stream (missing repeat byte)")
+            out += bytes([data[i]]) * (c - 125)
+            i += 1
+    return bytes(out)
+
+
+def decode_block(data, pos, count):
+    """One (tag, varint len, payload) block -> (ints, next_pos, body
+    bytes covered). Integer blocks decode to Python ints; raw blocks to
+    u64 bit patterns."""
+    start = pos
+    if pos >= len(data):
+        fail("truncated block tag")
+    tag = data[pos]
+    pos += 1
+    length, pos = get_varint(data, pos)
+    if pos + length > len(data):
+        fail("truncated block payload")
+    payload = data[pos:pos + length]
+    pos += length
+    if tag & RLE_FLAG:
+        payload = rle_decode(payload)
+    enc = tag & ~RLE_FLAG
+    if enc == 1:  # delta + zigzag + varint
+        values = []
+        prev = 0
+        p = 0
+        for _ in range(count):
+            u, p = get_varint(payload, p)
+            prev += zigzag_decode(u)
+            values.append(prev)
+        if p != len(payload):
+            fail("trailing bytes in varint block")
+        return ("int", values), pos, data[start:pos]
+    if enc == 0:  # raw 8-byte bit patterns
+        if len(payload) != count * 8:
+            fail("raw block length mismatch")
+        values = list(struct.unpack(f"<{count}Q", payload))
+        return ("raw", values), pos, data[start:pos]
+    fail(f"unknown column encoding {enc}")
+
+
+def check_extents(dcx_path, json_path=None):
+    with open(dcx_path, "rb") as f:
+        data = f.read()
+    if data[:8] != b"DCXTELE1":
+        fail(f"{dcx_path}: bad file magic")
+    version, ncols = struct.unpack_from("<II", data, 8)
+    if version != 1:
+        fail(f"{dcx_path}: unsupported version {version}")
+    pos = 16
+    columns = []
+    additive = []
+    for _ in range(ncols):
+        (name_len,) = struct.unpack_from("<H", data, pos)
+        pos += 2
+        columns.append(data[pos:pos + name_len].decode())
+        pos += name_len
+        additive.append(data[pos] != 0)
+        pos += 1
+    n_add = sum(additive)
+
+    sums = [0.0] * n_add
+    rows_read = 0
+    extents_read = 0
+    encodings = {}
+    trailer_seen = False
+    while pos < len(data):
+        (magic,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        if magic == TRAILER_MAGIC:
+            total_rows, total_extents, want = struct.unpack_from(
+                "<QQQ", data, pos)
+            if fnv1a(data[pos:pos + 16]) != want:
+                fail(f"{dcx_path}: trailer checksum mismatch")
+            if total_rows != rows_read or total_extents != extents_read:
+                fail(f"{dcx_path}: trailer counts ({total_rows} rows, "
+                     f"{total_extents} extents) disagree with decoded "
+                     f"({rows_read}, {extents_read})")
+            pos += 24
+            trailer_seen = True
+            break
+        if magic != EXTENT_MAGIC:
+            fail(f"{dcx_path}: bad extent magic at byte {pos - 4}")
+        body_start = pos
+        (count,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        cols = []
+        for _ in range(ncols + 2):  # first_op, op_count, then columns
+            block, pos, _ = decode_block(data, pos, count)
+            kind, vals = block
+            encodings[kind] = encodings.get(kind, 0) + 1
+            if kind == "int":
+                cols.append([float(v) for v in vals])
+            else:
+                cols.append([struct.unpack("<d", struct.pack("<Q", u))[0]
+                             for u in vals])
+        stored_sums = data[pos:pos + n_add * 8]
+        pos += n_add * 8
+        (want,) = struct.unpack_from("<Q", data, pos)
+        if fnv1a(data[body_start:pos]) != want:
+            fail(f"{dcx_path}: extent {extents_read} checksum mismatch")
+        pos += 8
+        # The induction step: re-accumulate row-by-row in the same
+        # left-to-right order the recorder used and compare the running
+        # sums against the footer bit patterns.
+        for r in range(count):
+            a = 0
+            for c in range(ncols):
+                if additive[c]:
+                    sums[a] += cols[c + 2][r]
+                    a += 1
+        for a in range(n_add):
+            if struct.pack("<d", sums[a]) != stored_sums[a * 8:a * 8 + 8]:
+                fail(f"{dcx_path}: extent {extents_read} footer "
+                     f"running-sum mismatch (additive column {a}): "
+                     "column sum invariant violated")
+        rows_read += count
+        extents_read += 1
+    if not trailer_seen:
+        fail(f"{dcx_path}: missing trailer (truncated file)")
+    if pos != len(data):
+        fail(f"{dcx_path}: {len(data) - pos} trailing bytes after "
+             "trailer")
+
+    if json_path is not None:
+        with open(json_path) as f:
+            doc = json.load(f)
+        if len(doc["rows"]) != rows_read:
+            fail(f"{dcx_path}: {rows_read} decoded rows but "
+                 f"{json_path} exports {len(doc['rows'])}")
+        add_totals = [t for t, a in zip(doc["totals"], doc["additive"])
+                      if a]
+        for a, (got, want) in enumerate(zip(sums, add_totals)):
+            if struct.pack("<d", got) != struct.pack("<d", want):
+                fail(f"{dcx_path}: final running sum {got!r} != "
+                     f"{json_path} total {want!r} (additive column {a})")
+    enc_summary = ", ".join(f"{k}={v}" for k, v in sorted(
+        encodings.items()))
+    print(f"check_obs: OK: {dcx_path}: {extents_read} extents, "
+          f"{rows_read} rows x {ncols} columns ({enc_summary}), "
+          f"{n_add} additive running sums verified bitwise at every "
+          "footer"
+          + (f", totals match {json_path}" if json_path else ""))
+
+
+def check_sketch(path):
+    with open(path) as f:
+        doc = json.load(f)
+    sk = doc.get("sketch")
+    if not isinstance(sk, dict):
+        fail(f"{path}: no 'sketch' object")
+    eps = sk["epsilon"]
+    samples = sk["samples"]
+    slack = 1.0 / samples if samples else 0.0
+    for pct in sk["percentiles"]:
+        if pct["rank_error"] > eps + slack:
+            fail(f"{path}: phi={pct['phi']} rank error "
+                 f"{pct['rank_error']} above epsilon {eps}")
+    if sk["max_rank_error"] > eps + slack:
+        fail(f"{path}: max rank error {sk['max_rank_error']} above "
+             f"epsilon {eps}")
+    if not sk["merge_identical"]:
+        fail(f"{path}: sharded sketch merge was not byte-identical")
+    print(f"check_obs: OK: {path}: {len(sk['percentiles'])} percentiles "
+          f"over {samples} samples within rank error {eps}, sharded "
+          "merge byte-identical")
+
+
 def check_trace(path, required_cats):
     with open(path) as f:
         doc = json.load(f)
@@ -117,6 +358,10 @@ def main(argv):
     mode, args = argv[1], argv[2:]
     if mode == "telemetry":
         check_telemetry(args)
+    elif mode == "extents":
+        check_extents(args[0], args[1] if len(args) > 1 else None)
+    elif mode == "sketch":
+        check_sketch(args[0])
     elif mode == "trace":
         check_trace(args[0], args[1:])
     elif mode == "manifest":

@@ -87,6 +87,15 @@ run_workload(workloads::Workload& workload, const HarnessConfig& config,
         recorder = std::make_shared<obs::TimeSeriesRecorder>(
             cpu::Core::telemetry_columns(),
             cpu::Core::telemetry_additive());
+        if (!config.telemetry.out_path.empty() &&
+            config.telemetry.extent_rows > 0) {
+            // Bounded-memory mode: rows spill to columnar extents once
+            // the buffer fills; short runs never touch the spill file.
+            recorder->enable_spill(config.telemetry.out_path +
+                                       sanitize_for_path(name) +
+                                       ".telemetry.dcx",
+                                   config.telemetry.extent_rows);
+        }
         core.set_telemetry(recorder.get(), config.telemetry.interval_ops);
     }
     double span_start_us = 0.0;
@@ -119,6 +128,9 @@ run_workload(workloads::Workload& workload, const HarnessConfig& config,
     }
     if (recorder != nullptr) {
         recorder->set_source(name, config.telemetry.interval_ops);
+        if (!recorder->finalize_spill())
+            util::warn("obs", "cannot commit telemetry spill " +
+                                  recorder->spill_path());
         if (!config.telemetry.out_path.empty()) {
             const std::string base = config.telemetry.out_path +
                                      sanitize_for_path(name) +

@@ -210,6 +210,7 @@ SimpleMapReduce::run(const std::vector<Record>& input, const MapFn& map,
     }
     counters.output_records = out_emitter.count();
     counters.io = io_.totals();
+    counters.io_latency = io_.latency_stats();
     return counters;
 }
 

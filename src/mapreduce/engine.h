@@ -72,6 +72,8 @@ struct JobCounters
     std::uint64_t output_records = 0;
     std::uint64_t spills = 0;
     IoTotals io;
+    /** Per-request device-latency percentiles (TaskIo sketch). */
+    obs::LatencyStats io_latency;
 };
 
 /** The engine; one instance can run many jobs. */

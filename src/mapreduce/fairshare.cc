@@ -18,6 +18,11 @@ namespace {
 
 constexpr double kMiB = 1024.0 * 1024.0;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+/** Shard sketches run at half the reporting epsilon so a two-level
+    merge (shards into a job, jobs into the cluster) stays inside the
+    advertised bound. */
+constexpr double kShardAttemptEpsilon =
+    obs::QuantileSketch::kDefaultEpsilon / 2.0;
 
 // ---- Shard-local event kinds -----------------------------------------
 enum : std::uint32_t {
@@ -137,6 +142,11 @@ struct ShardLocal
     std::uint64_t heartbeats = 0;
     double slot_busy_s = 0.0;
     double uplink_wait_s = 0.0;
+    /** Per-job completed-attempt duration sketches. Shard-local, fed in
+        the shard's deterministic event order, merged at result assembly
+        in shard order -- identical whether the epochs ran on one thread
+        or many. */
+    std::vector<obs::QuantileSketch> job_attempt_s;
 };
 
 // ---- Coordinator-side state ------------------------------------------
@@ -320,7 +330,8 @@ shard_finish(Sim& sim, std::uint32_t s, const ShardEvent& ev,
     Attempt& att = sh.attempts[ev.a];
     if (!att.live)
         return;
-    retire_attempt(sim, s, att, api.now());
+    const double ran = retire_attempt(sim, s, att, api.now());
+    sh.job_attempt_s[att.job].insert(ran);
     // A finished map pushes its cross-rack shuffle output through the
     // rack's shared uplink -- a FIFO link server, so co-located jobs
     // queue on each other -- and the completion report carries the
@@ -1155,6 +1166,16 @@ MultiJobResult::dump() const
             j.max_task_attempts, j.local_map_launches,
             j.remote_map_launches, j.wasted_task_s, j.uplink_wait_s);
         out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "job_attempts name=%s n=%" PRIu64
+                      " p50=%.17g p95=%.17g p99=%.17g p999=%.17g ",
+                      j.name.c_str(), j.attempt_durations.count,
+                      j.attempt_durations.p50, j.attempt_durations.p95,
+                      j.attempt_durations.p99,
+                      j.attempt_durations.p999);
+        out += buf;
+        out += j.attempt_sketch.dump();
+        out += '\n';
     }
     std::snprintf(
         buf, sizeof buf,
@@ -1167,6 +1188,15 @@ MultiJobResult::dump() const
         cluster.checkpoints_taken, cluster.cascades_triggered,
         cluster.tasks_lost_to_failover, cluster.slot_busy_s);
     out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "cluster_attempts n=%" PRIu64
+                  " p50=%.17g p95=%.17g p99=%.17g p999=%.17g ",
+                  attempt_durations.count, attempt_durations.p50,
+                  attempt_durations.p95, attempt_durations.p99,
+                  attempt_durations.p999);
+    out += buf;
+    out += attempt_sketch.dump();
+    out += '\n';
     for (std::size_t s = 0; s < shard_util.size(); ++s) {
         std::uint64_t events_s =
             s < shards.size() ? shards[s].events_processed : 0;
@@ -1254,6 +1284,10 @@ MultiJobScheduler::run(const std::vector<JobSubmission>& submissions,
                               config_.uplink_oversubscription);
     }
 
+    for (std::uint32_t s = 0; s < shard_count; ++s)
+        sim.shards[s].job_attempt_s.assign(
+            submissions.size(),
+            obs::QuantileSketch(kShardAttemptEpsilon));
     sim.jobs.resize(submissions.size());
     double budget_units = 0.0;
     for (std::uint32_t j = 0; j < submissions.size(); ++j) {
@@ -1360,6 +1394,18 @@ MultiJobScheduler::run(const std::vector<JobSubmission>& submissions,
     result.events = er.events;
     result.shards = er.shards;
     result.cluster = sim.out;
+    // Fold the shard-local attempt sketches: shard order per job, then
+    // submission order for the cluster sketch. Any other order would
+    // change the merged byte layout (not its error bound) and break the
+    // serial/sharded dump identity.
+    for (std::uint32_t j = 0; j < sim.jobs.size(); ++j) {
+        obs::QuantileSketch& sk = sim.jobs[j].out.attempt_sketch;
+        for (std::uint32_t s = 0; s < shard_count; ++s)
+            sk.merge(sim.shards[s].job_attempt_s[j]);
+        sim.jobs[j].out.attempt_durations = obs::latency_stats(sk);
+        result.attempt_sketch.merge(sk);
+    }
+    result.attempt_durations = obs::latency_stats(result.attempt_sketch);
     result.jobs.reserve(sim.jobs.size());
     for (JobState& job : sim.jobs)
         result.jobs.push_back(job.out);

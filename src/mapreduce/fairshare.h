@@ -133,6 +133,14 @@ struct JobOutcome
     /** Queueing delay this job's shuffle output accumulated on shared
         rack uplinks (the cross-job contention signal). */
     double uplink_wait_s = 0.0;
+    /**
+     * Completed-attempt duration distribution: shard-local GK sketches
+     * (built at half the reporting epsilon) merged in fixed shard
+     * order, so serial, sharded and replayed runs produce byte-identical
+     * sketches. Percentiles extracted into `attempt_durations`.
+     */
+    obs::QuantileSketch attempt_sketch;
+    obs::LatencyStats attempt_durations;
 };
 
 /** Cluster-wide fault/recovery accounting across all jobs. */
@@ -176,6 +184,10 @@ struct MultiJobResult
     double makespan_s = 0.0;
     std::uint64_t epochs = 0;
     std::uint64_t events = 0;
+    /** Cluster-wide attempt durations: per-job merged sketches folded
+        in submission order (deterministic, byte-replayable). */
+    obs::QuantileSketch attempt_sketch;
+    obs::LatencyStats attempt_durations;
 
     bool all_completed() const;
     /**

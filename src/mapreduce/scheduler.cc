@@ -548,6 +548,7 @@ PhaseSim::on_finish(const Event& e)
     t.done = true;
     t.completion_node = a.node;
     t.completion_time = e.time;
+    stats_.attempt_sketch.insert(e.time - a.start);
     ++completed_;
     // First finisher wins; kill the losing copies.
     for (const std::uint32_t other : std::vector<std::uint32_t>(live)) {
@@ -1363,6 +1364,7 @@ ClusterScheduler::run(const JobSpec& job, const ClusterConfig& c,
         const JobRun base = run(job, c, nullptr);
         r.recovery_s = std::max(0.0, t.total_s - base.timings.total_s);
     }
+    r.attempt_durations = obs::latency_stats(r.attempt_sketch);
     return r;
 }
 

@@ -62,6 +62,7 @@
 
 #include "fault/fault.h"
 #include "mapreduce/cluster.h"
+#include "obs/quantile.h"
 #include "obs/trace_writer.h"
 
 namespace dcb::mapreduce {
@@ -168,6 +169,17 @@ struct JobRun
      */
     std::uint64_t maps_completed = 0;
     std::uint64_t reduces_completed = 0;
+
+    // ---- Attempt-duration distribution --------------------------------
+    /**
+     * GK sketch over the durations of *winning* task attempts (map and
+     * reduce, all iterations) -- speculation jitter, stragglers and
+     * crash-restarts show up as tail spread. Deterministic (replay
+     * invariant) but deliberately NOT part of the golden-hash field
+     * list; `attempt_durations` carries the extracted percentiles.
+     */
+    obs::QuantileSketch attempt_sketch;
+    obs::LatencyStats attempt_durations;
 };
 
 /** The analytic-model task population of one job on one cluster. */

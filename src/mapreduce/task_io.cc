@@ -10,6 +10,10 @@ TaskIo::TaskIo(os::OsModel& os, mem::AddressSpace& space)
 void
 TaskIo::issue(std::uint64_t bytes, bool write, bool network)
 {
+    // One latency sample per issued operation: the device seconds of
+    // every attempt, so a retried request carries its whole recovery
+    // cost into the tail.
+    double request_s = 0.0;
     for (int attempt = 0; attempt <= kMaxIoRetries; ++attempt) {
         if (attempt > 0) {
             // Exponential backoff: the blocked task thread sleeps in the
@@ -25,12 +29,16 @@ TaskIo::issue(std::uint64_t bytes, bool write, bool network)
         else
             ok = write ? os_.sys_write(user_buf_.base, bytes)
                        : os_.sys_read(user_buf_.base, bytes);
-        if (ok)
+        request_s += os_.last_io_seconds();
+        if (ok) {
+            latency_.insert(request_s);
             return;
+        }
     }
     // Out of retries: Hadoop would fail over to another replica or fail
     // the task attempt; account the permanent error and move on.
     ++totals_.io_errors;
+    latency_.insert(request_s);
 }
 
 void

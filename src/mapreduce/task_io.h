@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "mem/address_space.h"
+#include "obs/quantile.h"
 #include "os/syscalls.h"
 
 namespace dcb::mapreduce {
@@ -64,6 +65,19 @@ class TaskIo
 
     const IoTotals& totals() const { return totals_; }
 
+    /**
+     * Approximate distribution of per-request device latency: one
+     * sample per issued buffer-sized operation, covering the device
+     * service time of every attempt (retries included), so injected
+     * faults surface as a fattened tail. Deterministic: a pure function
+     * of the issued operation sequence.
+     */
+    const obs::QuantileSketch& latency_sketch() const { return latency_; }
+    obs::LatencyStats latency_stats() const
+    {
+        return obs::latency_stats(latency_);
+    }
+
     /** Issue any buffered partial chunks as syscalls now. */
     void flush();
 
@@ -88,6 +102,7 @@ class TaskIo
     os::OsModel& os_;
     mem::Region user_buf_;
     IoTotals totals_;
+    obs::QuantileSketch latency_;
     std::uint64_t pending_[4] = {0, 0, 0, 0};  ///< [write][network]
 };
 

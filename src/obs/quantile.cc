@@ -1,0 +1,172 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+#include "util/assert.h"
+
+namespace dcb::obs {
+
+QuantileSketch::QuantileSketch(double epsilon) : epsilon_(epsilon)
+{
+    DCB_EXPECTS(epsilon > 0.0 && epsilon < 0.5);
+}
+
+void
+QuantileSketch::insert(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    const auto it = std::lower_bound(
+        tuples_.begin(), tuples_.end(), v,
+        [](const QuantileTuple& t, double x) { return t.value < x; });
+    std::uint64_t delta = 0;
+    if (it != tuples_.begin() && it != tuples_.end())
+        // Interior insertion: uncertainty up to the invariant bound.
+        delta = static_cast<std::uint64_t>(
+            2.0 * epsilon_ * static_cast<double>(count_));
+    tuples_.insert(it, QuantileTuple{v, 1, delta});
+    const auto period = static_cast<std::uint64_t>(
+        std::max(1.0, std::floor(1.0 / (2.0 * epsilon_))));
+    if (++inserts_since_compress_ >= period) {
+        compress();
+        inserts_since_compress_ = 0;
+    }
+}
+
+void
+QuantileSketch::compress()
+{
+    if (tuples_.size() < 3)
+        return;
+    const auto threshold = static_cast<std::uint64_t>(
+        2.0 * epsilon_ * static_cast<double>(count_));
+    // Merge adjacent tuples back-to-front: folding tuple i into its
+    // successor is allowed when the combined g + delta stays within the
+    // invariant. The first and last tuples are never dropped, keeping
+    // min/max exact.
+    std::vector<QuantileTuple> out;
+    out.reserve(tuples_.size());
+    out.push_back(tuples_.back());
+    for (std::size_t i = tuples_.size() - 1; i-- > 1;) {
+        const QuantileTuple& t = tuples_[i];
+        QuantileTuple& next = out.back();
+        if (t.g + next.g + next.delta <= threshold)
+            next.g += t.g;
+        else
+            out.push_back(t);
+    }
+    out.push_back(tuples_.front());
+    std::reverse(out.begin(), out.end());
+    tuples_.swap(out);
+}
+
+void
+QuantileSketch::merge(const QuantileSketch& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        tuples_ = other.tuples_;
+        count_ = other.count_;
+        min_ = other.min_;
+        max_ = other.max_;
+        epsilon_ = std::max(epsilon_, other.epsilon_);
+        return;
+    }
+    std::vector<QuantileTuple> merged;
+    merged.reserve(tuples_.size() + other.tuples_.size());
+    // std::merge is stable: on equal values this sketch's tuples come
+    // first, so the byte layout is a pure function of the merge order.
+    std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+               other.tuples_.end(), std::back_inserter(merged),
+               [](const QuantileTuple& a, const QuantileTuple& b) {
+                   return a.value < b.value;
+               });
+    tuples_.swap(merged);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    epsilon_ += other.epsilon_;
+    compress();
+}
+
+double
+QuantileSketch::query(double phi) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (phi <= 0.0)
+        return min_;
+    if (phi >= 1.0)
+        return max_;
+    const double rank =
+        std::ceil(phi * static_cast<double>(count_));
+    // Return the tuple whose worst-case rank deviation from the target
+    // is smallest; under the GK invariant that deviation is <= eps*n.
+    double best_value = tuples_.back().value;
+    double best_err = std::numeric_limits<double>::infinity();
+    std::uint64_t rmin = 0;
+    for (const QuantileTuple& t : tuples_) {
+        rmin += t.g;
+        const double lo = rank - static_cast<double>(rmin);
+        const double hi =
+            static_cast<double>(rmin + t.delta) - rank;
+        const double err = std::max(lo, hi);
+        if (err < best_err) {
+            best_err = err;
+            best_value = t.value;
+        }
+    }
+    return best_value;
+}
+
+std::string
+QuantileSketch::dump() const
+{
+    std::string out = "gk eps=" + json_double(epsilon_) +
+                      " n=" + std::to_string(count_) +
+                      " min=" + json_double(min_) +
+                      " max=" + json_double(max_) + " tuples=";
+    for (std::size_t i = 0; i < tuples_.size(); ++i) {
+        if (i)
+            out += ';';
+        out += json_double(tuples_[i].value) + ':' +
+               std::to_string(tuples_[i].g) + ':' +
+               std::to_string(tuples_[i].delta);
+    }
+    return out;
+}
+
+LatencyStats
+latency_stats(const QuantileSketch& sketch)
+{
+    LatencyStats s;
+    s.count = sketch.count();
+    s.p50 = sketch.query(0.50);
+    s.p95 = sketch.query(0.95);
+    s.p99 = sketch.query(0.99);
+    s.p999 = sketch.query(0.999);
+    return s;
+}
+
+std::string
+latency_stats_json(const LatencyStats& stats)
+{
+    return "{\"count\": " +
+           json_double(static_cast<double>(stats.count)) +
+           ", \"p50\": " + json_double(stats.p50) +
+           ", \"p95\": " + json_double(stats.p95) +
+           ", \"p99\": " + json_double(stats.p99) +
+           ", \"p999\": " + json_double(stats.p999) + "}";
+}
+
+}  // namespace dcb::obs

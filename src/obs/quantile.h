@@ -1,0 +1,111 @@
+#ifndef DCBENCH_OBS_QUANTILE_H_
+#define DCBENCH_OBS_QUANTILE_H_
+
+/**
+ * @file
+ * Deterministic Greenwald-Khanna approximate-quantile sketch.
+ *
+ * The traffic/latency reporting the ROADMAP calls for needs
+ * p50/p95/p99/p999 over millions of per-request and per-attempt
+ * durations without holding the samples. A GK summary keeps
+ * O((1/eps) * log(eps*n)) tuples (value, g, delta) and answers any
+ * rank query with error at most eps*n ranks. We chose GK over a
+ * sampling-based sketch (e.g. KLL) because it is **deterministic**:
+ * the tuple list is a pure function of the insertion sequence, so the
+ * simulator's bit-replay invariants extend to the sketches -- serial,
+ * sharded and replayed runs produce byte-identical dump() text.
+ *
+ * Merging concatenates and re-sorts the tuple lists (stable, first
+ * operand wins ties) and then compresses against the combined count;
+ * the merged rank error is bounded by the sum of the operands' epsilons
+ * (Agarwal et al., "Mergeable Summaries"), so shard-local sketches are
+ * built at half the reporting epsilon. The merge is order-sensitive in
+ * its byte layout (not its error bound), so merges always happen in a
+ * fixed order: shard index, then job submission order.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcb::obs {
+
+/** One GK tuple: `g` = rank gap to the previous tuple, `delta` = rank
+    uncertainty. Invariant: g + delta <= floor(2 * eps * n) + 1. */
+struct QuantileTuple
+{
+    double value = 0.0;
+    std::uint64_t g = 0;
+    std::uint64_t delta = 0;
+};
+
+class QuantileSketch
+{
+  public:
+    /** Default rank-error target: 1% of n. */
+    static constexpr double kDefaultEpsilon = 0.01;
+
+    explicit QuantileSketch(double epsilon = kDefaultEpsilon);
+
+    double epsilon() const { return epsilon_; }
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    void insert(double v);
+
+    /**
+     * Fold `other` into this sketch. Error bound becomes
+     * epsilon() + other.epsilon(); epsilon() is updated accordingly so
+     * the reported guarantee stays honest after chained merges.
+     */
+    void merge(const QuantileSketch& other);
+
+    /**
+     * Value at rank fraction `phi` in [0, 1]: some element whose rank
+     * is within epsilon()*count() of ceil(phi * count()). 0 on an
+     * empty sketch.
+     */
+    double query(double phi) const;
+
+    const std::vector<QuantileTuple>& tuples() const { return tuples_; }
+
+    /**
+     * Canonical single-line rendering (%.17g values): byte-identical
+     * across runs exactly when the insertion/merge sequences were
+     * identical -- the replay-determinism hook.
+     */
+    std::string dump() const;
+
+  private:
+    void compress();
+
+    double epsilon_;
+    std::uint64_t count_ = 0;
+    std::uint64_t inserts_since_compress_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<QuantileTuple> tuples_;  ///< sorted by value
+};
+
+/** The fixed percentile set reports and BENCH artifacts carry. */
+struct LatencyStats
+{
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+};
+
+/** Extract the standard percentiles from a sketch. */
+LatencyStats latency_stats(const QuantileSketch& sketch);
+
+/** `{"count": N, "p50": ..., "p95": ..., "p99": ..., "p999": ...}` with
+    round-trip-exact doubles, for embedding in BENCH artifacts. */
+std::string latency_stats_json(const LatencyStats& stats);
+
+}  // namespace dcb::obs
+
+#endif  // DCBENCH_OBS_QUANTILE_H_

@@ -23,10 +23,13 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace dcb::obs {
+
+class ExtentWriter;
 
 /** User-facing telemetry knobs (core::HarnessConfig::telemetry). */
 struct TelemetryConfig
@@ -42,6 +45,14 @@ struct TelemetryConfig
     std::string out_path;
     bool write_csv = true;
     bool write_json = true;
+    /**
+     * Rows buffered per columnar extent before spilling to
+     * `<out_path><name>.telemetry.dcx`; runs shorter than one extent
+     * never touch the spill path (spill-free fast path). 0 keeps the
+     * whole series in memory regardless of length. Only effective when
+     * out_path is set (an in-memory consumer needs the rows).
+     */
+    std::uint32_t extent_rows = 4096;
 
     bool enabled() const { return interval_ops > 0; }
 };
@@ -67,6 +78,8 @@ class TimeSeriesRecorder
      */
     explicit TimeSeriesRecorder(std::vector<std::string> columns,
                                 std::vector<bool> additive = {});
+    /** Out of line: ExtentWriter is incomplete here. */
+    ~TimeSeriesRecorder();
 
     /**
      * Nudge `target - accounted` so that `accounted + result` computes
@@ -87,6 +100,42 @@ class TimeSeriesRecorder
     void add_row(std::uint64_t first_op, std::uint64_t op_count,
                  const double* values);
 
+    // --- Bounded-memory spill (streaming columnar extents) ----------------
+
+    /**
+     * Stream rows to `path` in columnar extents of `rows_per_extent`
+     * rows each: once the in-memory buffer fills, it is sealed to disk
+     * and cleared, so peak recorder memory is O(extent) instead of
+     * O(run). Runs that never fill one extent stay fully in memory and
+     * produce no spill file. Must be called before the first add_row;
+     * `rows_per_extent` 0 disables spilling.
+     */
+    void enable_spill(const std::string& path,
+                      std::uint32_t rows_per_extent);
+
+    /** True once at least one extent was sealed to disk. */
+    bool spilled() const { return writer_ != nullptr; }
+    const std::string& spill_path() const { return spill_path_; }
+
+    /**
+     * Seal any buffered tail rows and atomically commit the spill file
+     * (trailer + rename). Idempotent; a no-op when nothing spilled.
+     * Must precede write_csv/write_json on a spilled recorder; add_row
+     * is invalid afterwards.
+     */
+    bool finalize_spill();
+
+    /** Rows recorded in total: sealed to disk plus buffered. */
+    std::uint64_t total_rows() const;
+    /** High-water mark of rows buffered in memory at once. */
+    std::uint64_t peak_buffered_rows() const { return peak_rows_; }
+    /** In-memory bytes at the buffered-row high-water mark. */
+    std::uint64_t peak_buffered_bytes() const;
+    /** Encoded bytes in the spill file (0 when nothing spilled). */
+    std::uint64_t spill_encoded_bytes() const;
+    /** Raw (8 bytes/value) size of the rows sealed to disk. */
+    std::uint64_t spill_raw_bytes() const;
+
     /** Drop all rows and totals (producer-side warmup counter reset). */
     void reset();
 
@@ -94,14 +143,18 @@ class TimeSeriesRecorder
     void set_totals(const std::vector<double>& totals);
     const std::vector<double>& totals() const { return totals_; }
 
+    /** Buffered (not yet sealed) rows; the whole series when nothing
+        spilled, only the tail otherwise. */
     const std::vector<IntervalRow>& rows() const { return rows_; }
-    bool empty() const { return rows_.empty(); }
+    bool empty() const { return total_rows() == 0; }
 
-    /** Left-to-right sum of one column over all rows. */
+    /** Left-to-right sum of one column over all rows (sealed included:
+        the running accumulation is order-identical to a single pass). */
     double sum(std::size_t col) const;
     /** Across-interval mean of one column. */
     double mean(std::size_t col) const;
-    /** Unbiased across-interval variance (0 with fewer than 2 rows). */
+    /** Unbiased across-interval variance (0 with fewer than 2 rows).
+        Requires the full series in memory (not valid once spilled). */
     double variance(std::size_t col) const;
     /** Standard error of the across-interval mean. */
     double stderr_of(std::size_t col) const;
@@ -119,27 +172,50 @@ class TimeSeriesRecorder
 
     /**
      * CSV: header `interval,first_op,op_count,<columns...>`, one row per
-     * interval, doubles formatted round-trip exact. Returns false when
-     * the file cannot be opened.
+     * interval, doubles formatted round-trip exact. On a spilled
+     * recorder the rows are streamed back from the extent file one
+     * extent at a time -- byte-identical output to the in-memory path,
+     * O(extent) memory. Returns false when the file cannot be opened
+     * (or, spilled, when decode verification fails).
      */
-    bool write_csv(const std::string& path) const;
+    bool write_csv(const std::string& path);
     std::string to_csv() const;
 
     /**
      * JSON: {workload, interval_ops, columns, additive, totals, rows}.
-     * Self-contained for the external interval-sum checker. Returns
-     * false when the file cannot be opened.
+     * Self-contained for the external interval-sum checker. Streams
+     * like write_csv on a spilled recorder. Returns false when the
+     * file cannot be opened.
      */
-    bool write_json(const std::string& path) const;
+    bool write_json(const std::string& path);
     std::string to_json() const;
 
   private:
+    /** Seal the buffered rows as one extent (lazy-opens the writer). */
+    bool seal_extent();
+    void append_csv_row(std::string* out, const IntervalRow& row) const;
+    void append_json_row(std::string* out, const IntervalRow& row,
+                         bool last) const;
+    std::string json_prefix() const;
+
     std::vector<std::string> columns_;
     std::vector<bool> additive_;
     std::vector<IntervalRow> rows_;
     std::vector<double> totals_;
     std::string workload_;
     std::uint64_t interval_ops_ = 0;
+
+    // Spill state.
+    std::string spill_path_;
+    std::uint32_t rows_per_extent_ = 0;
+    std::unique_ptr<ExtentWriter> writer_;
+    std::uint64_t sealed_rows_ = 0;
+    std::uint64_t peak_rows_ = 0;
+    bool finalized_ = false;
+    bool spill_ok_ = true;
+    /** Left-to-right running sums, bit-identical to a single pass over
+        the whole series (this is what extent footers carry). */
+    std::vector<double> running_sums_;
 };
 
 }  // namespace dcb::obs

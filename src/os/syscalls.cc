@@ -119,11 +119,11 @@ OsModel::sys_write(std::uint64_t user_buf, std::uint64_t bytes)
     if (faults_active_ && fault_injector_->disk_write_fails()) {
         kernel_path(costs_.file_path_instrs);  // error unwind path
         ctx_.set_mode(trace::Mode::kUser);
-        disk_.write_error();
+        last_io_seconds_ = disk_.write_error();
         return false;
     }
     ctx_.set_mode(trace::Mode::kUser);
-    disk_.write(bytes);
+    last_io_seconds_ = disk_.write(bytes);
     return true;
 }
 
@@ -137,12 +137,12 @@ OsModel::sys_read(std::uint64_t user_buf, std::uint64_t bytes)
     if (faults_active_ && fault_injector_->disk_read_fails()) {
         kernel_path(costs_.file_path_instrs);  // error unwind path
         ctx_.set_mode(trace::Mode::kUser);
-        disk_.read_error();
+        last_io_seconds_ = disk_.read_error();
         return false;
     }
     copy_user(user_buf, bytes);
     ctx_.set_mode(trace::Mode::kUser);
-    disk_.read(bytes);
+    last_io_seconds_ = disk_.read(bytes);
     return true;
 }
 
@@ -157,11 +157,11 @@ OsModel::sys_send(std::uint64_t user_buf, std::uint64_t bytes)
     if (faults_active_ && fault_injector_->net_send_times_out()) {
         kernel_path(costs_.socket_path_instrs);  // retransmit/teardown
         ctx_.set_mode(trace::Mode::kUser);
-        net_.timeout(bytes);
+        last_io_seconds_ = net_.timeout(bytes);
         return false;
     }
     ctx_.set_mode(trace::Mode::kUser);
-    net_.send(bytes);
+    last_io_seconds_ = net_.send(bytes);
     return true;
 }
 
@@ -176,10 +176,12 @@ OsModel::sys_recv(std::uint64_t user_buf, std::uint64_t bytes)
         kernel_path(costs_.socket_path_instrs);  // connection reset path
         ctx_.set_mode(trace::Mode::kUser);
         net_.drop();
+        last_io_seconds_ = 0.0;
         return false;
     }
     copy_user(user_buf, bytes);
     ctx_.set_mode(trace::Mode::kUser);
+    last_io_seconds_ = 0.0;
     return true;
 }
 

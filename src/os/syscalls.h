@@ -99,6 +99,16 @@ class OsModel
     /** Scheduling-class syscall (futex wait/wake, poll, yield). */
     void sys_sched();
 
+    /**
+     * Device service time (seconds) of the most recent data-moving
+     * syscall: disk seek+transfer for read/write, NIC serialization for
+     * send, 0 for recv (the receive path has no device model). Error
+     * paths report the time the failed operation occupied the device.
+     * This is the per-request latency sample the quantile sketches
+     * aggregate.
+     */
+    double last_io_seconds() const { return last_io_seconds_; }
+
     Disk& disk() { return disk_; }
     Network& network() { return net_; }
 
@@ -117,6 +127,7 @@ class OsModel
     /** False when no injector is installed or its plan is all-default,
         so fault-free runs never consult the injector per syscall. */
     bool faults_active_ = false;
+    double last_io_seconds_ = 0.0;
     SyscallCosts costs_;
     mem::Region bounce_;
     std::uint64_t bounce_cursor_ = 0;
