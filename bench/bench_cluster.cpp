@@ -11,10 +11,18 @@
  * crashes, cascades) and held to the same serial/sharded/replay
  * bit-identity -- the chaos machinery at 512-node scale.
  *
+ * A third fault-free run executes with the observability plane fully
+ * armed (labeled metrics registry + cluster trace) and is byte-diffed
+ * against the unarmed dump: observation must never perturb the
+ * simulation. --check-obs-overhead gates the armed/unarmed wall-clock
+ * ratio (serialization excluded -- files are written after timing).
+ *
  * Usage: ./bench_cluster [--nodes N] [--racks N] [--jobs N]
  *                        [--threads N] [--check-speedup X]
  *                        [--dump-serial FILE] [--dump-sharded FILE]
- *                        [--json FILE]
+ *                        [--dump-observed FILE]
+ *                        [--obs-metrics-out FILE] [--trace-out FILE]
+ *                        [--check-obs-overhead X] [--json FILE]
  *
  *   --threads 0 (default) uses one worker per hardware thread, capped
  *   at the rack count. --check-speedup X fails the run when the sharded
@@ -22,7 +30,11 @@
  *   fewer than 4 hardware threads, where the parallel region is
  *   starved (same policy as bench_throughput). --dump-* write the
  *   canonical MultiJobResult dumps so CI can byte-diff serial vs
- *   sharded across invocations.
+ *   sharded vs observed across invocations. --obs-metrics-out writes
+ *   the armed run's Prometheus text to FILE and its per-barrier
+ *   snapshot rows to FILE.dcx. --check-obs-overhead X fails the run
+ *   when (armed / unarmed - 1) exceeds X, measured over interleaved
+ *   repeat pairs with the best (minimum) time taken per side.
  */
 
 #include <sys/resource.h>
@@ -39,7 +51,9 @@
 #include "fault/fault.h"
 #include "mapreduce/fairshare.h"
 #include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "obs/quantile.h"
+#include "obs/trace_writer.h"
 #include "util/atomic_file.h"
 
 namespace {
@@ -105,8 +119,12 @@ main(int argc, char** argv)
     std::uint32_t jobs = 16;
     unsigned threads = 0;
     double check_speedup = -1.0;
+    double check_obs_overhead = -1.0;
     std::string dump_serial_path;
     std::string dump_sharded_path;
+    std::string dump_observed_path;
+    std::string metrics_path;
+    std::string trace_path;
     std::string json_path = "BENCH_cluster.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -129,10 +147,18 @@ main(int argc, char** argv)
             threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if (const char* v = value("--check-speedup"))
             check_speedup = std::strtod(v, nullptr);
+        else if (const char* v = value("--check-obs-overhead"))
+            check_obs_overhead = std::strtod(v, nullptr);
         else if (const char* v = value("--dump-serial"))
             dump_serial_path = v;
         else if (const char* v = value("--dump-sharded"))
             dump_sharded_path = v;
+        else if (const char* v = value("--dump-observed"))
+            dump_observed_path = v;
+        else if (const char* v = value("--obs-metrics-out"))
+            metrics_path = v;
+        else if (const char* v = value("--trace-out"))
+            trace_path = v;
         else if (const char* v = value("--json"))
             json_path = v;
     }
@@ -193,6 +219,60 @@ main(int argc, char** argv)
                 "p95 %.1f s, p99 %.1f s, p999 %.1f s\n\n",
                 att.count, att.p50, att.p95, att.p99, att.p999);
 
+    // --- Observability armed: must not perturb the simulation --------
+    obs::MetricsRegistry registry;
+    if (!metrics_path.empty())
+        registry.set_snapshot_spill(metrics_path + ".dcx");
+    obs::TraceWriter cluster_trace;
+    mapreduce::MultiJobOptions observed_opt;
+    observed_opt.threads = threads;
+    observed_opt.metrics = &registry;
+    observed_opt.trace = &cluster_trace;
+    const auto observed_start = Clock::now();
+    const mapreduce::MultiJobResult observed =
+        scheduler.run(fleet, cluster, observed_opt);
+    double armed_seconds = seconds_since(observed_start);
+    const std::string observed_dump = observed.dump();
+    const bool obs_identical = observed_dump == serial_dump;
+    double unarmed_seconds = sharded_seconds;
+    double obs_overhead =
+        unarmed_seconds > 0.0 ? armed_seconds / unarmed_seconds - 1.0
+                              : 0.0;
+    if (check_obs_overhead >= 0.0) {
+        // The gate re-times back-to-back (unarmed, armed) pairs with
+        // fresh in-memory sinks (artifacts discarded) and takes the
+        // *minimum per-pair ratio*: the two runs of a pair are
+        // temporally adjacent, so slow host drift and noisy-neighbor
+        // episodes inflate both sides of the ratio together and cancel,
+        // where a min-per-side over a long window would compare a calm
+        // unarmed sample against armed samples from a noisy stretch.
+        for (int rep = 0; rep < 4; ++rep) {
+            const auto unarmed_rep_start = Clock::now();
+            (void)scheduler.run(fleet, cluster, sharded_opt);
+            const double u = seconds_since(unarmed_rep_start);
+            unarmed_seconds = std::min(unarmed_seconds, u);
+            obs::MetricsRegistry rep_registry;
+            obs::TraceWriter rep_trace;
+            mapreduce::MultiJobOptions rep_opt = observed_opt;
+            rep_opt.metrics = &rep_registry;
+            rep_opt.trace = &rep_trace;
+            const auto armed_rep_start = Clock::now();
+            (void)scheduler.run(fleet, cluster, rep_opt);
+            const double a = seconds_since(armed_rep_start);
+            armed_seconds = std::min(armed_seconds, a);
+            if (u > 0.0)
+                obs_overhead = std::min(obs_overhead, a / u - 1.0);
+        }
+    }
+    std::printf("observability armed: %.3f s wall (%+.1f%% vs %.3f s "
+                "unarmed); dump bit-identical: %s\n",
+                armed_seconds, 100.0 * obs_overhead, unarmed_seconds,
+                obs_identical ? "yes" : "NO -- BUG");
+    std::printf("metrics: %zu series, %" PRIu64 " snapshots (one per "
+                "barrier), %zu trace events\n\n",
+                registry.series_count(), registry.snapshot_count(),
+                cluster_trace.size());
+
     // --- Correlated faults at scale: bit-identity only ---------------
     fault::FaultPlan plan;
     plan.seed = 0xC1A05C41EULL;
@@ -252,6 +332,35 @@ main(int argc, char** argv)
                      dump_sharded_path.c_str());
         return 1;
     }
+    if (!dump_observed_path.empty() &&
+        !write_text(dump_observed_path, observed_dump)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     dump_observed_path.c_str());
+        return 1;
+    }
+    if (!metrics_path.empty()) {
+        if (!registry.finalize_snapshots()) {
+            std::fprintf(stderr, "error: cannot write %s.dcx\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        if (!registry.write_prometheus(metrics_path)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s and %s.dcx\n", metrics_path.c_str(),
+                    metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        if (!cluster_trace.write(trace_path)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                    cluster_trace.size());
+    }
 
     if (json_path != "none") {
         obs::RunManifest manifest;
@@ -263,6 +372,12 @@ main(int argc, char** argv)
         manifest.set("threads", std::uint64_t{threads});
         manifest.set("hardware_concurrency",
                      std::uint64_t{hardware_threads});
+        manifest.set("obs_bit_identical", obs_identical);
+        manifest.set("metrics_series",
+                     std::uint64_t{registry.series_count()});
+        manifest.set("metrics_snapshots", registry.snapshot_count());
+        if (!metrics_path.empty())
+            manifest.set("obs_metrics_out", metrics_path);
 
         std::string out = "{\n";
         char buf[256];
@@ -295,6 +410,19 @@ main(int argc, char** argv)
                       chaos_identical ? "true" : "false", co.nodes_lost,
                       co.master_failovers);
         out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "  \"obs_armed_seconds\": %.6f,\n"
+                      "  \"obs_unarmed_seconds\": %.6f,\n"
+                      "  \"obs_overhead\": %.4f,\n"
+                      "  \"obs_bit_identical\": %s,\n"
+                      "  \"metrics_series\": %zu,\n"
+                      "  \"metrics_snapshots\": %" PRIu64
+                      ",\n  \"trace_events\": %zu,\n",
+                      armed_seconds, unarmed_seconds, obs_overhead,
+                      obs_identical ? "true" : "false",
+                      registry.series_count(),
+                      registry.snapshot_count(), cluster_trace.size());
+        out += buf;
         out += "  \"shards\": [\n";
         for (std::size_t s = 0; s < sharded.shards.size(); ++s) {
             const mapreduce::ShardStats& st = sharded.shards[s];
@@ -305,10 +433,10 @@ main(int argc, char** argv)
                 ", \"heartbeats\": %" PRIu64
                 ", \"slot_busy_s\": %.3f, \"uplink_wait_s\": %.3f, "
                 "\"busy_seconds\": %.6f, \"barrier_wait_seconds\": "
-                "%.6f}%s\n",
+                "%.6f, \"steals\": %" PRIu64 "}%s\n",
                 s, st.events_processed, ut.progress_heartbeats,
                 ut.slot_busy_s, ut.uplink_wait_s, st.busy_seconds,
-                st.barrier_wait_seconds,
+                st.barrier_wait_seconds, st.steals,
                 s + 1 < sharded.shards.size() ? "," : "");
             out += buf;
         }
@@ -344,5 +472,16 @@ main(int argc, char** argv)
             return 1;
         }
     }
-    return identical && chaos_identical ? 0 : 1;
+    if (check_obs_overhead >= 0.0 &&
+        obs_overhead > check_obs_overhead) {
+        std::fprintf(stderr,
+                     "FAIL: observability overhead %.1f%% above the "
+                     "allowed %.1f%%\n",
+                     100.0 * obs_overhead, 100.0 * check_obs_overhead);
+        return 1;
+    }
+    if (!obs_identical)
+        std::fprintf(stderr, "FAIL: metrics/tracing changed the "
+                             "simulation result\n");
+    return identical && chaos_identical && obs_identical ? 0 : 1;
 }

@@ -13,6 +13,7 @@
  *               [--sample-discard N] [--sample-warmup N] [--sample-full]
  *               [--obs-interval N] [--obs-out PREFIX]
  *               [--obs-extent-rows N]
+ *               [--obs-metrics-out FILE] [--obs-phase[=FILE]]
  *               [--trace-out FILE] [--manifest FILE]
  */
 
@@ -28,14 +29,16 @@
 
 #include "core/dcbench.h"
 #include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "util/atomic_file.h"
 
 namespace dcb::bench {
 
 /**
  * Process-wide observability sinks, created on demand by the shared
- * --trace-out / --manifest flags and flushed once at process exit so a
- * bench's every exit path (including the CI-guard `return 1`s) still
- * writes the files.
+ * --trace-out / --manifest / --obs-metrics-out / --obs-phase flags and
+ * flushed once at process exit so a bench's every exit path (including
+ * the CI-guard `return 1`s) still writes the files.
  */
 struct ObsSinks
 {
@@ -43,6 +46,13 @@ struct ObsSinks
     std::string trace_path;
     obs::RunManifest manifest;
     std::string manifest_path;
+    /** --obs-metrics-out: labeled registry whose Prometheus text lands
+        in metrics_path and whose snapshot rows spill to
+        metrics_path + ".dcx" (both atomic, written at exit). */
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    std::string metrics_path;
+    /** --obs-phase=FILE: per-workload phase segmentation JSON. */
+    std::string phase_path;
     bool flush_registered = false;
 };
 
@@ -71,7 +81,14 @@ trace_writer()
     return obs_sinks().trace.get();
 }
 
-/** atexit hook: write the trace and manifest files if requested. */
+/** The --obs-metrics-out registry, nullptr when metrics are off. */
+inline obs::MetricsRegistry*
+metrics_registry()
+{
+    return obs_sinks().metrics.get();
+}
+
+/** atexit hook: write trace, manifest and metrics files if requested. */
 inline void
 flush_obs_sinks()
 {
@@ -83,6 +100,20 @@ flush_obs_sinks()
         else
             std::fprintf(stderr, "error: cannot write %s\n",
                          sinks.trace_path.c_str());
+    }
+    if (sinks.metrics != nullptr && !sinks.metrics_path.empty()) {
+        if (!sinks.metrics->finalize_snapshots())
+            std::fprintf(stderr, "error: cannot write %s.dcx\n",
+                         sinks.metrics_path.c_str());
+        if (sinks.metrics->write_prometheus(sinks.metrics_path))
+            std::printf("wrote %s (%zu series, %llu snapshots)\n",
+                        sinks.metrics_path.c_str(),
+                        sinks.metrics->series_count(),
+                        static_cast<unsigned long long>(
+                            sinks.metrics->snapshot_count()));
+        else
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         sinks.metrics_path.c_str());
     }
     if (!sinks.manifest_path.empty()) {
         if (sinks.manifest.write(sinks.manifest_path))
@@ -164,6 +195,12 @@ inline constexpr double kDefaultFullSampleRatio = 0.15;
  *   --obs-extent-rows N  rows buffered per columnar telemetry extent
  *                      before sealing to the .dcx spill file (0 keeps
  *                      every row in memory; default 4096)
+ *   --obs-metrics-out FILE  labeled metrics registry: Prometheus text
+ *                      to FILE, snapshot time series to FILE.dcx (both
+ *                      written atomically at process exit)
+ *   --obs-phase[=FILE] detect phases over the interval telemetry
+ *                      (requires --obs-interval); with =FILE also
+ *                      write the per-workload segmentation JSON
  *   --trace-out FILE   collect a Chrome trace-event / Perfetto JSON
  *                      timeline of the whole process into FILE
  *   --manifest FILE    write the run manifest (config echo, seeds,
@@ -252,6 +289,17 @@ config_from_args(int argc, char** argv)
         } else if (std::strncmp(argv[i], "--obs-out=", 10) == 0) {
             config.telemetry.out_path = argv[i] + 10;
             obs_out_seen = true;
+        } else if (std::strcmp(argv[i], "--obs-metrics-out") == 0 &&
+                   i + 1 < argc) {
+            sinks.metrics_path = argv[++i];
+        } else if (std::strncmp(argv[i], "--obs-metrics-out=", 18) ==
+                   0) {
+            sinks.metrics_path = argv[i] + 18;
+        } else if (std::strcmp(argv[i], "--obs-phase") == 0) {
+            config.detect_phases = true;
+        } else if (std::strncmp(argv[i], "--obs-phase=", 12) == 0) {
+            config.detect_phases = true;
+            sinks.phase_path = argv[i] + 12;
         } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
                    i + 1 < argc) {
             sinks.trace_path = argv[++i];
@@ -272,14 +320,24 @@ config_from_args(int argc, char** argv)
     config.run.warmup_ops = config.run.op_budget / 4;
     if (config.telemetry.enabled() && !obs_out_seen)
         config.telemetry.out_path = "obs/";
+    if (config.detect_phases && !config.telemetry.enabled()) {
+        std::fprintf(stderr, "warning: --obs-phase needs "
+                             "--obs-interval; phase detection off\n");
+        config.detect_phases = false;
+    }
     if (!sinks.trace_path.empty() && sinks.trace == nullptr)
         sinks.trace = std::make_unique<obs::TraceWriter>();
     config.trace = sinks.trace.get();
     if (sinks.trace != nullptr)
         sinks.trace->name_process(obs::TraceWriter::kHostPid,
                                   "harness (host time)");
+    if (!sinks.metrics_path.empty() && sinks.metrics == nullptr) {
+        sinks.metrics = std::make_unique<obs::MetricsRegistry>();
+        sinks.metrics->set_snapshot_spill(sinks.metrics_path + ".dcx");
+    }
     if (!sinks.flush_registered &&
-        (sinks.trace != nullptr || !sinks.manifest_path.empty())) {
+        (sinks.trace != nullptr || sinks.metrics != nullptr ||
+         !sinks.manifest_path.empty())) {
         std::atexit(&flush_obs_sinks);
         sinks.flush_registered = true;
     }
@@ -310,6 +368,11 @@ config_from_args(int argc, char** argv)
     }
     if (!sinks.trace_path.empty())
         m.set("trace_out", sinks.trace_path);
+    if (!sinks.metrics_path.empty())
+        m.set("obs_metrics_out", sinks.metrics_path);
+    m.set("phase_detection", config.detect_phases);
+    if (!sinks.phase_path.empty())
+        m.set("obs_phase_out", sinks.phase_path);
     m.add_host_info();
 
     std::printf("op budget: %llu ops per workload",
@@ -343,6 +406,53 @@ config_from_args(int argc, char** argv)
     return config;
 }
 
+/**
+ * Export a suite's phase segmentation: stamps boundary totals into the
+ * run manifest and, under --obs-phase=FILE, writes a
+ * `{"signals": [...], "workloads": {name: segmentation}}` JSON
+ * atomically. No-op for suites that ran without phase detection.
+ */
+inline void
+stamp_phase_results(const core::SuiteResult& suite)
+{
+    const std::vector<std::string>& signals = core::phase_signal_names();
+    std::uint64_t detected = 0;
+    std::uint64_t boundaries = 0;
+    std::string json = "{\n  \"signals\": [";
+    for (std::size_t s = 0; s < signals.size(); ++s)
+        json += (s > 0 ? ", \"" : "\"") + signals[s] + "\"";
+    json += "],\n  \"workloads\": {\n";
+    for (std::size_t i = 0; i < suite.runs.size(); ++i) {
+        const std::shared_ptr<obs::PhaseDetector>& phases =
+            suite.runs[i].phases;
+        if (phases == nullptr)
+            continue;
+        if (detected > 0)
+            json += ",\n";
+        ++detected;
+        boundaries += phases->phase_boundaries().size();
+        json +=
+            "    \"" + suite.names[i] + "\": " + phases->to_json(signals);
+    }
+    json += "\n  }\n}\n";
+    if (detected == 0)
+        return;
+    manifest().set("phase_workloads", detected);
+    manifest().set("phase_boundaries", boundaries);
+    ObsSinks& sinks = obs_sinks();
+    if (sinks.phase_path.empty())
+        return;
+    if (util::write_file_atomic(sinks.phase_path, json))
+        std::printf("wrote %s (%llu workloads, %llu phase "
+                    "boundaries)\n",
+                    sinks.phase_path.c_str(),
+                    static_cast<unsigned long long>(detected),
+                    static_cast<unsigned long long>(boundaries));
+    else
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     sinks.phase_path.c_str());
+}
+
 /** Surface per-workload failures without aborting the bench. */
 inline std::vector<cpu::CounterReport>
 reports_or_warn(const core::SuiteResult& suite)
@@ -353,6 +463,7 @@ reports_or_warn(const core::SuiteResult& suite)
                          suite.names[i].c_str(),
                          suite.runs[i].status.error.c_str());
     }
+    stamp_phase_results(suite);
     return suite.reports();
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate dcbench observability artifacts (CI gate).
 
-Five subcommands, all exiting nonzero with a diagnostic on failure:
+Six subcommands, all exiting nonzero with a diagnostic on failure:
 
   check_obs.py telemetry FILE [FILE...]
       Every additive column of each <workload>.telemetry.json must sum
@@ -22,11 +22,25 @@ Five subcommands, all exiting nonzero with a diagnostic on failure:
       the decoded row count and the final running sums against the
       exported JSON's rows/totals.
 
-  check_obs.py sketch BENCH_TELEMETRY_JSON
-      Validates the quantile-sketch gates recorded by bench_telemetry:
-      every percentile's rank error and the max rank error must be
-      within the sketch epsilon (+1/n slack), and the sharded merge
-      must have been byte-identical.
+  check_obs.py sketch FILE
+      With a JSON FILE: validates the quantile-sketch gates recorded by
+      bench_telemetry (every percentile's rank error and the max rank
+      error within the sketch epsilon (+1/n slack), sharded merge
+      byte-identical). With a .dcx extent FILE (sniffed by magic):
+      decodes the persisted sketch section and re-verifies the
+      Greenwald-Khanna rank-error invariant from the on-disk bytes
+      alone -- tuples sorted, sum of g equal to the insert count,
+      g + delta <= floor(2*epsilon*n) + 1 for every tuple (the
+      condition that bounds every quantile query's rank error by
+      epsilon*n), and min/max bracketing the tuple values.
+
+  check_obs.py prom FILE [SERIES...]
+      FILE must be Prometheus text exposition: every family declared
+      with a # TYPE line (counter, gauge or summary) before its
+      samples, every sample line well-formed with sorted label pairs,
+      every value finite, counters non-negative, and summary families
+      carrying quantile samples plus _sum/_count. Each named SERIES
+      must be present as a family.
 
   check_obs.py trace FILE [CATEGORY...]
       FILE must parse as Chrome trace-event JSON with a traceEvents
@@ -44,6 +58,7 @@ bit for bit.
 
 import json
 import math
+import re
 import struct
 import sys
 
@@ -100,6 +115,7 @@ FNV_OFFSET = 14695981039346656037
 FNV_PRIME = 1099511628211
 MASK64 = (1 << 64) - 1
 EXTENT_MAGIC = 0x31545845   # "EXT1"
+SKETCH_MAGIC = 0x31484B53   # "SKH1"
 TRAILER_MAGIC = 0x31444E45  # "END1"
 RLE_FLAG = 0x80
 
@@ -189,6 +205,97 @@ def decode_block(data, pos, count):
     fail(f"unknown column encoding {enc}")
 
 
+def u64_to_double(bits):
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def parse_sketch_section(data, pos, path):
+    """pos sits just after the SKH1 magic; returns (sketches, next_pos).
+    The checksum covers sketch_count through the last tuple byte."""
+    body_start = pos
+    if pos + 4 > len(data):
+        fail(f"{path}: truncated sketch section")
+    (count,) = struct.unpack_from("<I", data, pos)
+    pos += 4
+    sketches = []
+    for _ in range(count):
+        if pos + 2 > len(data):
+            fail(f"{path}: truncated sketch name")
+        (name_len,) = struct.unpack_from("<H", data, pos)
+        pos += 2
+        name = data[pos:pos + name_len].decode()
+        pos += name_len
+        if pos + 32 > len(data):
+            fail(f"{path}: truncated sketch header for '{name}'")
+        eps_bits, n, min_bits, max_bits = struct.unpack_from(
+            "<QQQQ", data, pos)
+        pos += 32
+        tuple_count, pos = get_varint(data, pos)
+        tuples = []
+        for _ in range(tuple_count):
+            if pos + 8 > len(data):
+                fail(f"{path}: truncated sketch tuples for '{name}'")
+            (value_bits,) = struct.unpack_from("<Q", data, pos)
+            pos += 8
+            g, pos = get_varint(data, pos)
+            delta, pos = get_varint(data, pos)
+            tuples.append((u64_to_double(value_bits), g, delta))
+        sketches.append({
+            "name": name,
+            "epsilon": u64_to_double(eps_bits),
+            "count": n,
+            "min": u64_to_double(min_bits),
+            "max": u64_to_double(max_bits),
+            "tuples": tuples,
+        })
+    if pos + 8 > len(data):
+        fail(f"{path}: truncated sketch checksum")
+    (want,) = struct.unpack_from("<Q", data, pos)
+    if fnv1a(data[body_start:pos]) != want:
+        fail(f"{path}: sketch section checksum mismatch")
+    pos += 8
+    return sketches, pos
+
+
+def verify_gk(path, sk):
+    """The Greenwald-Khanna invariant, re-proved from the persisted
+    tuples: values sorted, the rank gaps g sum to the insert count, and
+    every tuple's uncertainty g + delta stays within floor(2*eps*n)+1.
+    That last bound is what caps any quantile query's rank error at
+    eps*n, so checking it on disk re-verifies the rank-error guarantee
+    without trusting the writer."""
+    name, eps, n = sk["name"], sk["epsilon"], sk["count"]
+    tuples = sk["tuples"]
+    if not (0.0 < eps < 1.0):
+        fail(f"{path}: sketch '{name}' epsilon {eps!r} out of range")
+    if n == 0:
+        if tuples:
+            fail(f"{path}: sketch '{name}' empty but has tuples")
+        return
+    if not tuples:
+        fail(f"{path}: sketch '{name}' has {n} inserts but no tuples")
+    cap = math.floor(2.0 * eps * n) + 1
+    g_total = 0
+    prev = None
+    for i, (v, g, delta) in enumerate(tuples):
+        if not math.isfinite(v):
+            fail(f"{path}: sketch '{name}' tuple {i} value {v!r}")
+        if prev is not None and v < prev:
+            fail(f"{path}: sketch '{name}' tuples not sorted at {i}")
+        prev = v
+        g_total += g
+        if g + delta > cap:
+            fail(f"{path}: sketch '{name}' tuple {i}: g+delta "
+                 f"{g + delta} exceeds floor(2*eps*n)+1 = {cap}; the "
+                 "epsilon rank-error bound does not hold")
+    if g_total != n:
+        fail(f"{path}: sketch '{name}' rank gaps sum to {g_total}, "
+             f"want insert count {n}")
+    if tuples[0][0] < sk["min"] or tuples[-1][0] > sk["max"]:
+        fail(f"{path}: sketch '{name}' tuple values escape "
+             f"[min={sk['min']!r}, max={sk['max']!r}]")
+
+
 def check_extents(dcx_path, json_path=None):
     with open(dcx_path, "rb") as f:
         data = f.read()
@@ -213,10 +320,16 @@ def check_extents(dcx_path, json_path=None):
     rows_read = 0
     extents_read = 0
     encodings = {}
+    sketches = []
     trailer_seen = False
     while pos < len(data):
         (magic,) = struct.unpack_from("<I", data, pos)
         pos += 4
+        if magic == SKETCH_MAGIC:
+            sketches, pos = parse_sketch_section(data, pos, dcx_path)
+            for sk in sketches:
+                verify_gk(dcx_path, sk)
+            continue
         if magic == TRAILER_MAGIC:
             total_rows, total_extents, want = struct.unpack_from(
                 "<QQQ", data, pos)
@@ -290,10 +403,75 @@ def check_extents(dcx_path, json_path=None):
           f"{rows_read} rows x {ncols} columns ({enc_summary}), "
           f"{n_add} additive running sums verified bitwise at every "
           "footer"
+          + (f", {len(sketches)} persisted sketches pass the GK "
+             "invariant" if sketches else "")
           + (f", totals match {json_path}" if json_path else ""))
+    return sketches
+
+
+def skip_extent(data, pos, ncols, n_add, path):
+    """Walk one extent without decoding its blocks (tag + varint len +
+    payload each, then footer sums and checksum)."""
+    if pos + 4 > len(data):
+        fail(f"{path}: truncated extent")
+    pos += 4  # row count
+    for _ in range(ncols + 2):
+        if pos >= len(data):
+            fail(f"{path}: truncated extent block")
+        pos += 1  # tag
+        length, pos = get_varint(data, pos)
+        pos += length
+    pos += n_add * 8 + 8
+    if pos > len(data):
+        fail(f"{path}: truncated extent footer")
+    return pos
+
+
+def check_sketch_dcx(path, data):
+    """Re-verify the GK rank-error invariant from a .dcx file's
+    persisted sketch section alone (extent bodies are skipped, not
+    re-verified -- that is the `extents` subcommand's job)."""
+    version, ncols = struct.unpack_from("<II", data, 8)
+    if version != 1:
+        fail(f"{path}: unsupported version {version}")
+    pos = 16
+    additive = []
+    for _ in range(ncols):
+        (name_len,) = struct.unpack_from("<H", data, pos)
+        pos += 2 + name_len
+        additive.append(data[pos] != 0)
+        pos += 1
+    n_add = sum(additive)
+    sketches = []
+    while pos < len(data):
+        (magic,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        if magic == EXTENT_MAGIC:
+            pos = skip_extent(data, pos, ncols, n_add, path)
+        elif magic == SKETCH_MAGIC:
+            sketches, pos = parse_sketch_section(data, pos, path)
+        elif magic == TRAILER_MAGIC:
+            pos += 24
+            break
+        else:
+            fail(f"{path}: bad section magic at byte {pos - 4}")
+    if not sketches:
+        fail(f"{path}: no persisted sketch section")
+    for sk in sketches:
+        verify_gk(path, sk)
+    total = sum(sk["count"] for sk in sketches)
+    print(f"check_obs: OK: {path}: {len(sketches)} persisted sketches "
+          f"({total} observations) re-verified from disk: tuples "
+          "sorted, rank gaps sum to the insert count, g+delta within "
+          "floor(2*eps*n)+1 everywhere")
 
 
 def check_sketch(path):
+    with open(path, "rb") as f:
+        head = f.read(8)
+        if head == b"DCXTELE1":
+            check_sketch_dcx(path, head + f.read())
+            return
     with open(path) as f:
         doc = json.load(f)
     sk = doc.get("sketch")
@@ -314,6 +492,93 @@ def check_sketch(path):
     print(f"check_obs: OK: {path}: {len(sk['percentiles'])} percentiles "
           f"over {samples} samples within rank error {eps}, sharded "
           "merge byte-identical")
+
+
+SAMPLE_RE = re.compile(
+    r'^([A-Za-z_:][A-Za-z0-9_:]*)'        # metric name
+    r'(?:\{([^{}]*)\})?'                   # optional label set
+    r' (-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|inf|nan))$')
+LABEL_RE = re.compile(r'^([A-Za-z_][A-Za-z0-9_]*)="([^"\\]*)"$')
+
+
+def check_prom(path, required_series):
+    with open(path) as f:
+        text = f.read()
+    families = {}       # name -> type
+    samples = {}        # family -> sample count
+    summary_parts = {}  # family -> set of seen parts
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "summary"):
+                fail(f"{path}:{lineno}: malformed TYPE line: {line}")
+            if parts[2] in families:
+                fail(f"{path}:{lineno}: family '{parts[2]}' declared "
+                     "twice")
+            families[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            fail(f"{path}:{lineno}: malformed sample line: {line}")
+        name, labelstr, valuestr = m.groups()
+        value = float(valuestr)
+        if not math.isfinite(value):
+            fail(f"{path}:{lineno}: non-finite value in: {line}")
+        labels = {}
+        if labelstr:
+            for pair in labelstr.split(","):
+                lm = LABEL_RE.match(pair)
+                if lm is None:
+                    fail(f"{path}:{lineno}: malformed label '{pair}'")
+                if lm.group(1) in labels:
+                    fail(f"{path}:{lineno}: duplicate label "
+                         f"'{lm.group(1)}'")
+                labels[lm.group(1)] = lm.group(2)
+        # Summary families expose name{quantile=...}, name_sum and
+        # name_count; everything else samples under its family name.
+        family, part = name, "sample"
+        if name not in families:
+            for suffix in ("_sum", "_count"):
+                base = name[:-len(suffix)] if name.endswith(suffix) \
+                    else None
+                if base and families.get(base) == "summary":
+                    family, part = base, suffix
+                    break
+        if family not in families:
+            fail(f"{path}:{lineno}: sample '{name}' has no preceding "
+                 "# TYPE declaration")
+        kind = families[family]
+        if kind == "summary" and part == "sample":
+            if "quantile" not in labels:
+                fail(f"{path}:{lineno}: summary sample without a "
+                     f"quantile label: {line}")
+            part = "quantile"
+        if kind == "counter" and value < 0.0:
+            fail(f"{path}:{lineno}: negative counter value: {line}")
+        samples[family] = samples.get(family, 0) + 1
+        summary_parts.setdefault(family, set()).add(part)
+    for family, kind in families.items():
+        if samples.get(family, 0) == 0:
+            fail(f"{path}: family '{family}' declared but has no "
+                 "samples")
+        if kind == "summary":
+            missing = {"quantile", "_sum", "_count"} - \
+                summary_parts[family]
+            if missing:
+                fail(f"{path}: summary '{family}' missing "
+                     f"{sorted(missing)} samples")
+    for name in required_series:
+        if name not in families:
+            fail(f"{path}: required series '{name}' absent; has "
+                 f"{sorted(families)}")
+    total = sum(samples.values())
+    print(f"check_obs: OK: {path}: {len(families)} families, {total} "
+          "samples, all declared before use with finite values")
 
 
 def check_trace(path, required_cats):
@@ -362,6 +627,8 @@ def main(argv):
         check_extents(args[0], args[1] if len(args) > 1 else None)
     elif mode == "sketch":
         check_sketch(args[0])
+    elif mode == "prom":
+        check_prom(args[0], args[1:])
     elif mode == "trace":
         check_trace(args[0], args[1:])
     elif mode == "manifest":

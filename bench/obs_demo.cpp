@@ -3,17 +3,21 @@
  * Observability demo: exercises every span source in one run and
  * writes one Chrome trace-event / Perfetto file that contains all of
  * them -- per-workload harness runs and interval telemetry (exact
- * runs), sampling-engine segments (a sampled run), and the cluster
+ * runs), sampling-engine segments (a sampled run), the cluster
  * scheduler's task attempts, retries, speculation and fault epochs (a
- * faulty MapReduce job). This is the file the CI observability step
+ * faulty MapReduce job), and the sharded multi-job engine with the
+ * labeled metrics registry armed (epoch barriers, fair-share grants,
+ * per-barrier snapshots). This is the file the CI observability step
  * validates and the README's Perfetto quick-start opens.
  *
  * Usage: ./obs_demo [--ops N] [--obs-interval N] [--obs-out PREFIX]
- *                   [--trace-out FILE] [--manifest FILE]
+ *                   [--trace-out FILE] [--obs-metrics-out FILE]
+ *                   [--obs-phase] [--manifest FILE]
  *
  * Defaults (unlike the figure benches, observability is ON here):
  * trace to obs_demo.trace.json, manifest to obs_demo.manifest.json,
- * telemetry every op_budget/20 ops into obs/.
+ * metrics to obs_demo.metrics.prom (+ .dcx snapshot extents),
+ * telemetry every op_budget/20 ops into obs/, phase detection on.
  */
 
 #include <algorithm>
@@ -26,6 +30,7 @@
 #include "bench_common.h"
 
 #include "fault/fault.h"
+#include "mapreduce/fairshare.h"
 #include "mapreduce/scheduler.h"
 
 int
@@ -41,6 +46,11 @@ main(int argc, char** argv)
         sinks.trace->name_process(obs::TraceWriter::kHostPid,
                                   "harness (host time)");
     }
+    if (sinks.metrics == nullptr) {
+        sinks.metrics_path = "obs_demo.metrics.prom";
+        sinks.metrics = std::make_unique<obs::MetricsRegistry>();
+        sinks.metrics->set_snapshot_spill(sinks.metrics_path + ".dcx");
+    }
     if (sinks.manifest_path.empty())
         sinks.manifest_path = "obs_demo.manifest.json";
     if (!sinks.flush_registered) {
@@ -52,6 +62,9 @@ main(int argc, char** argv)
         config.telemetry.interval_ops = config.run.op_budget / 20;
     if (config.telemetry.out_path.empty())
         config.telemetry.out_path = "obs/";
+    config.detect_phases = true;  // telemetry is always on here
+    if (sinks.phase_path.empty())
+        sinks.phase_path = "obs_demo.phases.json";
     config.sampling = sample::SamplePlan{};  // exact first: telemetry on
     // Defaults were applied after config_from_args filled the manifest;
     // re-stamp the effective values (set() overwrites in place).
@@ -59,6 +72,9 @@ main(int argc, char** argv)
                           config.telemetry.interval_ops);
     bench::manifest().set("obs_out", config.telemetry.out_path);
     bench::manifest().set("trace_out", sinks.trace_path);
+    bench::manifest().set("obs_metrics_out", sinks.metrics_path);
+    bench::manifest().set("phase_detection", true);
+    bench::manifest().set("obs_phase_out", sinks.phase_path);
 
     // --- Exact runs: workload spans + interval telemetry ----------------
     const std::vector<std::string> all = workloads::figure_order();
@@ -69,7 +85,7 @@ main(int argc, char** argv)
     std::printf("\nexact runs (telemetry every %llu ops):\n",
                 static_cast<unsigned long long>(
                     config.telemetry.interval_ops));
-    const core::SuiteResult suite = core::run_suite(names, config);
+    core::SuiteResult suite = core::run_suite(names, config);
     bool telemetry_ok = suite.all_ok();
     for (std::size_t i = 0; i < suite.runs.size(); ++i) {
         const core::RunResult& run = suite.runs[i];
@@ -112,9 +128,46 @@ main(int argc, char** argv)
                 job.completed ? "completed" : "FAILED",
                 job.timings.total_s, job.task_failures, job.nodes_lost);
 
+    // --- Sharded multi-job run: metrics registry + cluster-clock trace --
+    std::vector<mapreduce::JobSubmission> fleet;
+    for (std::uint32_t j = 0; j < 3; ++j) {
+        mapreduce::JobSubmission sub;
+        sub.spec.name = "demo-job-" + std::to_string(j);
+        sub.spec.input_gb = 24.0 + 8.0 * j;
+        sub.spec.total_instructions_g = 30.0 * sub.spec.input_gb;
+        sub.submit_time_s = 5.0 * j;
+        sub.weight = 1.0 + j;
+        fleet.push_back(sub);
+    }
+    mapreduce::ClusterConfig mj_cluster;
+    mj_cluster.slaves = 32;
+    mj_cluster.racks = 4;
+    mapreduce::MultiJobOptions mj_opt;
+    mj_opt.threads = 2;
+    mj_opt.trace = sinks.trace.get();
+    mj_opt.metrics = bench::metrics_registry();
+    const mapreduce::MultiJobScheduler fair_scheduler;
+    const mapreduce::MultiJobResult mj =
+        fair_scheduler.run(fleet, mj_cluster, mj_opt);
+    std::printf("multi-job run: %s, %zu jobs, makespan %.1f sim-s, "
+                "%llu epochs\n",
+                mj.ok && mj.all_completed() ? "completed" : "FAILED",
+                mj.jobs.size(), mj.makespan_s,
+                static_cast<unsigned long long>(mj.epochs));
+    suite.shard_barrier_wait_seconds.clear();
+    suite.shard_steals.clear();
+    for (const mapreduce::ShardStats& st : mj.shards) {
+        suite.shard_barrier_wait_seconds.push_back(
+            st.barrier_wait_seconds);
+        suite.shard_steals.push_back(st.steals);
+    }
+    bench::stamp_phase_results(suite);
+
     bench::manifest().set("demo_workloads",
                           static_cast<std::uint64_t>(names.size()));
     bench::manifest().set("demo_job_completed", job.completed);
+    bench::manifest().set("demo_multijob_completed",
+                          mj.ok && mj.all_completed());
 
     // --- Shape checks: the trace really holds every span source ---------
     const obs::TraceWriter& trace = *sinks.trace;
@@ -142,5 +195,21 @@ main(int argc, char** argv)
                             trace.count_category("fault") > 0);
     ok &= core::shape_check("the faulty job still completed",
                             job.completed);
+    ok &= core::shape_check("epoch barrier spans recorded",
+                            trace.count_category("epoch") > 0);
+    ok &= core::shape_check("fair-share grant instants recorded",
+                            trace.count_category("sched") > 0);
+    ok &= core::shape_check("the multi-job fleet completed",
+                            mj.ok && mj.all_completed());
+    const obs::MetricsRegistry& metrics = *sinks.metrics;
+    ok &= core::shape_check("metrics registry holds series",
+                            metrics.series_count() > 0);
+    ok &= core::shape_check("per-barrier snapshots recorded",
+                            metrics.snapshot_count() > 0);
+    bool phases_found = false;
+    for (const core::RunResult& run : suite.runs)
+        phases_found = phases_found || run.phases != nullptr;
+    ok &= core::shape_check("phase detection produced boundaries",
+                            phases_found);
     return ok ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <exception>
 
+#include "obs/extent.h"
 #include "obs/json.h"
 #include "sample/controller.h"
 #include "util/assert.h"
@@ -34,6 +35,139 @@ seconds_since(std::chrono::steady_clock::time_point start)
     const std::chrono::duration<double> d =
         std::chrono::steady_clock::now() - start;
     return d.count();
+}
+
+/** The three phase-detection signals derived per interval row. */
+constexpr std::size_t kPhaseSignals = 3;
+const char* const kPhaseSignalNames[kPhaseSignals] = {
+    "interval_ipc", "l3_mpki", "stall_share"};
+
+/** Column indices the phase signals are computed from. */
+struct PhaseColumns
+{
+    int ipc = -1;
+    int inst = -1;
+    int l3_miss = -1;
+    int cycles = -1;
+    int stalls[6] = {-1, -1, -1, -1, -1, -1};
+
+    bool ok() const
+    {
+        if (ipc < 0 || inst < 0 || l3_miss < 0 || cycles < 0)
+            return false;
+        for (const int s : stalls)
+            if (s < 0)
+                return false;
+        return true;
+    }
+};
+
+PhaseColumns
+resolve_phase_columns(const obs::TimeSeriesRecorder& rec)
+{
+    PhaseColumns c;
+    c.ipc = rec.column_index("interval_ipc");
+    c.inst = rec.column_index("inst_retired");
+    c.l3_miss = rec.column_index("l3_miss");
+    c.cycles = rec.column_index("cycles");
+    static const char* const kStallCols[6] = {
+        "fetch_stall",     "rat_stall",     "load_buf_stall",
+        "store_buf_stall", "rs_full_stall", "rob_full_stall"};
+    for (int i = 0; i < 6; ++i)
+        c.stalls[i] = rec.column_index(kStallCols[i]);
+    return c;
+}
+
+void
+phase_signals_from_row(const PhaseColumns& c, const obs::IntervalRow& row,
+                       double out[kPhaseSignals])
+{
+    const double inst = row.values[static_cast<std::size_t>(c.inst)];
+    const double cycles = row.values[static_cast<std::size_t>(c.cycles)];
+    double stall = 0.0;
+    for (const int s : c.stalls)
+        stall += row.values[static_cast<std::size_t>(s)];
+    out[0] = row.values[static_cast<std::size_t>(c.ipc)];
+    out[1] = inst > 0.0
+                 ? row.values[static_cast<std::size_t>(c.l3_miss)] /
+                       (inst / 1000.0)
+                 : 0.0;
+    out[2] = cycles > 0.0 ? stall / cycles : 0.0;
+}
+
+/**
+ * Run phase detection over a finalized telemetry recorder: IPC / L3
+ * MPKI / stall share per interval through the windowed mean-shift
+ * change-point test. On a spilled recorder the rows stream back from
+ * the extent file (O(extent) memory). Emits one span per phase on the
+ * retired-op-index trace process when tracing is armed.
+ */
+std::shared_ptr<obs::PhaseDetector>
+detect_run_phases(obs::TimeSeriesRecorder& rec,
+                  const obs::PhaseConfig& config,
+                  obs::TraceWriter* trace, std::uint64_t run_index,
+                  const std::string& name)
+{
+    const PhaseColumns cols = resolve_phase_columns(rec);
+    if (!cols.ok()) {
+        util::warn("obs", "phase detection skipped: telemetry columns "
+                          "missing for " + name);
+        return nullptr;
+    }
+    auto detector =
+        std::make_shared<obs::PhaseDetector>(kPhaseSignals, config);
+    // Interval -> op-index mapping kept for the trace spans (1 retired
+    // op = 1 "us" on kPhasePid).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+    const auto feed = [&](const obs::IntervalRow& row) {
+        double sig[kPhaseSignals];
+        phase_signals_from_row(cols, row, sig);
+        detector->observe(sig);
+        spans.emplace_back(row.first_op, row.op_count);
+    };
+    if (!rec.spilled()) {
+        for (const obs::IntervalRow& row : rec.rows())
+            feed(row);
+    } else {
+        obs::ExtentReader reader;
+        if (!reader.open(rec.spill_path())) {
+            util::warn("obs", "phase detection skipped: cannot reopen "
+                              "telemetry spill " + rec.spill_path());
+            return nullptr;
+        }
+        std::vector<obs::IntervalRow> batch;
+        while (reader.next_extent(&batch))
+            for (const obs::IntervalRow& row : batch)
+                feed(row);
+        if (!reader.error().empty()) {
+            util::warn("obs", "phase detection skipped: telemetry "
+                              "spill decode failed: " + reader.error());
+            return nullptr;
+        }
+    }
+    detector->finish();
+    if (trace != nullptr && !spans.empty()) {
+        trace->name_thread(obs::TraceWriter::kPhasePid, run_index, name);
+        const std::vector<obs::Phase>& phases = detector->phases();
+        for (std::size_t p = 0; p < phases.size(); ++p) {
+            const obs::Phase& ph = phases[p];
+            const std::uint64_t begin_op = spans[ph.begin].first;
+            const auto& last = spans[ph.end - 1];
+            const std::uint64_t end_op = last.first + last.second;
+            std::string args = "{\"entry_score\": " +
+                               obs::json_double(ph.entry_score);
+            for (std::size_t s = 0; s < kPhaseSignals; ++s)
+                args += ", \"" + std::string(kPhaseSignalNames[s]) +
+                        "\": " + obs::json_double(ph.means[s]);
+            args += "}";
+            trace->complete("phase " + std::to_string(p), "phase",
+                            obs::TraceWriter::kPhasePid, run_index,
+                            static_cast<double>(begin_op),
+                            static_cast<double>(end_op - begin_op),
+                            args);
+        }
+    }
+    return detector;
 }
 
 }  // namespace
@@ -126,6 +260,7 @@ run_workload(workloads::Workload& workload, const HarnessConfig& config,
             "{\"instructions\": " + obs::json_double(report.instructions) +
                 ", \"ipc\": " + obs::json_double(report.ipc) + "}");
     }
+    std::shared_ptr<obs::PhaseDetector> phases;
     if (recorder != nullptr) {
         recorder->set_source(name, config.telemetry.interval_ops);
         if (!recorder->finalize_spill())
@@ -142,9 +277,13 @@ run_workload(workloads::Workload& workload, const HarnessConfig& config,
                 !recorder->write_json(base + ".json"))
                 util::warn("obs", "cannot write " + base + ".json");
         }
+        if (config.detect_phases)
+            phases = detect_run_phases(*recorder, config.phase,
+                                       config.trace, run_index, name);
     }
     if (artifacts != nullptr) {
         artifacts->telemetry = std::move(recorder);
+        artifacts->phases = std::move(phases);
         artifacts->wall_seconds = seconds_since(start);
     }
     return report;
@@ -169,6 +308,7 @@ run_workload(const std::string& name, const HarnessConfig& config,
         result.report = run_workload(*workload, config, &artifacts,
                                      run_index);
         result.telemetry = std::move(artifacts.telemetry);
+        result.phases = std::move(artifacts.phases);
         result.wall_seconds = artifacts.wall_seconds;
     } catch (const std::exception& e) {
         result.status.ok = false;
@@ -252,6 +392,14 @@ run_suite(const std::vector<std::string>& names,
     }
     out.warnings = util::warnings_since(warn_mark);
     return out;
+}
+
+const std::vector<std::string>&
+phase_signal_names()
+{
+    static const std::vector<std::string> names(
+        kPhaseSignalNames, kPhaseSignalNames + kPhaseSignals);
+    return names;
 }
 
 HarnessConfig

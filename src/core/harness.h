@@ -20,6 +20,7 @@
 #include "cpu/config.h"
 #include "cpu/perf.h"
 #include "mem/config.h"
+#include "obs/phase.h"
 #include "obs/time_series.h"
 #include "obs/trace_writer.h"
 #include "sample/plan.h"
@@ -72,6 +73,17 @@ struct HarnessConfig
      * cost.
      */
     obs::TraceWriter* trace = nullptr;
+    /**
+     * Online phase detection over the telemetry interval stream
+     * (requires telemetry enabled; no effect otherwise). After each
+     * run the harness feeds interval IPC, L3 MPKI and stall share into
+     * a windowed mean-shift change-point detector (obs/phase.h); the
+     * detector rides back on RunResult::phases and, when tracing is
+     * armed, each phase becomes a span on the retired-op-index trace
+     * process (TraceWriter::kPhasePid).
+     */
+    bool detect_phases = false;
+    obs::PhaseConfig phase{};
 };
 
 /** Why a run produced no report. */
@@ -88,6 +100,9 @@ struct RunResult
     RunStatus status;
     /** Interval telemetry when enabled (exact mode), else null. */
     std::shared_ptr<obs::TimeSeriesRecorder> telemetry;
+    /** Phase detector (finished) when detect_phases ran, else null.
+        phase_boundaries() / phases() give the segmentation. */
+    std::shared_ptr<obs::PhaseDetector> phases;
     double wall_seconds = 0.0;  ///< host wall time of this run
 };
 
@@ -114,6 +129,16 @@ struct SuiteResult
      */
     std::vector<std::uint64_t> worker_tasks;
     std::vector<double> worker_busy_seconds;
+    /**
+     * Per-shard engine stats when a cluster driver ran alongside the
+     * suite (empty otherwise): wall seconds each shard's lane idled at
+     * epoch barriers, and epochs in which a shard was drained by a
+     * worker other than its round-robin home. Filled by the cluster
+     * benches from mapreduce::ShardStats; host-side, never part of
+     * deterministic dumps.
+     */
+    std::vector<double> shard_barrier_wait_seconds;
+    std::vector<std::uint64_t> shard_steals;
     /** util::warn messages issued during the suite (bounded ring). */
     std::vector<std::string> warnings;
 
@@ -127,6 +152,7 @@ struct SuiteResult
 struct RunArtifacts
 {
     std::shared_ptr<obs::TimeSeriesRecorder> telemetry;
+    std::shared_ptr<obs::PhaseDetector> phases;
     double wall_seconds = 0.0;
 };
 
@@ -157,6 +183,12 @@ RunResult run_workload(const std::string& name,
  */
 SuiteResult run_suite(const std::vector<std::string>& names,
                       const HarnessConfig& config);
+
+/**
+ * Names of the phase-detection signals the harness feeds, in detector
+ * signal order (PhaseDetector::to_json wants them back).
+ */
+const std::vector<std::string>& phase_signal_names();
 
 /** Default op budget used by the bench binaries. */
 inline constexpr std::uint64_t kBenchOpBudget = 6'000'000;

@@ -199,6 +199,42 @@ struct NodeMirror
     std::uint16_t free_reduce = 0;
 };
 
+/** Per-job metric handles, registered up front in run(). */
+struct JobMetrics
+{
+    obs::Counter* grants = nullptr;
+    obs::Counter* completions = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* kills = nullptr;
+    /** Grant-to-finish latency of completed attempts (includes the
+        shard-side queueing the coordinator cannot see directly). */
+    obs::Histogram* attempt_latency = nullptr;
+    /** Hot-path tallies: the grant/finish loops do one plain
+        increment per event here; the deltas are flushed into the
+        locked series once per barrier (before the snapshot), which is
+        observationally identical since series are only read at
+        barriers and after the run. */
+    std::uint64_t grants_tally = 0;
+    std::uint64_t grants_flushed = 0;
+    std::uint64_t completions_tally = 0;
+    std::uint64_t completions_flushed = 0;
+    std::uint64_t failures_tally = 0;
+    std::uint64_t failures_flushed = 0;
+    std::uint64_t kills_tally = 0;
+    std::uint64_t kills_flushed = 0;
+    std::vector<double> latency_batch;  ///< observed, not yet flushed
+};
+
+/** Per-shard metric handles (gauges set at barriers). */
+struct ShardMetrics
+{
+    obs::Gauge* heartbeats = nullptr;
+    obs::Gauge* slot_busy = nullptr;
+    obs::Gauge* uplink_wait = nullptr;
+    obs::Gauge* uplink_depth = nullptr;
+    obs::Gauge* epoch_events = nullptr;
+};
+
 /** The whole model. Shard handlers touch only their shard's slice of
     `nodes`/`shards`; the coordinator touches everything, but only at
     barriers while the workers are parked. */
@@ -210,7 +246,31 @@ struct Sim
     bool armed = false;
     fault::FaultInjector* injector = nullptr;
     obs::TraceWriter* trace = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
     fault::Topology topo;
+
+    // --- Observability plane (coordinator-only, observation-only) -----
+    std::vector<JobMetrics> job_metrics;      // by submission index
+    std::vector<ShardMetrics> shard_metrics;  // by shard index
+    obs::Counter* faults_total = nullptr;
+    obs::Counter* checkpoints_total = nullptr;
+    obs::Counter* failovers_total = nullptr;
+    obs::Counter* blacklist_total = nullptr;
+    obs::Counter* unblacklist_total = nullptr;
+    obs::Gauge* running_gauge = nullptr;
+    /** Uplink transfers still draining, per shard: drain-end stamps
+        from kMsgFinish, pruned at each barrier. Depth feeds the
+        queue-depth gauge and the per-shard trace counter track. */
+    std::vector<std::vector<double>> uplink_ends;
+    std::vector<std::int64_t> uplink_depth_last;  ///< -1 = never traced
+    /** Blacklist span starts per node (-1 = not blacklisted). */
+    std::vector<double> blacklist_since;
+    /** Grant instants buffered within a barrier (trace armed): every
+        grant lands at the barrier time, so the observation pass
+        appends them in one bulk call instead of a locked push each. */
+    std::vector<std::uint64_t> grant_tids_local;
+    std::vector<std::uint64_t> grant_tids_remote;
+    std::uint64_t barriers_seen = 0;
 
     std::vector<NodeLocal> nodes;    // shard-owned during epochs
     std::vector<ShardLocal> shards;  // shard-owned during epochs
@@ -529,6 +589,8 @@ record_fault(Sim& sim, fault::FaultKind kind, double time_s,
         sim.trace->instant(fault::fault_kind_name(kind), "fault",
                            obs::TraceWriter::kClusterPid, 900000,
                            time_s * 1e6);
+    if (sim.faults_total != nullptr)
+        sim.faults_total->inc();
 }
 
 void
@@ -597,9 +659,13 @@ finish_job(Sim& sim, std::uint32_t j, double time_s, bool completed,
  * Shared cleanup for every terminal message: drop the attempt record,
  * release the slot mirror, and decide whether the message should drive
  * job state (false = stale: a superseded attempt, or a finished job).
+ * When `grant_time` is non-null it receives the consumed attempt's
+ * grant time (untouched if the record was already gone) -- this lets
+ * the armed metrics path reuse the one hash lookup done here.
  */
 bool
-consume_terminal(Sim& sim, const ShardMessage& msg)
+consume_terminal(Sim& sim, const ShardMessage& msg,
+                 double* grant_time = nullptr)
 {
     const bool is_reduce = (msg.d & kFlagReduce) != 0;
     const std::uint64_t key =
@@ -608,6 +674,8 @@ consume_terminal(Sim& sim, const ShardMessage& msg)
     const auto it = sim.running_attempts.find(key);
     if (it == sim.running_attempts.end())
         return false;
+    if (grant_time != nullptr)
+        *grant_time = it->second.grant_time;
     sim.running_attempts.erase(it);
     JobState& job = sim.jobs[msg.a];
     if (job.running > 0)
@@ -638,7 +706,7 @@ requeue_task(JobState& job, std::uint32_t task)
 }
 
 void
-maybe_blacklist(Sim& sim, std::uint32_t node)
+maybe_blacklist(Sim& sim, std::uint32_t node, double time_s)
 {
     NodeMirror& nm = sim.mirror[node];
     if (!nm.alive || nm.blacklisted)
@@ -651,6 +719,29 @@ maybe_blacklist(Sim& sim, std::uint32_t node)
     nm.blacklisted = true;
     ++sim.blacklisted_now;
     ++sim.out.nodes_blacklisted;
+    if (sim.blacklist_total != nullptr)
+        sim.blacklist_total->inc();
+    if (!sim.blacklist_since.empty())
+        sim.blacklist_since[node] = time_s;
+}
+
+/** Close one node's open blacklist span on its rack's trace lane. */
+void
+close_blacklist_span(Sim& sim, std::uint32_t node, double end_s)
+{
+    if (sim.blacklist_since.empty() ||
+        sim.blacklist_since[node] < 0.0)
+        return;
+    const double begin = sim.blacklist_since[node];
+    sim.blacklist_since[node] = -1.0;
+    if (sim.trace == nullptr)
+        return;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "blacklist n%u", node);
+    sim.trace->complete(buf, "blacklist",
+                        obs::TraceWriter::kClusterPid,
+                        920000 + sim.topo.rack_of(node), begin * 1e6,
+                        (end_s - begin) * 1e6);
 }
 
 void
@@ -676,6 +767,19 @@ apply_master_crash(Sim& sim, Coordinator& co, double barrier_s)
     const double checkpoint = std::floor(crash / interval) * interval;
     sim.out.checkpoints_taken +=
         static_cast<std::uint32_t>(std::floor(crash / interval));
+    if (sim.checkpoints_total != nullptr)
+        sim.checkpoints_total->add(std::floor(crash / interval));
+    if (sim.trace != nullptr) {
+        // The checkpoint the standby restores from, and the freeze
+        // window during which no grants are made.
+        sim.trace->instant("checkpoint restore", "failover",
+                           obs::TraceWriter::kClusterPid, 930000,
+                           checkpoint * 1e6);
+        sim.trace->complete("failover freeze", "failover",
+                            obs::TraceWriter::kClusterPid, 930000,
+                            crash * 1e6,
+                            sim.cfg.failover_delay_s * 1e6);
+    }
     for (std::uint32_t j = 0; j < sim.jobs.size(); ++j) {
         JobState& job = sim.jobs[j];
         if (!job.admitted || job.finished)
@@ -732,8 +836,23 @@ process_message(Sim& sim, Coordinator& co, const ShardMessage& msg,
 {
     switch (msg.kind) {
       case kMsgFinish: {
-        if (!consume_terminal(sim, msg))
+        // Uplink drain bookkeeping happens whether or not the report is
+        // stale: the transfer physically occupied the shared link. The
+        // stamp feeds the per-shard queue-depth gauge/counter track.
+        if (!sim.uplink_ends.empty() && (msg.d & kFlagReduce) == 0 &&
+            msg.y > msg.time)
+            sim.uplink_ends[sim.topo.rack_of(msg.c)].push_back(msg.y);
+        // Grant-to-finish latency: consume_terminal surfaces the grant
+        // time from the attempt record it erases (single hash lookup).
+        double grant_time = -1.0;
+        if (!consume_terminal(sim, msg, &grant_time))
             return;
+        if (sim.metrics != nullptr) {
+            JobMetrics& m = sim.job_metrics[msg.a];
+            ++m.completions_tally;
+            if (grant_time >= 0.0)
+                m.latency_batch.push_back(msg.time - grant_time);
+        }
         JobState& job = sim.jobs[msg.a];
         TaskState& task = job.tasks[msg.b];
         task.status = TaskStatus::kDone;
@@ -766,8 +885,10 @@ process_message(Sim& sim, Coordinator& co, const ShardMessage& msg,
         if (hang)
             ++job.out.watchdog_kills;
         job.out.wasted_task_s += msg.x;
+        if (sim.metrics != nullptr)
+            ++sim.job_metrics[msg.a].failures_tally;
         ++sim.mirror[msg.c].failures;
-        maybe_blacklist(sim, msg.c);
+        maybe_blacklist(sim, msg.c, msg.time);
         // max_task_attempts is tallied at launch (charged attempts
         // actually started), so nothing to update here: when the budget
         // is exhausted no further attempt ever launches.
@@ -808,6 +929,12 @@ process_message(Sim& sim, Coordinator& co, const ShardMessage& msg,
             ++job.out.watchdog_kills;
         job.out.wasted_task_s += msg.x;
         requeue_task(job, msg.b);
+        if (sim.metrics != nullptr)
+            ++sim.job_metrics[msg.a].kills_tally;
+        if (sim.trace != nullptr)
+            sim.trace->instant(stranded ? "kill stranded" : "kill",
+                               "sched", obs::TraceWriter::kClusterPid,
+                               910000 + msg.a, msg.time * 1e6);
         break;
       }
       case kMsgFault: {
@@ -852,6 +979,9 @@ process_message(Sim& sim, Coordinator& co, const ShardMessage& msg,
                 nm.blacklisted = false;
                 --sim.blacklisted_now;
                 ++sim.out.nodes_unblacklisted;
+                if (sim.unblacklist_total != nullptr)
+                    sim.unblacklist_total->inc();
+                close_blacklist_span(sim, n, msg.time);
             }
         }
         // Rejoin storms can take out a marginal machine.
@@ -953,6 +1083,13 @@ grant_pass(Sim& sim, Coordinator& co, double barrier_s)
         co.push(sim.topo.rack_of(n), barrier_s, kEvLaunch,
                 static_cast<std::uint32_t>(best), task, n, packed,
                 nominal);
+        if (sim.metrics != nullptr)
+            ++sim.job_metrics[static_cast<std::size_t>(best)]
+                  .grants_tally;
+        if (sim.trace != nullptr)
+            (remote ? sim.grant_tids_remote : sim.grant_tids_local)
+                .push_back(910000 +
+                           static_cast<std::uint64_t>(best));
         ++grants;
     }
     return grants;
@@ -997,6 +1134,8 @@ on_barrier(Sim& sim, double barrier_s,
         barrier_s >= sim.frozen_until) {
         sim.failover_done = true;
         ++sim.out.master_failovers;
+        if (sim.failovers_total != nullptr)
+            sim.failovers_total->inc();
         record_fault(sim, fault::FaultKind::kMasterFailover,
                      sim.frozen_until, 0, 0, 0);
         cascade_check(sim, co, barrier_s);
@@ -1083,6 +1222,139 @@ on_barrier(Sim& sim, double barrier_s,
         return false;
     }
     return true;
+}
+
+/** Flush the per-job hot-path tallies into the locked series. */
+void
+flush_job_metrics(Sim& sim)
+{
+    for (JobMetrics& m : sim.job_metrics) {
+        if (m.grants_tally != m.grants_flushed) {
+            m.grants->add(
+                static_cast<double>(m.grants_tally - m.grants_flushed));
+            m.grants_flushed = m.grants_tally;
+        }
+        if (m.completions_tally != m.completions_flushed) {
+            m.completions->add(static_cast<double>(
+                m.completions_tally - m.completions_flushed));
+            m.completions_flushed = m.completions_tally;
+        }
+        if (m.failures_tally != m.failures_flushed) {
+            m.failures->add(static_cast<double>(m.failures_tally -
+                                                m.failures_flushed));
+            m.failures_flushed = m.failures_tally;
+        }
+        if (m.kills_tally != m.kills_flushed) {
+            m.kills->add(
+                static_cast<double>(m.kills_tally - m.kills_flushed));
+            m.kills_flushed = m.kills_tally;
+        }
+        if (!m.latency_batch.empty()) {
+            m.attempt_latency->observe_many(m.latency_batch.data(),
+                                            m.latency_batch.size());
+            m.latency_batch.clear();
+        }
+    }
+}
+
+/**
+ * Post-barrier observation pass: runs after on_barrier on the
+ * coordinating thread (workers still parked), in fixed shard order, so
+ * every update is deterministic regardless of thread count. Never
+ * mutates simulation state.
+ */
+void
+observe_barrier(Sim& sim, double barrier_s, std::size_t inbox_size)
+{
+    const std::uint64_t barrier_index = sim.barriers_seen++;
+    if (sim.trace != nullptr) {
+        sim.trace->instants("grant", "sched",
+                            obs::TraceWriter::kClusterPid,
+                            barrier_s * 1e6,
+                            sim.grant_tids_local.data(),
+                            sim.grant_tids_local.size());
+        sim.trace->instants("grant remote", "sched",
+                            obs::TraceWriter::kClusterPid,
+                            barrier_s * 1e6,
+                            sim.grant_tids_remote.data(),
+                            sim.grant_tids_remote.size());
+        sim.grant_tids_local.clear();
+        sim.grant_tids_remote.clear();
+    }
+    // Uplink transfers that drained by this barrier leave the queue.
+    for (std::uint32_t s = 0; s < sim.uplink_ends.size(); ++s) {
+        std::vector<double>& ends = sim.uplink_ends[s];
+        ends.erase(std::remove_if(ends.begin(), ends.end(),
+                                  [barrier_s](double end) {
+                                      return end <= barrier_s;
+                                  }),
+                   ends.end());
+        const auto depth = static_cast<std::int64_t>(ends.size());
+        if (sim.trace != nullptr &&
+            depth != sim.uplink_depth_last[s]) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "uplink r%u", s);
+            sim.trace->counter(buf, "uplink",
+                               obs::TraceWriter::kClusterPid,
+                               920000 + s, barrier_s * 1e6, "depth",
+                               static_cast<double>(depth));
+        }
+        sim.uplink_depth_last[s] = depth;
+    }
+    if (sim.metrics == nullptr)
+        return;
+    flush_job_metrics(sim);
+    for (std::uint32_t s = 0; s < sim.shard_metrics.size(); ++s) {
+        const ShardLocal& sh = sim.shards[s];
+        ShardMetrics& m = sim.shard_metrics[s];
+        m.heartbeats->set(static_cast<double>(sh.heartbeats));
+        m.slot_busy->set(sh.slot_busy_s);
+        m.uplink_wait->set(sh.uplink_wait_s);
+        m.uplink_depth->set(
+            static_cast<double>(sim.uplink_ends[s].size()));
+    }
+    sim.running_gauge->set(
+        static_cast<double>(sim.running_attempts.size()));
+    sim.metrics->snapshot(barrier_index, inbox_size);
+}
+
+/** Register every scheduler series up front (before any snapshot). */
+void
+arm_metrics(Sim& sim, std::uint32_t shard_count)
+{
+    obs::MetricsRegistry& reg = *sim.metrics;
+    sim.job_metrics.resize(sim.jobs.size());
+    for (std::uint32_t j = 0; j < sim.jobs.size(); ++j) {
+        obs::MetricLabels l;
+        l.job = static_cast<std::int32_t>(j);
+        JobMetrics& m = sim.job_metrics[j];
+        m.grants = reg.counter("dcb_job_grants_total", l);
+        m.completions = reg.counter("dcb_job_tasks_completed_total", l);
+        m.failures = reg.counter("dcb_job_task_failures_total", l);
+        m.kills = reg.counter("dcb_job_task_kills_total", l);
+        m.attempt_latency =
+            reg.histogram("dcb_job_attempt_latency_seconds", l);
+    }
+    sim.shard_metrics.resize(shard_count);
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+        obs::MetricLabels l;
+        l.shard = static_cast<std::int32_t>(s);
+        l.rack = static_cast<std::int32_t>(s);  // shard == rack here
+        ShardMetrics& m = sim.shard_metrics[s];
+        m.heartbeats = reg.gauge("dcb_shard_progress_heartbeats", l);
+        m.slot_busy = reg.gauge("dcb_shard_slot_busy_seconds", l);
+        m.uplink_wait = reg.gauge("dcb_shard_uplink_wait_seconds", l);
+        m.uplink_depth = reg.gauge("dcb_shard_uplink_queue_depth", l);
+        m.epoch_events = reg.gauge("dcb_shard_epoch_events", l);
+    }
+    sim.faults_total = reg.counter("dcb_cluster_faults_total");
+    sim.checkpoints_total = reg.counter("dcb_cluster_checkpoints_total");
+    sim.failovers_total = reg.counter("dcb_cluster_failovers_total");
+    sim.blacklist_total =
+        reg.counter("dcb_cluster_nodes_blacklisted_total");
+    sim.unblacklist_total =
+        reg.counter("dcb_cluster_nodes_unblacklisted_total");
+    sim.running_gauge = reg.gauge("dcb_cluster_running_attempts");
 }
 
 }  // namespace
@@ -1257,6 +1529,7 @@ MultiJobScheduler::run(const std::vector<JobSubmission>& submissions,
     sim.cluster = cluster;
     sim.injector = options.injector;
     sim.trace = options.trace;
+    sim.metrics = options.metrics;
     if (options.injector != nullptr)
         sim.plan = options.injector->plan();
     sim.armed = options.injector != nullptr && sim.plan.any_faults();
@@ -1319,10 +1592,64 @@ MultiJobScheduler::run(const std::vector<JobSubmission>& submissions,
                  (6.0 + 3.0 * job.profile.reduce_task_s / hb));
     }
 
+    // Arm the observability plane before anything can snapshot: every
+    // series must exist when the first barrier freezes the column set.
+    const bool observed =
+        sim.trace != nullptr || sim.metrics != nullptr;
+    if (observed) {
+        sim.uplink_ends.resize(shard_count);
+        sim.uplink_depth_last.assign(shard_count, -1);
+        sim.blacklist_since.assign(cluster.slaves, -1.0);
+    }
+    if (sim.metrics != nullptr)
+        arm_metrics(sim, shard_count);
+    if (sim.trace != nullptr)
+        sim.trace->name_thread(obs::TraceWriter::kClusterPid, 930000,
+                               "coordinator");
+
     ShardedEngine engine(shard_count, config_.heartbeat_s,
                          sim.plan.seed);
     engine.set_event_budget(
         static_cast<std::uint64_t>(64.0 * budget_units) + 1'000'000);
+    if (observed) {
+        engine.set_epoch_observer(
+            [&sim](std::uint64_t epoch, double begin_s, double barrier_s,
+                   const std::vector<ShardedEngine::EpochShardView>&
+                       views) {
+                if (sim.trace != nullptr) {
+                    std::uint64_t events = 0;
+                    for (const auto& v : views)
+                        events += v.events;
+                    char name[40];
+                    std::snprintf(name, sizeof name, "epoch %" PRIu64,
+                                  epoch);
+                    char args[48];
+                    std::snprintf(args, sizeof args,
+                                  "{\"events\": %" PRIu64 "}", events);
+                    sim.trace->complete(
+                        name, "epoch", obs::TraceWriter::kClusterPid,
+                        930000, begin_s * 1e6,
+                        (barrier_s - begin_s) * 1e6, args);
+                    // Per-shard barrier waits: the simulated-time gap
+                    // between a shard's last event and the barrier.
+                    for (std::uint32_t s = 0; s < views.size(); ++s) {
+                        const auto& v = views[s];
+                        if (v.events == 0 || v.last_event_s < 0.0 ||
+                            barrier_s <= v.last_event_s)
+                            continue;
+                        sim.trace->complete(
+                            "wait", "barrier-wait",
+                            obs::TraceWriter::kClusterPid, 920000 + s,
+                            v.last_event_s * 1e6,
+                            (barrier_s - v.last_event_s) * 1e6);
+                    }
+                }
+                if (sim.metrics != nullptr)
+                    for (std::uint32_t s = 0; s < views.size(); ++s)
+                        sim.shard_metrics[s].epoch_events->set(
+                            static_cast<double>(views[s].events));
+            });
+    }
 
     // Seed the pre-scheduled fault timeline as shard events.
     sim.last_fault_time = 0.0;
@@ -1368,10 +1695,13 @@ MultiJobScheduler::run(const std::vector<JobSubmission>& submissions,
         [&sim](std::uint32_t s, const ShardEvent& ev, ShardApi& api) {
             shard_event(sim, s, ev, api);
         },
-        [&sim](double barrier_s,
-               const std::vector<ShardMessage>& inbox,
-               Coordinator& co) {
-            return on_barrier(sim, barrier_s, inbox, co);
+        [&sim, observed](double barrier_s,
+                         const std::vector<ShardMessage>& inbox,
+                         Coordinator& co) {
+            const bool keep = on_barrier(sim, barrier_s, inbox, co);
+            if (observed)
+                observe_barrier(sim, barrier_s, inbox.size());
+            return keep;
         },
         options.threads);
 
@@ -1418,6 +1748,10 @@ MultiJobScheduler::run(const std::vector<JobSubmission>& submissions,
             sim.shards[s].uplink_wait_s;
         result.cluster.slot_busy_s += sim.shards[s].slot_busy_s;
     }
+    // Close blacklist spans still open at the end of the run.
+    if (!sim.blacklist_since.empty())
+        for (std::uint32_t n = 0; n < cluster.slaves; ++n)
+            close_blacklist_span(sim, n, result.makespan_s);
     if (sim.trace != nullptr) {
         for (std::uint32_t s = 0; s < shard_count; ++s) {
             char name[32];
@@ -1427,13 +1761,34 @@ MultiJobScheduler::run(const std::vector<JobSubmission>& submissions,
             char args[160];
             std::snprintf(args, sizeof args,
                           "{\"events\": %" PRIu64
-                          ", \"heartbeats\": %" PRIu64 "}",
+                          ", \"heartbeats\": %" PRIu64
+                          ", \"steals\": %" PRIu64 "}",
                           er.shards[s].events_processed,
-                          sim.shards[s].heartbeats);
+                          sim.shards[s].heartbeats,
+                          er.shards[s].steals);
             sim.trace->complete(name, "shard",
                                 obs::TraceWriter::kClusterPid,
                                 920000 + s, 0.0,
                                 result.makespan_s * 1e6, args);
+        }
+    }
+    // Host-side engine stats: registered after the last snapshot, so
+    // they render in the Prometheus text without ever entering the
+    // (deterministic) snapshot columns.
+    if (sim.metrics != nullptr) {
+        // Tail flush: terminal messages processed after the last
+        // barrier's observation pass still land in the series.
+        flush_job_metrics(sim);
+        for (std::uint32_t s = 0; s < shard_count; ++s) {
+            obs::MetricLabels l;
+            l.shard = static_cast<std::int32_t>(s);
+            sim.metrics->gauge("dcb_host_shard_busy_seconds", l)
+                ->set(er.shards[s].busy_seconds);
+            sim.metrics
+                ->gauge("dcb_host_shard_barrier_wait_seconds", l)
+                ->set(er.shards[s].barrier_wait_seconds);
+            sim.metrics->gauge("dcb_host_shard_steals", l)
+                ->set(static_cast<double>(er.shards[s].steals));
         }
     }
     return result;

@@ -46,6 +46,7 @@
 #include "mapreduce/cluster.h"
 #include "mapreduce/scheduler.h"
 #include "mapreduce/shard_engine.h"
+#include "obs/metrics.h"
 #include "obs/trace_writer.h"
 
 namespace dcb::mapreduce {
@@ -213,8 +214,21 @@ struct MultiJobOptions
      */
     fault::FaultInjector* injector = nullptr;
     /** Optional simulated-timeline trace (job phase spans, fault
-        instants, per-shard lanes). Observation only. */
+        instants, per-shard lanes, epoch barriers with per-shard wait
+        spans, grant/kill instants, uplink queue-depth counter tracks,
+        failover-freeze and blacklist spans). Observation only. */
     obs::TraceWriter* trace = nullptr;
+    /**
+     * Optional labeled metrics registry. When set, the scheduler
+     * registers its series up front ({job} counters/histograms, {shard}
+     * gauges, cluster counters), updates them only on the coordinator
+     * thread at barriers in fixed shard/job/message order, and records
+     * one registry snapshot row per barrier. Observation only: arming
+     * metrics must not change MultiJobResult::dump() by a single byte
+     * (CI diffs exactly that). Host-side engine stats land in
+     * `dcb_host_*` gauges after the run, outside the snapshot columns.
+     */
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /** The multi-job fair-share scheduler; stateless across run() calls. */

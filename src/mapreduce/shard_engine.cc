@@ -60,6 +60,10 @@ struct EngineShard
     std::uint64_t next_seq = 0;
     std::uint64_t msg_seq = 0;
     ShardStats stats;
+    /** Epoch-observer scratch: events_processed at epoch start and the
+        simulated time of the last event run this epoch (-1 = idle). */
+    std::uint64_t epoch_mark = 0;
+    double last_event_s = -1.0;
 };
 
 struct ShardedEngine::Impl
@@ -201,10 +205,15 @@ ShardedEngine::run(const EventFn& on_event, const BarrierFn& on_barrier,
 
     // Drain one shard through the epoch; private state only, so any
     // worker may claim any shard in any order with the same outcome.
-    const auto process_shard = [&](std::uint32_t s, double epoch_end) {
+    // `worker` identifies the claiming lane (0 = coordinator) purely
+    // for the host-side steal tally.
+    const auto process_shard = [&](unsigned worker, std::uint32_t s,
+                                   double epoch_end) {
         EngineShard& sh = impl_->shards[s];
         if (sh.heap.empty() || sh.heap.front().time >= epoch_end)
             return;
+        if (workers > 1 && worker != s % workers)
+            ++sh.stats.steals;
         const auto t0 = std::chrono::steady_clock::now();
         ShardApi api(&sh);
         api.epoch_end_ = epoch_end;
@@ -216,6 +225,7 @@ ShardedEngine::run(const EventFn& on_event, const BarrierFn& on_barrier,
             on_event(s, ev, api);
             ++sh.stats.events_processed;
         } while (!sh.heap.empty() && sh.heap.front().time < epoch_end);
+        sh.last_event_s = api.now_;
         sh.stats.busy_seconds += seconds_since(t0);
     };
 
@@ -236,7 +246,7 @@ ShardedEngine::run(const EventFn& on_event, const BarrierFn& on_barrier,
     if (extra_workers > 0) {
         pool = std::make_unique<util::ThreadPool>(extra_workers);
         for (unsigned w = 0; w < extra_workers; ++w) {
-            pool->submit([&] {
+            pool->submit([&, w] {
                 std::uint64_t seen = 0;
                 for (;;) {
                     spin_until([&] {
@@ -253,7 +263,7 @@ ShardedEngine::run(const EventFn& on_event, const BarrierFn& on_barrier,
                              (s = next_shard.fetch_add(
                                   1, std::memory_order_relaxed)) <
                              shard_total;)
-                            process_shard(s, end);
+                            process_shard(w + 1, s, end);
                     } catch (...) {
                         bool expected = false;
                         if (worker_failed.compare_exchange_strong(
@@ -274,7 +284,7 @@ ShardedEngine::run(const EventFn& on_event, const BarrierFn& on_barrier,
     const auto run_epoch = [&](double epoch_end) {
         if (extra_workers == 0) {
             for (std::uint32_t s = 0; s < shard_total; ++s)
-                process_shard(s, epoch_end);
+                process_shard(0, s, epoch_end);
             return;
         }
         epoch_end_shared = epoch_end;
@@ -285,7 +295,7 @@ ShardedEngine::run(const EventFn& on_event, const BarrierFn& on_barrier,
         for (std::uint32_t s; (s = next_shard.fetch_add(
                                    1, std::memory_order_relaxed)) <
                               shard_total;)
-            process_shard(s, epoch_end);
+            process_shard(0, s, epoch_end);
         spin_until([&] {
             return workers_done.load(std::memory_order_acquire) ==
                    extra_workers;
@@ -305,6 +315,8 @@ ShardedEngine::run(const EventFn& on_event, const BarrierFn& on_barrier,
         // Initial scheduling pass before any event exists.
         coordinator.barrier_ = 0.0;
         keep_going = on_barrier(0.0, inbox, coordinator);
+        double prev_barrier = 0.0;
+        std::vector<EpochShardView> views;
         while (keep_going) {
             double t_min = std::numeric_limits<double>::infinity();
             for (const EngineShard& sh : impl_->shards)
@@ -314,11 +326,30 @@ ShardedEngine::run(const EventFn& on_event, const BarrierFn& on_barrier,
                 break;  // drained, and the coordinator had its say
             const double epoch_end =
                 (std::floor(t_min / lookahead_) + 1.0) * lookahead_;
+            if (epoch_observer_ != nullptr) {
+                for (EngineShard& sh : impl_->shards) {
+                    sh.epoch_mark = sh.stats.events_processed;
+                    sh.last_event_s = -1.0;
+                }
+            }
             run_epoch(epoch_end);
             if (worker_failed.load(std::memory_order_acquire))
                 std::rethrow_exception(worker_error);
             ++result.epochs;
             result.end_time_s = epoch_end;
+            if (epoch_observer_ != nullptr) {
+                views.clear();
+                for (const EngineShard& sh : impl_->shards) {
+                    EpochShardView v;
+                    v.events =
+                        sh.stats.events_processed - sh.epoch_mark;
+                    v.last_event_s = sh.last_event_s;
+                    views.push_back(v);
+                }
+                epoch_observer_(result.epochs - 1, prev_barrier,
+                                epoch_end, views);
+            }
+            prev_barrier = epoch_end;
 
             inbox.clear();
             for (EngineShard& sh : impl_->shards) {

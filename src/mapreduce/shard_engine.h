@@ -89,6 +89,10 @@ struct ShardStats
         imbalance the barrier pays for). */
     double busy_seconds = 0.0;
     double barrier_wait_seconds = 0.0;
+    /** Host-side: epochs in which this shard was drained by a worker
+        other than its round-robin home (shard % workers) -- how often
+        the work-stealing claim index rebalanced it. 0 on serial runs. */
+    std::uint64_t steals = 0;
 };
 
 /** What one engine run did. */
@@ -174,6 +178,26 @@ class ShardedEngine
         double barrier_s, const std::vector<ShardMessage>& inbox,
         Coordinator& coordinator)>;
 
+    /** Per-shard view of one epoch, handed to the epoch observer. */
+    struct EpochShardView
+    {
+        /** Events this shard processed inside the epoch. */
+        std::uint64_t events = 0;
+        /** Simulated time of its last event (-1 = idle this epoch).
+            The gap to the barrier is the shard's simulated wait. */
+        double last_event_s = -1.0;
+    };
+    /**
+     * Epoch observer: runs on the coordinating thread right after each
+     * epoch's parallel region (workers parked, before the barrier
+     * callback) with deterministic per-shard activity. Observation
+     * only -- the cluster's trace/metrics instrumentation hangs here
+     * without touching the barrier protocol.
+     */
+    using EpochFn = std::function<void(
+        std::uint64_t epoch_index, double epoch_begin_s,
+        double barrier_s, const std::vector<EpochShardView>& shards)>;
+
     /**
      * `shards` >= 1 queues, epoch grid at `lookahead_s` > 0, per-shard
      * RNG streams derived from `rng_seed`.
@@ -194,6 +218,9 @@ class ShardedEngine
     /** Stop a runaway model after this many events (default 1 << 62). */
     void set_event_budget(std::uint64_t events) { event_budget_ = events; }
 
+    /** Arm the per-epoch observer (see EpochFn). Must precede run(). */
+    void set_epoch_observer(EpochFn fn) { epoch_observer_ = std::move(fn); }
+
     std::uint32_t shard_count() const;
     double lookahead_s() const { return lookahead_; }
 
@@ -211,6 +238,7 @@ class ShardedEngine
     Impl* impl_;
     double lookahead_ = 1.0;
     std::uint64_t event_budget_ = std::uint64_t{1} << 62;
+    EpochFn epoch_observer_;
 };
 
 }  // namespace dcb::mapreduce

@@ -298,10 +298,43 @@ ExtentWriter::append_extent(const IntervalRow* rows, std::size_t count,
     return true;
 }
 
+void
+ExtentWriter::add_sketch(const std::string& name,
+                         const QuantileSketch& sketch)
+{
+    DCB_EXPECTS(name.size() <= 0xffff);
+    put_u16(&sketch_bytes_, static_cast<std::uint16_t>(name.size()));
+    sketch_bytes_ += name;
+    put_u64(&sketch_bytes_, std::bit_cast<std::uint64_t>(sketch.epsilon()));
+    put_u64(&sketch_bytes_, sketch.count());
+    put_u64(&sketch_bytes_, std::bit_cast<std::uint64_t>(sketch.min()));
+    put_u64(&sketch_bytes_, std::bit_cast<std::uint64_t>(sketch.max()));
+    put_varint(&sketch_bytes_, sketch.tuples().size());
+    for (const QuantileTuple& t : sketch.tuples()) {
+        put_u64(&sketch_bytes_, std::bit_cast<std::uint64_t>(t.value));
+        put_varint(&sketch_bytes_, t.g);
+        put_varint(&sketch_bytes_, t.delta);
+    }
+    ++sketch_count_;
+}
+
 bool
 ExtentWriter::finalize()
 {
     DCB_EXPECTS(file_ != nullptr);
+    if (ok_ && sketch_count_ > 0) {
+        std::string section;
+        put_u32(&section, kSketchMagic);
+        std::string counted;
+        put_u32(&counted, sketch_count_);
+        counted += sketch_bytes_;
+        section += counted;
+        put_u64(&section, fnv1a(counted));
+        if (std::fwrite(section.data(), 1, section.size(), file_) !=
+            section.size())
+            ok_ = false;
+        encoded_bytes_ += section.size();
+    }
     if (ok_) {
         std::string trailer;
         put_u32(&trailer, kTrailerMagic);
@@ -333,6 +366,8 @@ ExtentWriter::reset()
     rows_written_ = 0;
     extents_written_ = 0;
     raw_bytes_ = 0;
+    sketch_bytes_.clear();
+    sketch_count_ = 0;
     if (file_ == nullptr)
         return ok_;
     if (std::fflush(file_) != 0 ||
@@ -444,6 +479,13 @@ ExtentReader::next_extent(std::vector<IntervalRow>* rows)
             return fail("trailer counts disagree with extents read");
         at_end_ = true;
         return false;  // clean end: error() stays empty
+    }
+    if (magic == kSketchMagic) {
+        if (!read_sketch_section())
+            return false;
+        // The section sits between the last extent and the trailer;
+        // recurse so the caller still sees a clean end at the trailer.
+        return next_extent(rows);
     }
     if (magic != kExtentMagic)
         return fail("bad extent magic");
@@ -578,6 +620,84 @@ ExtentReader::next_extent(std::vector<IntervalRow>* rows)
 
     rows_read_ += count;
     ++extents_read_;
+    return true;
+}
+
+bool
+ExtentReader::read_sketch_section()
+{
+    unsigned char count_bytes[4];
+    if (!read_exact(count_bytes, 4))
+        return fail("truncated sketch section");
+    const std::uint32_t count = count_bytes[0] | (count_bytes[1] << 8) |
+                                (count_bytes[2] << 16) |
+                                (static_cast<std::uint32_t>(
+                                     count_bytes[3])
+                                 << 24);
+    if (count > (1u << 20))
+        return fail("implausible sketch count");
+    // Accumulate the exact section bytes for checksum verification.
+    std::string body(4, '\0');
+    std::memcpy(body.data(), count_bytes, 4);
+    const auto read_into_body = [&](void* out, std::size_t n) {
+        if (!read_exact(out, n))
+            return false;
+        body.append(static_cast<const char*>(out), n);
+        return true;
+    };
+    const auto read_varint_into_body = [&](std::uint64_t* v) {
+        *v = 0;
+        int shift = 0;
+        unsigned char b;
+        do {
+            if (shift >= 64 || !read_exact(&b, 1))
+                return false;
+            body.push_back(static_cast<char>(b));
+            *v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            shift += 7;
+        } while (b & 0x80);
+        return true;
+    };
+    for (std::uint32_t s = 0; s < count; ++s) {
+        PersistedSketch sketch;
+        unsigned char len[2];
+        if (!read_into_body(len, 2))
+            return fail("truncated sketch name");
+        sketch.name.resize(static_cast<std::size_t>(len[0]) |
+                           (static_cast<std::size_t>(len[1]) << 8));
+        unsigned char fixed[32];
+        if (!read_into_body(sketch.name.data(), sketch.name.size()) ||
+            !read_into_body(fixed, sizeof fixed))
+            return fail("truncated sketch header");
+        sketch.epsilon = std::bit_cast<double>(load_u64(fixed));
+        sketch.count = load_u64(fixed + 8);
+        sketch.min = std::bit_cast<double>(load_u64(fixed + 16));
+        sketch.max = std::bit_cast<double>(load_u64(fixed + 24));
+        std::uint64_t tuple_count = 0;
+        if (!read_varint_into_body(&tuple_count) ||
+            tuple_count > (1ull << 32))
+            return fail("bad sketch tuple count");
+        sketch.tuples.resize(static_cast<std::size_t>(tuple_count));
+        std::uint64_t g_total = 0;
+        for (QuantileTuple& t : sketch.tuples) {
+            unsigned char value[8];
+            if (!read_into_body(value, 8) ||
+                !read_varint_into_body(&t.g) ||
+                !read_varint_into_body(&t.delta))
+                return fail("truncated sketch tuples");
+            t.value = std::bit_cast<double>(load_u64(value));
+            g_total += t.g;
+        }
+        // GK structural invariant: the g gaps partition the ranks.
+        if (g_total != sketch.count)
+            return fail("sketch rank gaps disagree with count");
+        sketches_.push_back(std::move(sketch));
+    }
+    unsigned char want_bytes[8];
+    if (!read_exact(want_bytes, 8))
+        return fail("truncated sketch checksum");
+    if (fnv1a(body) != load_u64(want_bytes))
+        return fail("sketch section checksum mismatch");
     return true;
 }
 

@@ -33,7 +33,7 @@
  *
  * File layout (little-endian; `varint` = LEB128):
  *
- *   file   := header extent* trailer
+ *   file   := header extent* sketches? trailer
  *   header := "DCXTELE1" u32 version u32 column_count
  *             column_count x (u16 name_len, name bytes, u8 additive)
  *   extent := u32 kExtentMagic u32 row_count
@@ -41,8 +41,20 @@
  *             additive_count x u64 (running-sum bit patterns)
  *             u64 fnv1a (over row_count..sums)
  *   block  := u8 tag  varint len  len bytes
+ *   sketches := u32 kSketchMagic u32 sketch_count sketch*
+ *             u64 fnv1a (over sketch_count..last tuple)
+ *   sketch := u16 name_len name bytes
+ *             u64 epsilon_bits u64 count u64 min_bits u64 max_bits
+ *             varint tuple_count
+ *             tuple_count x (u64 value_bits, varint g, varint delta)
  *   trailer:= u32 kTrailerMagic u64 total_rows u64 extent_count
  *             u64 fnv1a (over total_rows, extent_count)
+ *
+ * The optional sketch section persists Greenwald-Khanna quantile-sketch
+ * state (obs::QuantileSketch) next to the series it summarizes, so the
+ * spill file is a self-contained artifact: `check_obs.py sketch` can
+ * re-verify the GK rank-error invariant (g + delta <= floor(2*eps*n)+1,
+ * sum of g == n) from the on-disk bytes alone.
  */
 
 #include <cstdint>
@@ -51,6 +63,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/quantile.h"
 #include "obs/time_series.h"
 
 namespace dcb::obs {
@@ -115,7 +128,19 @@ constexpr std::uint8_t kRleFlag = 0x80;
 
 constexpr std::uint32_t kExtentMagic = 0x31545845;   // "EXT1"
 constexpr std::uint32_t kTrailerMagic = 0x31444E45;  // "END1"
+constexpr std::uint32_t kSketchMagic = 0x31484B53;   // "SKH1"
 constexpr std::uint32_t kExtentVersion = 1;
+
+/** One quantile sketch decoded from a file's sketch section. */
+struct PersistedSketch
+{
+    std::string name;
+    double epsilon = 0.0;
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<QuantileTuple> tuples;
+};
 
 /**
  * Appends sealed extents to one spill file. The writer owns the
@@ -147,7 +172,15 @@ class ExtentWriter
     bool append_extent(const IntervalRow* rows, std::size_t count,
                        const double* sums_after);
 
-    /** Write the trailer and atomically commit the file. */
+    /**
+     * Queue one quantile sketch for the file's sketch section (written
+     * by finalize(), before the trailer). The sketch state is
+     * serialized now, so later inserts into `sketch` do not change what
+     * lands on disk. Discarded by reset().
+     */
+    void add_sketch(const std::string& name, const QuantileSketch& sketch);
+
+    /** Write the sketch section + trailer and atomically commit. */
     bool finalize();
 
     /** Truncate back to just past the header (producer counter reset). */
@@ -175,7 +208,9 @@ class ExtentWriter
     std::uint64_t extents_written_ = 0;
     std::uint64_t encoded_bytes_ = 0;
     std::uint64_t raw_bytes_ = 0;
-    std::string scratch_;  ///< reused extent build buffer
+    std::string scratch_;        ///< reused extent build buffer
+    std::string sketch_bytes_;   ///< serialized sketch-section payload
+    std::uint32_t sketch_count_ = 0;
 };
 
 /**
@@ -209,6 +244,12 @@ class ExtentReader
 
     /** True once the trailer was reached and verified. */
     bool at_end() const { return at_end_; }
+    /** Sketches decoded from the sketch section (populated by the
+        next_extent() call that crosses it, before at_end()). */
+    const std::vector<PersistedSketch>& sketches() const
+    {
+        return sketches_;
+    }
     std::uint64_t rows_read() const { return rows_read_; }
     std::uint64_t extents_read() const { return extents_read_; }
     /** Running additive-column sums after the last decoded extent. */
@@ -224,9 +265,13 @@ class ExtentReader
     std::vector<bool> additive_;
     std::FILE* file_ = nullptr;
     bool at_end_ = false;
+    /** Parse the sketch section (magic already consumed). */
+    bool read_sketch_section();
+
     std::uint64_t rows_read_ = 0;
     std::uint64_t extents_read_ = 0;
     std::vector<double> sums_;
+    std::vector<PersistedSketch> sketches_;
     std::string error_;
 };
 

@@ -1,0 +1,158 @@
+#include "obs/phase.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+#include "util/assert.h"
+
+namespace dcb::obs {
+
+PhaseDetector::PhaseDetector(std::size_t signal_count,
+                             const PhaseConfig& config)
+    : signals_(signal_count), config_(config)
+{
+    DCB_EXPECTS(signals_ > 0);
+    DCB_EXPECTS(config_.window >= 2);
+    DCB_EXPECTS(config_.threshold > 0.0);
+    ring_.assign(2 * config_.window * signals_, 0.0);
+    cum_.assign(signals_, 0.0);
+    phase_cum_.assign(signals_, 0.0);
+}
+
+void
+PhaseDetector::observe(const double* values)
+{
+    DCB_EXPECTS(!finished_);
+    const std::size_t w = config_.window;
+    const std::size_t slot = intervals_ % (2 * w);
+    for (std::size_t s = 0; s < signals_; ++s) {
+        ring_[slot * signals_ + s] = values[s];
+        cum_[s] += values[s];
+    }
+    ++intervals_;
+    if (intervals_ < 2 * w)
+        return;
+    // Left window = intervals [t-2w+1, t-w], right = [t-w+1, t] with
+    // t the just-observed index; the candidate boundary sits between
+    // them. The ring holds exactly these 2w rows.
+    const std::size_t t = intervals_ - 1;
+    const std::size_t boundary = t - w + 1;
+    if (boundary < phase_begin_ + config_.min_phase_len)
+        return;
+    double score = 0.0;
+    for (std::size_t s = 0; s < signals_; ++s) {
+        double left = 0.0;
+        double right = 0.0;
+        for (std::size_t i = 0; i < w; ++i) {
+            const std::size_t left_idx = t - 2 * w + 1 + i;
+            const std::size_t right_idx = t - w + 1 + i;
+            left += ring_[(left_idx % (2 * w)) * signals_ + s];
+            right += ring_[(right_idx % (2 * w)) * signals_ + s];
+        }
+        const double ml = left / static_cast<double>(w);
+        const double mr = right / static_cast<double>(w);
+        const double denom = std::max(std::abs(ml), std::abs(mr));
+        if (denom > 1e-12)
+            score = std::max(score, std::abs(mr - ml) / denom);
+    }
+    if (score <= config_.threshold)
+        return;
+    // Phase means must cover [phase_begin_, boundary); cum_ already
+    // includes the right window's w rows past the boundary, so subtract
+    // them back out of the running sums.
+    close_phase(boundary, score);
+}
+
+void
+PhaseDetector::close_phase(std::size_t end, double next_score)
+{
+    const std::size_t w = config_.window;
+    Phase phase;
+    phase.begin = phase_begin_;
+    phase.end = end;
+    phase.entry_score = phase_entry_score_;
+    phase.means.resize(signals_, 0.0);
+    const std::size_t tail = intervals_ - end;  // rows past the boundary
+    DCB_EXPECTS(tail <= 2 * w);
+    const std::size_t len = end - phase_begin_;
+    for (std::size_t s = 0; s < signals_; ++s) {
+        double cum_at_end = cum_[s];
+        for (std::size_t i = 0; i < tail; ++i)
+            cum_at_end -= ring_[((end + i) % (2 * w)) * signals_ + s];
+        phase.means[s] =
+            len > 0 ? (cum_at_end - phase_cum_[s]) / static_cast<double>(len)
+                    : 0.0;
+        phase_cum_[s] = cum_at_end;
+    }
+    phases_.push_back(std::move(phase));
+    phase_begin_ = end;
+    phase_entry_score_ = next_score;
+    boundaries_.push_back(end);
+}
+
+void
+PhaseDetector::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (intervals_ > phase_begin_) {
+        const std::size_t end = intervals_;
+        Phase phase;
+        phase.begin = phase_begin_;
+        phase.end = end;
+        phase.entry_score = phase_entry_score_;
+        phase.means.resize(signals_, 0.0);
+        const std::size_t len = end - phase_begin_;
+        for (std::size_t s = 0; s < signals_; ++s)
+            phase.means[s] =
+                (cum_[s] - phase_cum_[s]) / static_cast<double>(len);
+        phases_.push_back(std::move(phase));
+    }
+}
+
+const std::vector<Phase>&
+PhaseDetector::phases()
+{
+    finish();
+    return phases_;
+}
+
+std::string
+PhaseDetector::to_json(const std::vector<std::string>& signal_names)
+{
+    DCB_EXPECTS(signal_names.size() == signals_);
+    finish();
+    std::string out = "{\n";
+    out += "  \"intervals\": " +
+           json_double(static_cast<double>(intervals_)) + ",\n";
+    out += "  \"window\": " +
+           json_double(static_cast<double>(config_.window)) + ",\n";
+    out += "  \"threshold\": " + json_double(config_.threshold) + ",\n";
+    out += "  \"min_phase_len\": " +
+           json_double(static_cast<double>(config_.min_phase_len)) + ",\n";
+    out += "  \"boundaries\": [";
+    for (std::size_t i = 0; i < boundaries_.size(); ++i)
+        out += (i ? ", " : "") +
+               json_double(static_cast<double>(boundaries_[i]));
+    out += "],\n  \"phases\": [\n";
+    for (std::size_t p = 0; p < phases_.size(); ++p) {
+        const Phase& phase = phases_[p];
+        out += "    {\"begin\": " +
+               json_double(static_cast<double>(phase.begin)) +
+               ", \"end\": " +
+               json_double(static_cast<double>(phase.end)) +
+               ", \"entry_score\": " + json_double(phase.entry_score) +
+               ", \"means\": {";
+        for (std::size_t s = 0; s < signals_; ++s)
+            out += (s ? ", " : "") + json_quote(signal_names[s]) + ": " +
+                   json_double(phase.means[s]);
+        out += "}}";
+        out += p + 1 == phases_.size() ? "\n" : ",\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+}  // namespace dcb::obs

@@ -1,0 +1,126 @@
+#ifndef DCBENCH_OBS_PHASE_H_
+#define DCBENCH_OBS_PHASE_H_
+
+/**
+ * @file
+ * Online phase detection over interval telemetry.
+ *
+ * Data-analysis workloads run in phases (build vs probe, map vs
+ * shuffle, iteration sweeps) whose microarchitectural signatures --
+ * IPC, MPKI, stall shares -- differ enough that whole-run means hide
+ * real behavior, and sampling windows placed blind to phase structure
+ * over- or under-weight them. The detector segments an interval stream
+ * into phases with a **windowed mean-shift change-point test**: at
+ * every interval it compares the mean of the last `window` intervals
+ * against the mean of the `window` before that, per signal, and
+ * declares a phase boundary where the relative shift exceeds
+ * `threshold`.
+ *
+ * The test is streaming (O(window x signals) state, one pass), and
+ * deterministic: boundaries are a pure function of the value sequence
+ * and the config, so a fixed-seed run pins its boundaries exactly
+ * (tests/phase_test.cc).
+ *
+ * False-positive tradeoff: `threshold` scales the minimum relative
+ * mean shift -- lower catches subtler phase changes but fires on noise
+ * (interval-to-interval variance of the gauges); `window` averages
+ * that noise down at the cost of smearing short phases; and
+ * `min_phase_len` suppresses re-triggering while the two windows
+ * straddle one transition. The defaults (window 16, threshold 0.25,
+ * min length 16) detect the coarse build/probe-style transitions the
+ * sampling controller needs without segmenting steady-state jitter.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dcb::obs {
+
+/** Change-point test knobs. */
+struct PhaseConfig
+{
+    /** Intervals per comparison side (>= 2). */
+    std::size_t window = 16;
+    /** Minimum relative mean shift (max over signals) at a boundary. */
+    double threshold = 0.25;
+    /** Minimum intervals between consecutive boundaries. */
+    std::size_t min_phase_len = 16;
+};
+
+/** One detected phase: the interval range [begin, end). */
+struct Phase
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    /** Relative mean shift that opened this phase (0 for the first). */
+    double entry_score = 0.0;
+    /** Per-signal mean over the phase's intervals. */
+    std::vector<double> means;
+};
+
+/** Streaming windowed mean-shift change-point detector. */
+class PhaseDetector
+{
+  public:
+    explicit PhaseDetector(std::size_t signal_count,
+                           const PhaseConfig& config = {});
+
+    std::size_t signal_count() const { return signals_; }
+    const PhaseConfig& config() const { return config_; }
+
+    /** Feed one interval row: `values` holds signal_count() doubles. */
+    void observe(const double* values);
+
+    /** Intervals observed so far. */
+    std::size_t intervals() const { return intervals_; }
+
+    /** Close the trailing phase. Idempotent; observe() is invalid
+        afterwards. Called implicitly by phases()/to_json(). */
+    void finish();
+
+    /**
+     * Interval indices where a new phase starts (excluding 0), in
+     * order. Valid at any time; grows as boundaries are detected.
+     */
+    const std::vector<std::size_t>& phase_boundaries() const
+    {
+        return boundaries_;
+    }
+
+    /** All phases, covering [0, intervals()) exactly. Finishes. */
+    const std::vector<Phase>& phases();
+
+    /**
+     * `{"intervals": N, "window": W, "threshold": T, "boundaries":
+     * [...], "phases": [{"begin", "end", "entry_score", "means":
+     * {signal: value}}]}` with round-trip-exact doubles. `signal_names`
+     * must hold signal_count() names. Finishes.
+     */
+    std::string to_json(const std::vector<std::string>& signal_names);
+
+  private:
+    /** Close [phase_begin_, end) and append it to phases_. */
+    void close_phase(std::size_t end, double next_score);
+
+    std::size_t signals_;
+    PhaseConfig config_;
+    std::size_t intervals_ = 0;
+    bool finished_ = false;
+
+    /** Ring of the last 2*window rows (row-major, signals_ stride). */
+    std::vector<double> ring_;
+    /** Cumulative per-signal sums over all observed intervals. */
+    std::vector<double> cum_;
+    /** cum_ at the current phase's begin index. */
+    std::vector<double> phase_cum_;
+    std::size_t phase_begin_ = 0;
+    double phase_entry_score_ = 0.0;
+
+    std::vector<std::size_t> boundaries_;
+    std::vector<Phase> phases_;
+};
+
+}  // namespace dcb::obs
+
+#endif  // DCBENCH_OBS_PHASE_H_

@@ -112,14 +112,43 @@ TimeSeriesRecorder::seal_extent()
     return spill_ok_;
 }
 
+void
+TimeSeriesRecorder::attach_sketch(const std::string& name,
+                                  const QuantileSketch* sketch)
+{
+    DCB_EXPECTS(sketch != nullptr);
+    DCB_EXPECTS(!finalized_);
+    sketches_.emplace_back(name, sketch);
+}
+
 bool
-TimeSeriesRecorder::finalize_spill()
+TimeSeriesRecorder::finalize_spill(bool flush_partial)
 {
     if (finalized_)
         return spill_ok_;
-    if (writer_ == nullptr)
-        return true;  // spill-free fast path: everything is in memory
+    if (spill_path_.empty() || rows_per_extent_ == 0)
+        return spill_ok_;  // no spill configured, or open already failed
+    if (writer_ == nullptr &&
+        (!flush_partial || (rows_.empty() && sealed_rows_ == 0)))
+        return true;  // spill-free fast path (or nothing ever recorded)
+    // flush_partial: a run shorter than one extent never crossed the
+    // seal threshold, but the trailing rows still belong in the
+    // artifact (the registry-snapshot case: one row per barrier, a few
+    // hundred rows total).
+    if (writer_ == nullptr) {
+        writer_ = std::make_unique<ExtentWriter>(columns_, additive_);
+        if (!writer_->open(spill_path_)) {
+            util::warn("obs", "cannot open telemetry spill " +
+                                  spill_path_ +
+                                  "; keeping rows in memory");
+            writer_.reset();
+            rows_per_extent_ = 0;
+            return spill_ok_ = false;
+        }
+    }
     seal_extent();
+    for (const auto& [name, sketch] : sketches_)
+        writer_->add_sketch(name, *sketch);
     if (!writer_->finalize())
         spill_ok_ = false;
     finalized_ = true;

@@ -25,11 +25,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dcb::obs {
 
 class ExtentWriter;
+class QuantileSketch;
 
 /** User-facing telemetry knobs (core::HarnessConfig::telemetry). */
 struct TelemetryConfig
@@ -118,12 +120,27 @@ class TimeSeriesRecorder
     const std::string& spill_path() const { return spill_path_; }
 
     /**
-     * Seal any buffered tail rows and atomically commit the spill file
-     * (trailer + rename). Idempotent; a no-op when nothing spilled.
-     * Must precede write_csv/write_json on a spilled recorder; add_row
-     * is invalid afterwards.
+     * Persist `sketch`'s state into the spill file's sketch section
+     * when finalize_spill() runs (no effect when nothing spills --
+     * the sketches travel with the on-disk artifact, not the memory
+     * image). The pointer must stay valid through finalize_spill();
+     * the state is serialized there.
      */
-    bool finalize_spill();
+    void attach_sketch(const std::string& name,
+                       const QuantileSketch* sketch);
+
+    /**
+     * Seal any buffered tail rows, persist attached sketches, and
+     * atomically commit the spill file (trailer + rename). Idempotent;
+     * a no-op when nothing spilled. Must precede write_csv/write_json
+     * on a spilled recorder; add_row is invalid afterwards.
+     *
+     * By default a run that never crossed the seal threshold keeps the
+     * spill-free fast path (no file is created). `flush_partial` forces
+     * the trailing partial extent to disk instead -- for artifacts that
+     * must exist even when short, like registry snapshot series.
+     */
+    bool finalize_spill(bool flush_partial = false);
 
     /** Rows recorded in total: sealed to disk plus buffered. */
     std::uint64_t total_rows() const;
@@ -209,6 +226,8 @@ class TimeSeriesRecorder
     std::string spill_path_;
     std::uint32_t rows_per_extent_ = 0;
     std::unique_ptr<ExtentWriter> writer_;
+    /** Sketches to persist in the spill file's sketch section. */
+    std::vector<std::pair<std::string, const QuantileSketch*>> sketches_;
     std::uint64_t sealed_rows_ = 0;
     std::uint64_t peak_rows_ = 0;
     bool finalized_ = false;

@@ -1,6 +1,7 @@
 #include "obs/trace_writer.h"
 
 #include <chrono>
+#include <cstring>
 #include <cstdio>
 
 #include "obs/json.h"
@@ -29,85 +30,150 @@ TraceWriter::now_us() const
     return static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
 }
 
+std::uint32_t
+TraceWriter::intern(std::string_view s)
+{
+    // The cache is consulted only for short strings (event names and
+    // categories, usually literals with a stable address). A hit must
+    // still byte-compare against the arena: a reused stack buffer can
+    // alias a previous string's address with different content.
+    const bool cacheable = !s.empty() && s.size() <= 32;
+    InternSlot* slot = nullptr;
+    if (cacheable) {
+        const auto h = reinterpret_cast<std::uintptr_t>(s.data());
+        slot = &intern_cache_[(h >> 4) % kInternSlots];
+        if (slot->data == s.data() && slot->len == s.size() &&
+            std::memcmp(arena_.data() + slot->off, s.data(),
+                        s.size()) == 0)
+            return slot->off;
+    }
+    const std::uint32_t off = static_cast<std::uint32_t>(arena_.size());
+    arena_.append(s.data(), s.size());
+    if (slot != nullptr) {
+        slot->data = s.data();
+        slot->len = static_cast<std::uint32_t>(s.size());
+        slot->off = off;
+    }
+    return off;
+}
+
 void
-TraceWriter::push(TraceEvent event)
+TraceWriter::push(std::string_view name, std::string_view cat, char ph,
+                  std::uint32_t pid, std::uint64_t tid, double ts_us,
+                  double dur_us, std::string_view args_json)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    events_.push_back(std::move(event));
+    if (chunks_.empty() || chunks_.back().size() == kChunkEvents) {
+        chunks_.emplace_back();
+        chunks_.back().reserve(kChunkEvents);
+    }
+    Record& r = chunks_.back().emplace_back();
+    r.name_off = intern(name);
+    r.name_len = static_cast<std::uint16_t>(name.size());
+    r.cat_off = intern(cat);
+    r.cat_len = static_cast<std::uint16_t>(cat.size());
+    r.args_off = intern(args_json);
+    r.args_len = static_cast<std::uint32_t>(args_json.size());
+    r.pid = static_cast<std::uint8_t>(pid);
+    r.ph = ph;
+    r.tid = static_cast<std::uint32_t>(tid);
+    r.ts_us = ts_us;
+    r.dur_us = dur_us;
+    ++event_count_;
 }
 
 void
-TraceWriter::complete(const std::string& name, const std::string& cat,
+TraceWriter::complete(std::string_view name, std::string_view cat,
                       std::uint32_t pid, std::uint64_t tid, double ts_us,
-                      double dur_us, const std::string& args_json)
+                      double dur_us, std::string_view args_json)
 {
-    TraceEvent e;
-    e.name = name;
-    e.cat = cat;
-    e.ph = 'X';
-    e.ts_us = ts_us;
-    e.dur_us = dur_us < 0.0 ? 0.0 : dur_us;
-    e.pid = pid;
-    e.tid = tid;
-    e.args_json = args_json;
-    push(std::move(e));
+    push(name, cat, 'X', pid, tid, ts_us, dur_us < 0.0 ? 0.0 : dur_us,
+         args_json);
 }
 
 void
-TraceWriter::instant(const std::string& name, const std::string& cat,
+TraceWriter::instant(std::string_view name, std::string_view cat,
                      std::uint32_t pid, std::uint64_t tid, double ts_us,
-                     const std::string& args_json)
+                     std::string_view args_json)
 {
-    TraceEvent e;
-    e.name = name;
-    e.cat = cat;
-    e.ph = 'i';
-    e.ts_us = ts_us;
-    e.pid = pid;
-    e.tid = tid;
-    e.args_json = args_json;
-    push(std::move(e));
+    push(name, cat, 'i', pid, tid, ts_us, 0.0, args_json);
 }
 
 void
-TraceWriter::name_process(std::uint32_t pid, const std::string& name)
+TraceWriter::instants(std::string_view name, std::string_view cat,
+                      std::uint32_t pid, double ts_us,
+                      const std::uint64_t* tids, std::size_t n)
 {
-    TraceEvent e;
-    e.name = "process_name";
-    e.ph = 'M';
-    e.pid = pid;
-    e.args_json = "{\"name\": " + json_quote(name) + "}";
-    push(std::move(e));
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint32_t name_off = intern(name);
+    const std::uint32_t cat_off = intern(cat);
+    const std::uint32_t args_off = intern({});
+    for (std::size_t i = 0; i < n; ++i) {
+        if (chunks_.empty() || chunks_.back().size() == kChunkEvents) {
+            chunks_.emplace_back();
+            chunks_.back().reserve(kChunkEvents);
+        }
+        Record& r = chunks_.back().emplace_back();
+        r.name_off = name_off;
+        r.name_len = static_cast<std::uint16_t>(name.size());
+        r.cat_off = cat_off;
+        r.cat_len = static_cast<std::uint16_t>(cat.size());
+        r.args_off = args_off;
+        r.args_len = 0;
+        r.pid = static_cast<std::uint8_t>(pid);
+        r.ph = 'i';
+        r.tid = static_cast<std::uint32_t>(tids[i]);
+        r.ts_us = ts_us;
+        r.dur_us = 0.0;
+    }
+    event_count_ += n;
+}
+
+void
+TraceWriter::counter(std::string_view name, std::string_view cat,
+                     std::uint32_t pid, std::uint64_t tid, double ts_us,
+                     std::string_view series, double value)
+{
+    const std::string args = "{" + json_quote(std::string(series)) +
+                             ": " + json_double(value) + "}";
+    push(name, cat, 'C', pid, tid, ts_us, 0.0, args);
+}
+
+void
+TraceWriter::name_process(std::uint32_t pid, std::string_view name)
+{
+    const std::string args =
+        "{\"name\": " + json_quote(std::string(name)) + "}";
+    push("process_name", {}, 'M', pid, 0, 0.0, 0.0, args);
 }
 
 void
 TraceWriter::name_thread(std::uint32_t pid, std::uint64_t tid,
-                         const std::string& name)
+                         std::string_view name)
 {
-    TraceEvent e;
-    e.name = "thread_name";
-    e.ph = 'M';
-    e.pid = pid;
-    e.tid = tid;
-    e.args_json = "{\"name\": " + json_quote(name) + "}";
-    push(std::move(e));
+    const std::string args =
+        "{\"name\": " + json_quote(std::string(name)) + "}";
+    push("thread_name", {}, 'M', pid, tid, 0.0, 0.0, args);
 }
 
 std::size_t
 TraceWriter::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return events_.size();
+    return event_count_;
 }
 
 std::size_t
-TraceWriter::count_category(const std::string& cat) const
+TraceWriter::count_category(std::string_view cat) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     std::size_t n = 0;
-    for (const TraceEvent& e : events_)
-        if (e.cat == cat)
-            ++n;
+    for (const std::vector<Record>& chunk : chunks_)
+        for (const Record& r : chunk)
+            if (arena_view(r.cat_off, r.cat_len) == cat)
+                ++n;
     return n;
 }
 
@@ -116,24 +182,32 @@ TraceWriter::to_json() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     std::string out = "{\"traceEvents\": [\n";
-    for (std::size_t i = 0; i < events_.size(); ++i) {
-        const TraceEvent& e = events_[i];
-        out += "  {\"name\": " + json_quote(e.name);
-        if (!e.cat.empty())
-            out += ", \"cat\": " + json_quote(e.cat);
-        out += ", \"ph\": \"";
-        out += e.ph;
-        out += "\", \"ts\": " + json_double(e.ts_us);
-        if (e.ph == 'X')
-            out += ", \"dur\": " + json_double(e.dur_us);
-        if (e.ph == 'i')
-            out += ", \"s\": \"t\"";  // instant scope: thread
-        out += ", \"pid\": " + std::to_string(e.pid) +
-               ", \"tid\": " + std::to_string(e.tid);
-        if (!e.args_json.empty())
-            out += ", \"args\": " + e.args_json;
-        out += "}";
-        out += i + 1 < events_.size() ? ",\n" : "\n";
+    std::size_t i = 0;
+    for (const std::vector<Record>& chunk : chunks_) {
+        for (const Record& r : chunk) {
+            out += "  {\"name\": " +
+                   json_quote(std::string(arena_view(r.name_off,
+                                                     r.name_len)));
+            if (r.cat_len > 0)
+                out += ", \"cat\": " +
+                       json_quote(std::string(arena_view(r.cat_off,
+                                                         r.cat_len)));
+            out += ", \"ph\": \"";
+            out += r.ph;
+            out += "\", \"ts\": " + json_double(r.ts_us);
+            if (r.ph == 'X')
+                out += ", \"dur\": " + json_double(r.dur_us);
+            if (r.ph == 'i')
+                out += ", \"s\": \"t\"";  // instant scope: thread
+            out += ", \"pid\": " + std::to_string(r.pid) +
+                   ", \"tid\": " + std::to_string(r.tid);
+            if (r.args_len > 0) {
+                out += ", \"args\": ";
+                out += arena_view(r.args_off, r.args_len);
+            }
+            out += "}";
+            out += ++i < event_count_ ? ",\n" : "\n";
+        }
     }
     out += "]}\n";
     return out;

@@ -1,0 +1,175 @@
+/** @file Tests for the windowed mean-shift phase detector: pinned
+    boundaries on a fixed synthetic sequence, min_phase_len straddle
+    suppression, noise rejection, coverage and to_json() shape. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/phase.h"
+
+namespace dcb::obs {
+namespace {
+
+/**
+ * Deterministic three-signal / three-segment interval stream shaped
+ * like (ipc, mpki, stall_share) across a build -> probe -> reduce run:
+ * 40 intervals per segment with +-2.5% multiplicative LCG noise. The
+ * true change points are intervals 40 and 80.
+ */
+class SyntheticFeed
+{
+  public:
+    void feed(PhaseDetector& det)
+    {
+        segment(det, 40, 1.6, 2.0, 0.30);
+        segment(det, 40, 0.8, 12.0, 0.65);
+        segment(det, 40, 1.2, 5.0, 0.45);
+    }
+
+  private:
+    void segment(PhaseDetector& det, int n, double a, double b, double c)
+    {
+        for (int i = 0; i < n; ++i) {
+            const double v[3] = {a * (1.0 + noise()),
+                                 b * (1.0 + noise()),
+                                 c * (1.0 + noise())};
+            det.observe(v);
+        }
+    }
+    double noise()
+    {
+        state_ = state_ * 6364136223846793005ULL +
+                 1442695040888963407ULL;
+        const double u =
+            static_cast<double>(state_ >> 11) / 9007199254740992.0;
+        return (u - 0.5) * 0.05;
+    }
+    std::uint64_t state_ = 12345;
+};
+
+PhaseConfig
+config(std::size_t min_phase_len)
+{
+    PhaseConfig cfg;
+    cfg.window = 8;
+    cfg.threshold = 0.25;
+    cfg.min_phase_len = min_phase_len;
+    return cfg;
+}
+
+/**
+ * Boundaries are a pure function of the value sequence and the config,
+ * so this fixed sequence pins them exactly. The detector fires as soon
+ * as one post-change row enters the newer window (boundary = start of
+ * that window, 7 intervals before the true change point), which is the
+ * documented detection-lag tradeoff.
+ */
+TEST(PhaseDetector, BoundariesPinnedForFixedSequence)
+{
+    PhaseDetector det(3, config(16));
+    SyntheticFeed().feed(det);
+    det.finish();
+    EXPECT_EQ(det.intervals(), 120u);
+    const std::vector<std::size_t> want{33, 76};
+    EXPECT_EQ(det.phase_boundaries(), want);
+
+    // Phases tile [0, intervals()) exactly and their means recover the
+    // injected segment levels (wide phases dominated by one segment).
+    const std::vector<Phase>& phases = det.phases();
+    ASSERT_EQ(phases.size(), 3u);
+    EXPECT_EQ(phases.front().begin, 0u);
+    EXPECT_EQ(phases.back().end, 120u);
+    for (std::size_t i = 1; i < phases.size(); ++i)
+        EXPECT_EQ(phases[i].begin, phases[i - 1].end);
+    EXPECT_NEAR(phases[0].means[0], 1.6, 0.05);  // build ipc
+    EXPECT_NEAR(phases[2].means[1], 5.0, 1.5);   // reduce mpki
+    EXPECT_EQ(phases[0].entry_score, 0.0);
+    EXPECT_GT(phases[1].entry_score, 0.25);
+}
+
+/** A replay of the same sequence reproduces the JSON byte for byte. */
+TEST(PhaseDetector, ReplayIsByteIdentical)
+{
+    const std::vector<std::string> names{"ipc", "mpki", "stall"};
+    PhaseDetector a(3, config(16));
+    PhaseDetector b(3, config(16));
+    SyntheticFeed().feed(a);
+    SyntheticFeed().feed(b);
+    EXPECT_EQ(a.to_json(names), b.to_json(names));
+}
+
+/**
+ * While the two comparison windows straddle one transition the shift
+ * test keeps exceeding the threshold; min_phase_len is what suppresses
+ * those re-triggers. Too short and every transition double-fires; long
+ * enough and the boundary lands exactly on the true change point.
+ */
+TEST(PhaseDetector, MinPhaseLenSuppressesStraddleRetriggers)
+{
+    PhaseDetector loose(3, config(8));
+    SyntheticFeed().feed(loose);
+    loose.finish();
+    const std::vector<std::size_t> doubled{33, 41, 76, 84};
+    EXPECT_EQ(loose.phase_boundaries(), doubled);
+
+    PhaseDetector tight(3, config(40));
+    SyntheticFeed().feed(tight);
+    tight.finish();
+    const std::vector<std::size_t> exact{40, 80};
+    EXPECT_EQ(tight.phase_boundaries(), exact);
+}
+
+/** Steady-state jitter below the threshold never segments. */
+TEST(PhaseDetector, ConstantSignalProducesOnePhase)
+{
+    PhaseDetector det(2, config(16));
+    std::uint64_t state = 99;
+    for (int i = 0; i < 200; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const double u =
+            static_cast<double>(state >> 11) / 9007199254740992.0;
+        const double v[2] = {1.0 + 0.02 * (u - 0.5), 4.0};
+        det.observe(v);
+    }
+    det.finish();
+    EXPECT_TRUE(det.phase_boundaries().empty());
+    ASSERT_EQ(det.phases().size(), 1u);
+    EXPECT_EQ(det.phases().front().begin, 0u);
+    EXPECT_EQ(det.phases().front().end, 200u);
+}
+
+/** Fewer than 2*window intervals can never satisfy the shift test. */
+TEST(PhaseDetector, ShortRunsNeverSegment)
+{
+    PhaseDetector det(1, config(4));
+    for (int i = 0; i < 7; ++i) {
+        const double v = (i < 3) ? 1.0 : 100.0;
+        det.observe(&v);
+    }
+    det.finish();
+    EXPECT_TRUE(det.phase_boundaries().empty());
+    ASSERT_EQ(det.phases().size(), 1u);
+}
+
+/** to_json() carries the config, boundaries and named per-phase means. */
+TEST(PhaseDetector, ToJsonShape)
+{
+    PhaseDetector det(3, config(16));
+    SyntheticFeed().feed(det);
+    const std::string json =
+        det.to_json({"ipc", "mpki", "stall_share"});
+    EXPECT_NE(json.find("\"intervals\": 120"), std::string::npos);
+    EXPECT_NE(json.find("\"window\": 8"), std::string::npos);
+    EXPECT_NE(json.find("\"threshold\": 0.25"), std::string::npos);
+    EXPECT_NE(json.find("\"boundaries\": [33, 76]"), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\""), std::string::npos);
+    EXPECT_NE(json.find("\"mpki\""), std::string::npos);
+    EXPECT_NE(json.find("\"stall_share\""), std::string::npos);
+    EXPECT_NE(json.find("\"phases\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcb::obs
